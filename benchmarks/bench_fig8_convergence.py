@@ -1,0 +1,28 @@
+"""Figure 8 — training-loss convergence of URCL on METR-LA and PEMS08.
+
+Paper shape to reproduce: the loss drops quickly on the base set and the
+incremental sets converge faster than (or at least no slower than) the base
+set because the replayed knowledge transfers forward.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig8
+
+from conftest import record_result
+
+
+def test_fig8_training_convergence(benchmark, scale, seed):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"scale": scale, "seed": seed}, rounds=1, iterations=1
+    )
+    record_result("fig8_convergence", result)
+
+    for dataset, curve in result["loss_curves"].items():
+        curve = np.asarray(curve)
+        assert curve.size >= 5
+        assert np.isfinite(curve).all()
+        boundaries = result["set_boundaries"][dataset]
+        base_epochs = boundaries[0]
+        # Shape check: training reduces the loss within the base set.
+        assert curve[base_epochs - 1] <= curve[0] * 1.05, dataset

@@ -1,0 +1,34 @@
+"""Extra ablation benches (DESIGN.md §5): replay-buffer capacity and STMixup alpha.
+
+These sweeps cover design choices the paper fixes without justification
+(buffer size 256, a single mixup alpha); the bench reports how sensitive
+URCL's accuracy is to them.
+"""
+
+import numpy as np
+
+from repro.experiments import run_buffer_capacity_sweep, run_mixup_alpha_sweep
+
+from conftest import record_result
+
+
+def test_buffer_capacity_sensitivity(benchmark, scale, seed):
+    result = benchmark.pedantic(
+        run_buffer_capacity_sweep,
+        kwargs={"scale": scale, "seed": seed, "capacities": (32, 128)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("sensitivity_buffer_capacity", result)
+    assert all(np.isfinite(entry["mae"]) for entry in result["results"].values())
+
+
+def test_mixup_alpha_sensitivity(benchmark, scale, seed):
+    result = benchmark.pedantic(
+        run_mixup_alpha_sweep,
+        kwargs={"scale": scale, "seed": seed, "alphas": (0.2, 1.0)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result("sensitivity_mixup_alpha", result)
+    assert all(np.isfinite(entry["mae"]) for entry in result["results"].values())

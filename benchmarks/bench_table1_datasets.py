@@ -1,0 +1,23 @@
+"""Table I — dataset statistics of the four traffic benchmarks."""
+
+import numpy as np
+
+from repro.experiments import run_table1
+
+from conftest import record_result
+
+
+def test_table1_dataset_statistics(benchmark, scale, seed):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"scale": scale, "seed": seed}, rounds=1, iterations=1
+    )
+    record_result("table1_datasets", result)
+    assert len(result["rows"]) == 4
+    # Paper node counts are reported verbatim in the table.
+    paper_nodes = {row[0]: row[4] for row in result["rows"]}
+    assert paper_nodes["metr-la"] == 207
+    assert paper_nodes["pems-bay"] == 325
+    assert paper_nodes["pems04"] == 307
+    assert paper_nodes["pems08"] == 170
+    # Generated series are non-degenerate.
+    assert all(row[6] > 0 for row in result["rows"])

@@ -1,0 +1,30 @@
+"""Table II — OneFitAll vs FinetuneST vs URCL on streaming data.
+
+Paper shape to reproduce: URCL is the most accurate and the most *stable*
+method across the base set and the incremental sets, while the static
+OneFitAll model degrades as concept drift accumulates.
+"""
+
+import numpy as np
+
+from repro.experiments import run_table2
+
+from conftest import record_result
+
+
+def _mean_mae(per_set: dict) -> float:
+    return float(np.mean([entry["mae"] for entry in per_set.values()]))
+
+
+def test_table2_training_on_streaming_data(benchmark, scale, seed):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"scale": scale, "seed": seed}, rounds=1, iterations=1
+    )
+    record_result("table2_streaming_strategies", result)
+
+    for dataset, methods in result["results"].items():
+        assert set(methods) == {"OneFitAll", "FinetuneST", "URCL"}
+        for per_set in methods.values():
+            assert all(np.isfinite(entry["mae"]) for entry in per_set.values())
+        # Shape check: URCL beats the static OneFitAll model on average.
+        assert _mean_mae(methods["URCL"]) <= _mean_mae(methods["OneFitAll"]) * 1.25, dataset

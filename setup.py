@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package remains installable in
+offline environments whose setuptools/pip lack PEP 660 editable-wheel
+support (no ``wheel`` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "URCL: Unified Replay-based Continuous Learning for Spatio-Temporal "
+        "Prediction on Streaming Data (ICDE 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

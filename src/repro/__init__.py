@@ -1,0 +1,65 @@
+"""URCL — Unified Replay-based Continuous Learning for Spatio-Temporal
+Prediction on Streaming Data (ICDE 2024 reproduction).
+
+Quickstart::
+
+    from repro import (
+        load_dataset, build_streaming_scenario,
+        URCLModel, URCLConfig, TrainingConfig, ContinualTrainer,
+    )
+
+    dataset = load_dataset("pems08", num_days=8, num_nodes=24)
+    scenario = build_streaming_scenario(dataset)
+    model = URCLModel(
+        scenario.network,
+        in_channels=dataset.spec.num_channels,
+        input_steps=dataset.spec.input_steps,
+    )
+    result = ContinualTrainer(model, TrainingConfig(epochs_base=2)).run(scenario)
+    print(result.mae_by_set())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+from . import augmentation, core, data, experiments, graph, models, nn, replay, tensor, utils
+from .core import (
+    ContinualResult,
+    ContinualTrainer,
+    FinetuneSTStrategy,
+    OneFitAllStrategy,
+    PredictionMetrics,
+    TrainingConfig,
+    URCLConfig,
+    URCLModel,
+)
+from .data import build_streaming_scenario, list_datasets, load_dataset
+from .graph import SensorNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "augmentation",
+    "core",
+    "data",
+    "experiments",
+    "graph",
+    "models",
+    "nn",
+    "replay",
+    "tensor",
+    "utils",
+    "ContinualResult",
+    "ContinualTrainer",
+    "FinetuneSTStrategy",
+    "OneFitAllStrategy",
+    "PredictionMetrics",
+    "TrainingConfig",
+    "URCLConfig",
+    "URCLModel",
+    "build_streaming_scenario",
+    "list_datasets",
+    "load_dataset",
+    "SensorNetwork",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""The five spatio-temporal data augmentations of URCL (Sec. IV-C.1)."""
+
+from .add_edge import AddEdge
+from .base import AugmentedSample, Augmentation
+from .drop_edge import DropEdge
+from .drop_nodes import DropNodes
+from .pipeline import AugmentationPipeline, default_augmentations
+from .subgraph import SubGraph
+from .time_shifting import TimeShifting
+
+__all__ = [
+    "AddEdge",
+    "AugmentedSample",
+    "Augmentation",
+    "DropEdge",
+    "DropNodes",
+    "AugmentationPipeline",
+    "default_augmentations",
+    "SubGraph",
+    "TimeShifting",
+]

@@ -1,0 +1,56 @@
+"""AddEdge (AE) augmentation — Eq. 8, Fig. 2(d)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.sensor_network import SensorNetwork
+from ..utils.validation import check_probability
+from .base import AugmentedSample, Augmentation
+
+__all__ = ["AddEdge"]
+
+
+class AddEdge(Augmentation):
+    """Connect distant but similar node pairs.
+
+    A proportion of node pairs more than ``min_hops`` apart is selected and
+    connected; the new edge weight is the (normalised) dot-product
+    similarity of the two nodes' observation vectors (Eq. 8), strengthening
+    the model's ability to capture global spatial correlations.
+    """
+
+    name = "add_edge"
+
+    def __init__(self, add_ratio: float = 0.05, min_hops: int = 3, rng=None):
+        super().__init__(rng=rng)
+        check_probability("add_ratio", add_ratio)
+        if min_hops < 1:
+            raise ValueError("min_hops must be >= 1")
+        self.add_ratio = add_ratio
+        self.min_hops = min_hops
+
+    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
+        adjacency = network.adjacency.copy()
+        pairs = network.distant_pairs(self.min_hops)
+        if not pairs:
+            return AugmentedSample(observations.copy(), adjacency, self.name)
+        num_added = max(1, int(round(self.add_ratio * len(pairs))))
+        num_added = min(num_added, len(pairs))
+        chosen = self._rng.choice(len(pairs), size=num_added, replace=False)
+        # Node feature vectors: flatten batch/time/channel into one profile per node.
+        node_features = observations.transpose(2, 0, 1, 3).reshape(observations.shape[2], -1)
+        norms = np.linalg.norm(node_features, axis=1)
+        scale = float(np.mean(adjacency[adjacency > 0])) if (adjacency > 0).any() else 1.0
+        for index in chosen:
+            i, j = pairs[index]
+            denominator = max(norms[i] * norms[j], 1e-12)
+            similarity = float(node_features[i] @ node_features[j]) / denominator
+            weight = max(similarity, 0.0) * scale
+            if weight <= 0:
+                continue
+            adjacency[i, j] = max(adjacency[i, j], weight)
+            adjacency[j, i] = max(adjacency[j, i], weight)
+        return AugmentedSample(
+            observations=observations.copy(), adjacency=adjacency, description=self.name
+        )

@@ -1,0 +1,75 @@
+"""Augmentation interfaces.
+
+An augmentation transforms a *sample* ``G = [X; G]`` — a batch of
+observation windows together with the sensor network — into a perturbed
+sample ``G' = [X'; G']`` (Sec. IV-C.1).  Observation shapes are never
+changed (the STSimSiam encoders require fixed shapes); spatial
+augmentations perturb the adjacency matrix, the temporal augmentation
+perturbs the time axis of the observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..graph.sensor_network import SensorNetwork
+from ..utils.random import get_rng
+
+__all__ = ["AugmentedSample", "Augmentation"]
+
+
+@dataclass
+class AugmentedSample:
+    """The result of applying an augmentation.
+
+    Attributes
+    ----------
+    observations:
+        Augmented observations, same shape as the input
+        ``(batch, time, nodes, channels)``.
+    adjacency:
+        Augmented adjacency matrix ``(nodes, nodes)``.
+    description:
+        Name of the augmentation that produced the sample (for logging and
+        ablation bookkeeping).
+    """
+
+    observations: np.ndarray
+    adjacency: np.ndarray
+    description: str
+
+
+class Augmentation:
+    """Base class for spatio-temporal augmentations."""
+
+    name = "identity"
+
+    def __init__(self, rng=None):
+        self._rng = get_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
+        observations = np.asarray(observations, dtype=float)
+        if observations.ndim != 4:
+            raise ShapeError(
+                f"augmentations expect (batch, time, nodes, channels), got {observations.shape}"
+            )
+        if observations.shape[2] != network.num_nodes:
+            raise ShapeError(
+                f"observations have {observations.shape[2]} nodes, network has {network.num_nodes}"
+            )
+        return self.apply(observations, network)
+
+    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
+        """Return the augmented sample; sub-classes override this."""
+        return AugmentedSample(
+            observations=observations.copy(),
+            adjacency=network.adjacency.copy(),
+            description=self.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,51 @@
+"""DropEdge (DE) augmentation — Eq. 7, Fig. 2(b)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.sensor_network import SensorNetwork
+from ..utils.validation import check_probability
+from .base import AugmentedSample, Augmentation
+
+__all__ = ["DropEdge"]
+
+
+class DropEdge(Augmentation):
+    """Randomly drop weak edges.
+
+    A proportion of edges is sampled; among the sampled edges, those whose
+    weight falls below a threshold are removed (Eq. 7).  The threshold
+    defaults to the median edge weight of the network so that "important
+    connectives" (strong edges) are retained, as the paper intends.
+    """
+
+    name = "drop_edge"
+
+    def __init__(self, sample_ratio: float = 0.3, weight_threshold: float | None = None, rng=None):
+        super().__init__(rng=rng)
+        check_probability("sample_ratio", sample_ratio)
+        self.sample_ratio = sample_ratio
+        self.weight_threshold = weight_threshold
+
+    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
+        adjacency = network.adjacency.copy()
+        rows, cols = np.nonzero(adjacency)
+        edge_count = rows.size
+        if edge_count == 0:
+            return AugmentedSample(observations.copy(), adjacency, self.name)
+        threshold = self.weight_threshold
+        if threshold is None:
+            threshold = float(np.median(adjacency[rows, cols]))
+        num_sampled = int(round(self.sample_ratio * edge_count))
+        if num_sampled > 0:
+            chosen = self._rng.choice(edge_count, size=num_sampled, replace=False)
+            for index in chosen:
+                i, j = rows[index], cols[index]
+                if adjacency[i, j] < threshold:
+                    adjacency[i, j] = 0.0
+                    if not network.directed:
+                        adjacency[j, i] = 0.0
+        return AugmentedSample(
+            observations=observations.copy(), adjacency=adjacency, description=self.name
+        )

@@ -1,0 +1,44 @@
+"""DropNodes (DN) augmentation — Eq. 6, Fig. 2(a)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.sensor_network import SensorNetwork
+from ..utils.validation import check_probability
+from .base import AugmentedSample, Augmentation
+
+__all__ = ["DropNodes"]
+
+
+class DropNodes(Augmentation):
+    """Randomly discard a proportion of nodes by masking their adjacency rows.
+
+    The discarded nodes' entries in the adjacency matrix are zeroed
+    (Eq. 6); optionally their observations are zeroed as well, emulating
+    sensor/communication failures the paper motivates.  Node count (and
+    therefore tensor shapes) is preserved.
+    """
+
+    name = "drop_nodes"
+
+    def __init__(self, drop_ratio: float = 0.1, mask_features: bool = True, rng=None):
+        super().__init__(rng=rng)
+        check_probability("drop_ratio", drop_ratio)
+        self.drop_ratio = drop_ratio
+        self.mask_features = mask_features
+
+    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
+        num_nodes = network.num_nodes
+        num_dropped = int(round(self.drop_ratio * num_nodes))
+        augmented = observations.copy()
+        adjacency = network.adjacency.copy()
+        if num_dropped > 0:
+            dropped = self._rng.choice(num_nodes, size=num_dropped, replace=False)
+            adjacency[dropped, :] = 0.0
+            adjacency[:, dropped] = 0.0
+            if self.mask_features:
+                augmented[:, :, dropped, :] = 0.0
+        return AugmentedSample(
+            observations=augmented, adjacency=adjacency, description=self.name
+        )

@@ -1,0 +1,69 @@
+"""Random selection of augmentation pairs (Sec. IV-C.1, last paragraph).
+
+For every training batch, two *different* augmentations are drawn at random
+from the pool of five and applied to the mixed observations, producing the
+two views consumed by the STSimSiam network.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..graph.sensor_network import SensorNetwork
+from ..utils.random import get_rng
+from .add_edge import AddEdge
+from .base import AugmentedSample, Augmentation
+from .drop_edge import DropEdge
+from .drop_nodes import DropNodes
+from .subgraph import SubGraph
+from .time_shifting import TimeShifting
+
+__all__ = ["AugmentationPipeline", "default_augmentations"]
+
+
+def default_augmentations(rng=None) -> list[Augmentation]:
+    """The paper's five augmentations with default hyper-parameters."""
+    rng = get_rng(rng)
+    return [
+        DropNodes(rng=rng),
+        DropEdge(rng=rng),
+        SubGraph(rng=rng),
+        AddEdge(rng=rng),
+        TimeShifting(rng=rng),
+    ]
+
+
+class AugmentationPipeline:
+    """Draw two distinct augmentations and apply them to a batch.
+
+    Parameters
+    ----------
+    augmentations:
+        Pool of candidate augmentations; defaults to the paper's five.
+    rng:
+        Seed/generator controlling the pair selection.
+    """
+
+    def __init__(self, augmentations: Sequence[Augmentation] | None = None, rng=None):
+        self._rng = get_rng(rng)
+        self.augmentations = (
+            list(augmentations) if augmentations is not None else default_augmentations(self._rng)
+        )
+        if len(self.augmentations) < 1:
+            raise ValueError("AugmentationPipeline requires at least one augmentation")
+
+    def sample_pair(self) -> tuple[Augmentation, Augmentation]:
+        """Pick two distinct augmentations (with replacement if only one exists)."""
+        if len(self.augmentations) == 1:
+            return self.augmentations[0], self.augmentations[0]
+        first, second = self._rng.choice(len(self.augmentations), size=2, replace=False)
+        return self.augmentations[int(first)], self.augmentations[int(second)]
+
+    def __call__(
+        self, observations: np.ndarray, network: SensorNetwork
+    ) -> tuple[AugmentedSample, AugmentedSample]:
+        """Return two augmented views of ``observations``."""
+        first, second = self.sample_pair()
+        return first(observations, network), second(observations, network)

@@ -1,0 +1,43 @@
+"""SubGraph (SG) augmentation — Fig. 2(c)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.random_walk import random_walk_subgraph_nodes
+from ..graph.sensor_network import SensorNetwork
+from ..utils.validation import check_fraction
+from .base import AugmentedSample, Augmentation
+
+__all__ = ["SubGraph"]
+
+
+class SubGraph(Augmentation):
+    """Restrict attention to a random-walk sub-graph.
+
+    A sub-graph is sampled by random walk to preserve local semantics; edges
+    outside the sub-graph are removed while the node set (and observation
+    shape) is preserved so that the shared STEncoder still sees every
+    sensor.  Features of nodes outside the sub-graph are left untouched —
+    they simply become isolated in the graph view.
+    """
+
+    name = "subgraph"
+
+    def __init__(self, keep_ratio: float = 0.7, rng=None):
+        super().__init__(rng=rng)
+        check_fraction("keep_ratio", keep_ratio)
+        self.keep_ratio = keep_ratio
+
+    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
+        num_nodes = network.num_nodes
+        target = max(2, int(round(self.keep_ratio * num_nodes)))
+        kept = random_walk_subgraph_nodes(network, target_size=target, rng=self._rng)
+        mask = np.zeros(num_nodes, dtype=bool)
+        mask[kept] = True
+        adjacency = network.adjacency.copy()
+        adjacency[~mask, :] = 0.0
+        adjacency[:, ~mask] = 0.0
+        return AugmentedSample(
+            observations=observations.copy(), adjacency=adjacency, description=self.name
+        )

@@ -1,0 +1,91 @@
+"""TimeShifting (TS) augmentation — Eq. 9–11, Fig. 2(e).
+
+TS perturbs the time domain of the observations and leaves the graph
+untouched.  Three transforms are available and one is selected at random
+for each call, mirroring the paper:
+
+* **time slicing + warping** — a random contiguous slice of length ``l`` is
+  extracted (Eq. 9) and linearly interpolated back to the original window
+  length (Eq. 10), so shapes stay fixed;
+* **time warping** — the full window is resampled through a random
+  monotonic time distortion;
+* **time flipping** — the window is reversed along the time axis (Eq. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.sensor_network import SensorNetwork
+from ..utils.validation import check_fraction
+from .base import AugmentedSample, Augmentation
+
+__all__ = ["TimeShifting"]
+
+
+def _resample_linear(window: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Linearly interpolate ``window`` (time first) at fractional ``positions``."""
+    time = window.shape[0]
+    lower = np.floor(positions).astype(int)
+    upper = np.minimum(lower + 1, time - 1)
+    fraction = (positions - lower).reshape(-1, *([1] * (window.ndim - 1)))
+    return window[lower] * (1.0 - fraction) + window[upper] * fraction
+
+
+class TimeShifting(Augmentation):
+    """Temporal augmentation combining slicing, warping and flipping."""
+
+    name = "time_shifting"
+    _MODES = ("slice_warp", "warp", "flip")
+
+    def __init__(self, min_slice_ratio: float = 0.5, mode: str | None = None, rng=None):
+        super().__init__(rng=rng)
+        check_fraction("min_slice_ratio", min_slice_ratio)
+        if mode is not None and mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        self.min_slice_ratio = min_slice_ratio
+        self.mode = mode
+
+    # ------------------------------------------------------------------ #
+    def _slice_warp(self, observations: np.ndarray) -> np.ndarray:
+        batch, time, nodes, channels = observations.shape
+        slice_length = max(2, int(round(self.min_slice_ratio * time)))
+        slice_length = int(self._rng.integers(slice_length, time + 1))
+        start = int(self._rng.integers(0, time - slice_length + 1))
+        sliced = observations[:, start : start + slice_length]
+        positions = np.linspace(0, slice_length - 1, time)
+        warped = np.stack(
+            [_resample_linear(sample, positions) for sample in sliced], axis=0
+        )
+        return warped
+
+    def _warp(self, observations: np.ndarray) -> np.ndarray:
+        batch, time, _, _ = observations.shape
+        # Random monotonic distortion of the time axis.
+        knots = np.sort(self._rng.uniform(0, time - 1, size=max(time // 3, 2)))
+        anchors = np.concatenate([[0.0], knots, [time - 1.0]])
+        positions = np.interp(
+            np.linspace(0, anchors.size - 1, time), np.arange(anchors.size), anchors
+        )
+        return np.stack(
+            [_resample_linear(sample, positions) for sample in observations], axis=0
+        )
+
+    @staticmethod
+    def _flip(observations: np.ndarray) -> np.ndarray:
+        return observations[:, ::-1].copy()
+
+    # ------------------------------------------------------------------ #
+    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
+        mode = self.mode or self._MODES[int(self._rng.integers(0, len(self._MODES)))]
+        if mode == "slice_warp":
+            augmented = self._slice_warp(observations)
+        elif mode == "warp":
+            augmented = self._warp(observations)
+        else:
+            augmented = self._flip(observations)
+        return AugmentedSample(
+            observations=augmented,
+            adjacency=network.adjacency.copy(),
+            description=f"{self.name}:{mode}",
+        )

@@ -1,0 +1,72 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage::
+
+    python -m repro table2 --scale smoke --seed 0
+    python -m repro fig6 --scale bench --output results/fig6.json
+    python -m repro --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments import list_experiments, run_experiment
+from .utils.serialization import save_json
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the experiment CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'A Unified Replay-Based "
+            "Continuous Learning Framework for Spatio-Temporal Prediction on "
+            "Streaming Data' (ICDE 2024)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment identifier ({', '.join(list_experiments())})",
+    )
+    parser.add_argument("--scale", default="bench", help="scale preset: smoke | bench | paper")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--output", default=None, help="optional path for a JSON dump of the raw results"
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for name in list_experiments():
+            print(name)
+        return 0
+
+    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    print(result.get("formatted", ""))
+    if args.output:
+        # The formatted text is redundant in the JSON dump and continual-result
+        # objects are not JSON-serialisable; keep only plain data.
+        payload = {
+            key: value
+            for key, value in result.items()
+            if key not in ("formatted", "continual_results")
+        }
+        path = save_json(args.output, payload)
+        print(f"\nraw results written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""URCL core: configuration, the unified model, the continual trainer, the
+baseline training strategies, metrics and evaluation."""
+
+from .config import TrainingConfig, URCLConfig
+from .evaluation import collect_predictions, evaluate_classical, evaluate_model
+from .metrics import PredictionMetrics, compute_metrics, mae, mape, rmse
+from .regularization import EWCStrategy
+from .results import ContinualResult, SetResult
+from .strategies import (
+    ClassicalRefitStrategy,
+    FinetuneSTStrategy,
+    OneFitAllStrategy,
+    StreamingStrategy,
+    fit_on_dataset,
+)
+from .trainer import ContinualTrainer
+from .urcl import StepOutput, URCLModel, build_backbone
+
+__all__ = [
+    "TrainingConfig",
+    "URCLConfig",
+    "collect_predictions",
+    "evaluate_classical",
+    "evaluate_model",
+    "PredictionMetrics",
+    "compute_metrics",
+    "mae",
+    "mape",
+    "rmse",
+    "ContinualResult",
+    "SetResult",
+    "EWCStrategy",
+    "ClassicalRefitStrategy",
+    "FinetuneSTStrategy",
+    "OneFitAllStrategy",
+    "StreamingStrategy",
+    "fit_on_dataset",
+    "ContinualTrainer",
+    "StepOutput",
+    "URCLModel",
+    "build_backbone",
+]

@@ -1,0 +1,152 @@
+"""Model evaluation over windowed datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import STDataset
+from ..data.loader import DataLoader
+from ..data.scalers import IdentityScaler
+from ..models.base import STModel
+from ..models.baselines.classical import ClassicalForecaster
+from .metrics import PredictionMetrics, compute_metrics
+
+__all__ = [
+    "evaluate_model",
+    "evaluate_model_on_sets",
+    "evaluate_classical",
+    "evaluate_classical_on_sets",
+    "collect_predictions",
+]
+
+
+def _maybe_inverse(
+    values: np.ndarray, scaler: IdentityScaler | None, target_channel: int | None
+) -> np.ndarray:
+    if scaler is None or target_channel is None:
+        return values
+    return scaler.inverse_transform_channel(values, target_channel)
+
+
+def collect_predictions(
+    model: STModel,
+    dataset: STDataset,
+    batch_size: int = 64,
+    max_windows: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the model over ``dataset`` and return stacked (predictions, targets)."""
+    model.eval()
+    predictions = []
+    targets = []
+    seen = 0
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    for batch in loader:
+        outputs = model.predict(batch.inputs)
+        predictions.append(outputs)
+        targets.append(batch.targets)
+        seen += len(batch)
+        if max_windows is not None and seen >= max_windows:
+            break
+    model.train()
+    return np.concatenate(predictions, axis=0), np.concatenate(targets, axis=0)
+
+
+def evaluate_model(
+    model: STModel,
+    dataset: STDataset,
+    batch_size: int = 64,
+    scaler: IdentityScaler | None = None,
+    target_channel: int | None = None,
+    max_windows: int | None = None,
+) -> PredictionMetrics:
+    """Evaluate a neural predictor on ``dataset``.
+
+    When ``scaler`` and ``target_channel`` are given, predictions and targets
+    are mapped back to physical units (mph / vehicles per interval) before
+    computing MAE/RMSE, matching how the paper reports Table II–IV.
+    """
+    predictions, targets = collect_predictions(
+        model, dataset, batch_size=batch_size, max_windows=max_windows
+    )
+    predictions = _maybe_inverse(predictions, scaler, target_channel)
+    targets = _maybe_inverse(targets, scaler, target_channel)
+    return compute_metrics(predictions, targets)
+
+
+def evaluate_model_on_sets(
+    model: STModel,
+    datasets: list[STDataset],
+    batch_size: int = 64,
+    scaler: IdentityScaler | None = None,
+    target_channel: int | None = None,
+    max_windows_per_set: int | None = None,
+) -> PredictionMetrics:
+    """Evaluate on the union of several test splits (cumulative protocol).
+
+    Predictions over every dataset are pooled before computing MAE/RMSE, so
+    the result equals evaluating on the concatenation of the test windows of
+    all stream periods seen so far.
+    """
+    if not datasets:
+        raise ValueError("evaluate_model_on_sets requires at least one dataset")
+    pooled_predictions = []
+    pooled_targets = []
+    for dataset in datasets:
+        predictions, targets = collect_predictions(
+            model, dataset, batch_size=batch_size, max_windows=max_windows_per_set
+        )
+        pooled_predictions.append(predictions)
+        pooled_targets.append(targets)
+    predictions = np.concatenate(pooled_predictions, axis=0)
+    targets = np.concatenate(pooled_targets, axis=0)
+    predictions = _maybe_inverse(predictions, scaler, target_channel)
+    targets = _maybe_inverse(targets, scaler, target_channel)
+    return compute_metrics(predictions, targets)
+
+
+def evaluate_classical(
+    model: ClassicalForecaster,
+    dataset: STDataset,
+    target_channel: int = 0,
+    scaler: IdentityScaler | None = None,
+    scaler_channel: int | None = None,
+    max_windows: int | None = None,
+) -> PredictionMetrics:
+    """Evaluate a classical per-node forecaster (ARIMA, historical average)."""
+    inputs, targets = dataset.arrays()
+    if max_windows is not None:
+        inputs = inputs[:max_windows]
+        targets = targets[:max_windows]
+    predictions = model.predict(inputs[..., target_channel])  # (batch, H, nodes)
+    predictions = predictions[..., None]
+    predictions = _maybe_inverse(predictions, scaler, scaler_channel)
+    targets = _maybe_inverse(targets, scaler, scaler_channel)
+    return compute_metrics(predictions, targets)
+
+
+def evaluate_classical_on_sets(
+    model: ClassicalForecaster,
+    datasets: list[STDataset],
+    target_channel: int = 0,
+    scaler: IdentityScaler | None = None,
+    scaler_channel: int | None = None,
+    max_windows_per_set: int | None = None,
+) -> PredictionMetrics:
+    """Cumulative-protocol evaluation for classical per-node forecasters."""
+    if not datasets:
+        raise ValueError("evaluate_classical_on_sets requires at least one dataset")
+    pooled_predictions = []
+    pooled_targets = []
+    for dataset in datasets:
+        inputs, targets = dataset.arrays()
+        if max_windows_per_set is not None:
+            inputs = inputs[:max_windows_per_set]
+            targets = targets[:max_windows_per_set]
+        predictions = model.predict(inputs[..., target_channel])[..., None]
+        pooled_predictions.append(predictions)
+        pooled_targets.append(targets)
+    predictions = np.concatenate(pooled_predictions, axis=0)
+    targets = np.concatenate(pooled_targets, axis=0)
+    predictions = _maybe_inverse(predictions, scaler, scaler_channel)
+    targets = _maybe_inverse(targets, scaler, scaler_channel)
+    return compute_metrics(predictions, targets)

@@ -1,0 +1,74 @@
+"""Evaluation metrics (Sec. V-A.3, Eq. 30)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = ["mae", "rmse", "mape", "PredictionMetrics", "compute_metrics"]
+
+
+def _validate(prediction: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"prediction and target shapes differ: {prediction.shape} vs {target.shape}"
+        )
+    return prediction, target
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    prediction, target = _validate(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    prediction, target = _validate(prediction, target)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, eps: float = 1e-3) -> float:
+    """Mean absolute percentage error (entries with |target| < eps are ignored)."""
+    prediction, target = _validate(prediction, target)
+    mask = np.abs(target) > eps
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs((prediction[mask] - target[mask]) / target[mask])) * 100.0)
+
+
+@dataclass(frozen=True)
+class PredictionMetrics:
+    """Bundle of the metrics reported in the paper's tables."""
+
+    mae: float
+    rmse: float
+    mape: float
+    num_samples: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mae": self.mae,
+            "rmse": self.rmse,
+            "mape": self.mape,
+            "num_samples": self.num_samples,
+        }
+
+    def __str__(self) -> str:
+        return f"MAE={self.mae:.3f} RMSE={self.rmse:.3f} MAPE={self.mape:.2f}%"
+
+
+def compute_metrics(prediction: np.ndarray, target: np.ndarray) -> PredictionMetrics:
+    """Compute MAE/RMSE/MAPE in one pass."""
+    prediction, target = _validate(prediction, target)
+    return PredictionMetrics(
+        mae=mae(prediction, target),
+        rmse=rmse(prediction, target),
+        mape=mape(prediction, target),
+        num_samples=int(prediction.shape[0]) if prediction.ndim else 1,
+    )

@@ -1,0 +1,90 @@
+"""Result containers shared by the continual trainer and the strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import PredictionMetrics
+
+__all__ = ["SetResult", "ContinualResult"]
+
+
+@dataclass
+class SetResult:
+    """Outcome of processing one stream period (Bset or an incremental set)."""
+
+    name: str
+    metrics: PredictionMetrics
+    epochs: int = 0
+    train_seconds: float = 0.0
+    loss_history: list[float] = field(default_factory=list)
+    inference_seconds_per_window: float = 0.0
+
+    @property
+    def train_seconds_per_epoch(self) -> float:
+        return self.train_seconds / self.epochs if self.epochs else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "mae": self.metrics.mae,
+            "rmse": self.metrics.rmse,
+            "mape": self.metrics.mape,
+            "epochs": self.epochs,
+            "train_seconds": self.train_seconds,
+            "inference_seconds_per_window": self.inference_seconds_per_window,
+        }
+
+
+@dataclass
+class ContinualResult:
+    """Results of one method over the whole streaming scenario."""
+
+    method: str
+    dataset: str
+    sets: list[SetResult] = field(default_factory=list)
+
+    def add(self, result: SetResult) -> None:
+        self.sets.append(result)
+
+    def metrics_by_set(self) -> dict[str, PredictionMetrics]:
+        return {entry.name: entry.metrics for entry in self.sets}
+
+    def mae_by_set(self) -> dict[str, float]:
+        return {entry.name: entry.metrics.mae for entry in self.sets}
+
+    def rmse_by_set(self) -> dict[str, float]:
+        return {entry.name: entry.metrics.rmse for entry in self.sets}
+
+    def mean_mae(self) -> float:
+        return sum(entry.metrics.mae for entry in self.sets) / max(len(self.sets), 1)
+
+    def mean_rmse(self) -> float:
+        return sum(entry.metrics.rmse for entry in self.sets) / max(len(self.sets), 1)
+
+    def loss_curve(self) -> list[float]:
+        """Concatenated training-loss history across all sets (Fig. 8)."""
+        curve: list[float] = []
+        for entry in self.sets:
+            curve.extend(entry.loss_history)
+        return curve
+
+    def mean_train_seconds_per_epoch(self, incremental_only: bool = False) -> float:
+        entries = self.sets[1:] if incremental_only else self.sets
+        entries = [entry for entry in entries if entry.epochs > 0]
+        if not entries:
+            return 0.0
+        return sum(entry.train_seconds_per_epoch for entry in entries) / len(entries)
+
+    def mean_inference_seconds(self, incremental_only: bool = False) -> float:
+        entries = self.sets[1:] if incremental_only else self.sets
+        if not entries:
+            return 0.0
+        return sum(entry.inference_seconds_per_window for entry in entries) / len(entries)
+
+    def as_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "sets": [entry.as_dict() for entry in self.sets],
+        }

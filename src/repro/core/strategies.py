@@ -1,0 +1,228 @@
+"""Training strategies for streaming data (Sec. V-B.1, Fig. 5).
+
+Besides the replay-based URCL trainer, the paper compares two simpler ways
+of dealing with a stream:
+
+* **OneFitAll** — train once on the base set and keep predicting;
+* **FinetuneST** — re-train (fine-tune) the same model on every incremental
+  set, starting from the previously learned weights.
+
+The Table III protocol ("repeatably train each original baseline on each
+base and incremental set") is the FinetuneST strategy applied to the
+baseline models, so :class:`FinetuneSTStrategy` covers both uses.  Classical
+models (ARIMA) are re-fitted per set by :class:`ClassicalRefitStrategy`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data.loader import DataLoader
+from ..data.streaming import StreamingScenario, StreamSet
+from ..models.base import STModel
+from ..models.baselines.classical import ClassicalForecaster
+from ..nn.losses import mae_loss
+from ..nn.module import Module
+from ..nn.optim import Adam, Optimizer, clip_grad_norm
+from ..tensor import Tensor
+from ..utils.logging import get_logger
+from .config import TrainingConfig
+from .evaluation import evaluate_classical_on_sets, evaluate_model_on_sets
+from .results import ContinualResult, SetResult
+
+__all__ = [
+    "fit_on_dataset",
+    "StreamingStrategy",
+    "OneFitAllStrategy",
+    "FinetuneSTStrategy",
+    "ClassicalRefitStrategy",
+]
+
+_LOGGER = get_logger("strategies")
+
+
+def fit_on_dataset(
+    model: Module,
+    dataset,
+    epochs: int,
+    batch_size: int = 16,
+    learning_rate: float = 1e-3,
+    optimizer: Optimizer | None = None,
+    grad_clip: float = 5.0,
+    max_batches_per_epoch: int | None = None,
+    shuffle: bool = True,
+    rng=None,
+) -> tuple[Optimizer, list[float], float]:
+    """Standard supervised training of a predictor on a windowed dataset.
+
+    Returns the optimizer (so callers can keep fine-tuning), the per-batch
+    loss history and the elapsed wall-clock seconds.
+    """
+    if optimizer is None:
+        optimizer = Adam(model.parameters(), lr=learning_rate)
+    losses: list[float] = []
+    start = time.perf_counter()
+    for _ in range(max(epochs, 0)):
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=shuffle, rng=rng)
+        for batch_index, batch in enumerate(loader):
+            if max_batches_per_epoch is not None and batch_index >= max_batches_per_epoch:
+                break
+            predictions = model(Tensor(batch.inputs))
+            loss = mae_loss(predictions, Tensor(batch.targets))
+            model.zero_grad()
+            loss.backward()
+            if grad_clip > 0:
+                clip_grad_norm(model.parameters(), grad_clip)
+            optimizer.step()
+            losses.append(float(loss.item()))
+    elapsed = time.perf_counter() - start
+    return optimizer, losses, elapsed
+
+
+class StreamingStrategy:
+    """Base class: run a model through a streaming scenario."""
+
+    name = "strategy"
+
+    def __init__(self, training: TrainingConfig | None = None):
+        self.training = training or TrainingConfig()
+
+    # ------------------------------------------------------------------ #
+    def _test_sets(self, scenario: StreamingScenario, set_index: int) -> list:
+        """Test splits used to score the ``set_index``-th period (see
+        :class:`TrainingConfig.eval_protocol`)."""
+        if self.training.eval_protocol == "cumulative":
+            return [s.test for s in scenario.sets[: set_index + 1]]
+        return [scenario.sets[set_index].test]
+
+    def _evaluate(
+        self, model: STModel, scenario: StreamingScenario, set_index: int
+    ) -> tuple:
+        target_channel = scenario.spec.target_channel if scenario.spec else None
+        test_sets = self._test_sets(scenario, set_index)
+        start = time.perf_counter()
+        metrics = evaluate_model_on_sets(
+            model,
+            test_sets,
+            batch_size=self.training.eval_batch_size,
+            scaler=scenario.scaler,
+            target_channel=target_channel,
+            max_windows_per_set=self.training.eval_max_windows,
+        )
+        elapsed = time.perf_counter() - start
+        windows = sum(
+            min(len(dataset), self.training.eval_max_windows or len(dataset))
+            for dataset in test_sets
+        )
+        return metrics, elapsed / max(windows, 1)
+
+    def run(self, scenario: StreamingScenario, model: STModel) -> ContinualResult:
+        raise NotImplementedError
+
+
+class OneFitAllStrategy(StreamingStrategy):
+    """Train on the base set only; predict every later period unchanged."""
+
+    name = "OneFitAll"
+
+    def run(self, scenario: StreamingScenario, model: STModel) -> ContinualResult:
+        dataset_name = scenario.spec.name if scenario.spec else "custom"
+        result = ContinualResult(method=self.name, dataset=dataset_name)
+        base = scenario.base_set
+        _, losses, seconds = fit_on_dataset(
+            model,
+            base.train,
+            epochs=self.training.epochs_base,
+            batch_size=self.training.batch_size,
+            learning_rate=self.training.learning_rate,
+            grad_clip=self.training.grad_clip,
+            max_batches_per_epoch=self.training.max_batches_per_epoch,
+        )
+        for set_index, stream_set in enumerate(scenario.sets):
+            metrics, inference = self._evaluate(model, scenario, set_index)
+            result.add(
+                SetResult(
+                    name=stream_set.name,
+                    metrics=metrics,
+                    epochs=self.training.epochs_base if set_index == 0 else 0,
+                    train_seconds=seconds if set_index == 0 else 0.0,
+                    loss_history=losses if set_index == 0 else [],
+                    inference_seconds_per_window=inference,
+                )
+            )
+        return result
+
+
+class FinetuneSTStrategy(StreamingStrategy):
+    """Re-train the same model on every incremental set (no replay)."""
+
+    name = "FinetuneST"
+
+    def run(self, scenario: StreamingScenario, model: STModel) -> ContinualResult:
+        dataset_name = scenario.spec.name if scenario.spec else "custom"
+        result = ContinualResult(method=self.name, dataset=dataset_name)
+        optimizer: Optimizer | None = None
+        for set_index, stream_set in enumerate(scenario.sets):
+            epochs = self.training.epochs_for(set_index)
+            optimizer, losses, seconds = fit_on_dataset(
+                model,
+                stream_set.train,
+                epochs=epochs,
+                batch_size=self.training.batch_size,
+                learning_rate=self.training.learning_rate,
+                optimizer=optimizer,
+                grad_clip=self.training.grad_clip,
+                max_batches_per_epoch=self.training.max_batches_per_epoch,
+            )
+            metrics, inference = self._evaluate(model, scenario, set_index)
+            _LOGGER.info("%s | %s | %s", self.name, dataset_name, stream_set.name)
+            result.add(
+                SetResult(
+                    name=stream_set.name,
+                    metrics=metrics,
+                    epochs=epochs,
+                    train_seconds=seconds,
+                    loss_history=losses,
+                    inference_seconds_per_window=inference,
+                )
+            )
+        return result
+
+
+class ClassicalRefitStrategy(StreamingStrategy):
+    """Re-fit a closed-form forecaster (e.g. ARIMA) on every stream period."""
+
+    name = "ClassicalRefit"
+
+    def run(self, scenario: StreamingScenario, model: ClassicalForecaster) -> ContinualResult:
+        dataset_name = scenario.spec.name if scenario.spec else "custom"
+        target_channel = scenario.spec.target_channel if scenario.spec else 0
+        result = ContinualResult(method=self.name, dataset=dataset_name)
+        for set_index, stream_set in enumerate(scenario.sets):
+            start = time.perf_counter()
+            model.fit(stream_set.train.series[..., target_channel])
+            seconds = time.perf_counter() - start
+            eval_start = time.perf_counter()
+            test_sets = self._test_sets(scenario, set_index)
+            metrics = evaluate_classical_on_sets(
+                model,
+                test_sets,
+                target_channel=target_channel,
+                scaler=scenario.scaler,
+                scaler_channel=target_channel,
+                max_windows_per_set=self.training.eval_max_windows,
+            )
+            windows = sum(len(dataset) for dataset in test_sets)
+            inference = (time.perf_counter() - eval_start) / max(windows, 1)
+            result.add(
+                SetResult(
+                    name=stream_set.name,
+                    metrics=metrics,
+                    epochs=1,
+                    train_seconds=seconds,
+                    inference_seconds_per_window=inference,
+                )
+            )
+        return result

@@ -1,0 +1,131 @@
+"""Continual training loop for URCL (Algorithm 1)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data.loader import DataLoader
+from ..data.streaming import StreamingScenario, StreamSet
+from ..nn.optim import Adam, clip_grad_norm
+from ..utils.logging import get_logger
+from ..utils.random import get_rng
+from .config import TrainingConfig
+from .evaluation import evaluate_model_on_sets
+from .results import ContinualResult, SetResult
+from .urcl import URCLModel
+
+__all__ = ["ContinualTrainer"]
+
+_LOGGER = get_logger("trainer")
+
+
+class ContinualTrainer:
+    """Drive a :class:`URCLModel` through a streaming scenario.
+
+    The trainer keeps one optimizer alive across all stream periods (the
+    model is *continually* updated, never re-initialised), selects batches
+    sequentially as prescribed by Algorithm 1 and records the loss history,
+    training time and inference latency needed to reproduce Figs. 7 and 8.
+    """
+
+    def __init__(self, model: URCLModel, training: TrainingConfig | None = None, rng=None):
+        self.model = model
+        self.training = training or TrainingConfig()
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=self.training.learning_rate,
+            weight_decay=self.training.weight_decay,
+        )
+        self._rng = get_rng(rng if rng is not None else self.training.seed)
+
+    # ------------------------------------------------------------------ #
+    def _train_one_epoch(self, stream_set: StreamSet) -> list[float]:
+        losses: list[float] = []
+        # Algorithm 1 selects batches sequentially from the stream; shuffling
+        # within a period is allowed (and is essential when
+        # ``max_batches_per_epoch`` caps the per-epoch work at reduced scale,
+        # otherwise only the earliest windows of the period would be seen).
+        loader = DataLoader(
+            stream_set.train,
+            batch_size=self.training.batch_size,
+            shuffle=self.training.shuffle_batches,
+            rng=self._rng,
+        )
+        for batch_index, batch in enumerate(loader):
+            if (
+                self.training.max_batches_per_epoch is not None
+                and batch_index >= self.training.max_batches_per_epoch
+            ):
+                break
+            step = self.model.training_step(batch.inputs, batch.targets, set_name=stream_set.name)
+            self.model.zero_grad()
+            step.total_loss.backward()
+            if self.training.grad_clip > 0:
+                clip_grad_norm(self.model.parameters(), self.training.grad_clip)
+            self.optimizer.step()
+            losses.append(float(step.total_loss.item()))
+        return losses
+
+    def train_on_set(self, stream_set: StreamSet, set_index: int) -> tuple[list[float], float, int]:
+        """Train on one stream period; returns (loss history, seconds, epochs)."""
+        epochs = self.training.epochs_for(set_index)
+        history: list[float] = []
+        start = time.perf_counter()
+        for _ in range(epochs):
+            history.extend(self._train_one_epoch(stream_set))
+        elapsed = time.perf_counter() - start
+        return history, elapsed, epochs
+
+    def evaluate_after_set(self, scenario: StreamingScenario, set_index: int) -> tuple:
+        """Evaluate the model after training on the ``set_index``-th period.
+
+        Under the default ``cumulative`` protocol the test splits of every
+        period seen so far are pooled (knowledge retention); the ``current``
+        protocol uses only the latest period's test split.  Returns
+        ``(metrics, seconds_per_window)``.
+        """
+        target_channel = scenario.spec.target_channel if scenario.spec else None
+        if self.training.eval_protocol == "cumulative":
+            test_sets = [s.test for s in scenario.sets[: set_index + 1]]
+        else:
+            test_sets = [scenario.sets[set_index].test]
+        start = time.perf_counter()
+        metrics = evaluate_model_on_sets(
+            self.model.backbone,
+            test_sets,
+            batch_size=self.training.eval_batch_size,
+            scaler=scenario.scaler,
+            target_channel=target_channel,
+            max_windows_per_set=self.training.eval_max_windows,
+        )
+        elapsed = time.perf_counter() - start
+        windows = sum(
+            min(len(dataset), self.training.eval_max_windows or len(dataset))
+            for dataset in test_sets
+        )
+        return metrics, elapsed / max(windows, 1)
+
+    # ------------------------------------------------------------------ #
+    def run(self, scenario: StreamingScenario, method_name: str = "URCL") -> ContinualResult:
+        """Process every stream period in order (Fig. 5 protocol)."""
+        dataset_name = scenario.spec.name if scenario.spec else "custom"
+        result = ContinualResult(method=method_name, dataset=dataset_name)
+        for set_index, stream_set in enumerate(scenario.sets):
+            history, seconds, epochs = self.train_on_set(stream_set, set_index)
+            metrics, inference = self.evaluate_after_set(scenario, set_index)
+            _LOGGER.info(
+                "%s | %s | %s | train %.1fs", method_name, dataset_name, stream_set.name, seconds
+            )
+            result.add(
+                SetResult(
+                    name=stream_set.name,
+                    metrics=metrics,
+                    epochs=epochs,
+                    train_seconds=seconds,
+                    loss_history=history,
+                    inference_seconds_per_window=inference,
+                )
+            )
+        return result

@@ -1,0 +1,266 @@
+"""The URCL model: data integration + STCRL + STPrediction (Sec. IV, Fig. 1).
+
+:class:`URCLModel` wires together every component of the framework around a
+pluggable autoencoder backbone:
+
+* a replay buffer with RMIR sampling (data integration, Sec. IV-B.1),
+* STMixup fusion of current and replayed observations (Sec. IV-B.2),
+* the five spatio-temporal augmentations + STSimSiam branch with the
+  GraphCL loss (STCRL, Sec. IV-C),
+* the shared STEncoder / STDecoder prediction path (STPrediction, Sec. IV-D),
+* the combined objective ``L_task + L_ssl`` (Eq. 28–29).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..augmentation.base import AugmentedSample
+from ..augmentation.pipeline import AugmentationPipeline
+from ..exceptions import ConfigurationError
+from ..graph.sensor_network import SensorNetwork
+from ..nn.losses import mae_loss
+from ..nn.module import Module
+from ..replay.buffer import ReplayBuffer
+from ..replay.mixup import STMixup
+from ..replay.sampling import RandomSampler, RMIRSampler
+from ..models.base import AutoencoderBackbone
+from ..models.dcrnn import DCRNNBackbone
+from ..models.geoman import GeoMANBackbone
+from ..models.graphwavenet import GraphWaveNetBackbone
+from ..models.stsimsiam import STSimSiam
+from ..tensor import Tensor
+from ..utils.random import get_rng, spawn_rng
+from .config import URCLConfig
+
+__all__ = ["StepOutput", "URCLModel", "build_backbone"]
+
+
+def build_backbone(
+    name: str,
+    network: SensorNetwork,
+    in_channels: int,
+    input_steps: int,
+    output_steps: int,
+    out_channels: int,
+    config: URCLConfig,
+    rng=None,
+) -> AutoencoderBackbone:
+    """Instantiate one of the supported autoencoder backbones by name."""
+    rng = get_rng(rng)
+    if name == "graphwavenet":
+        return GraphWaveNetBackbone(
+            network,
+            in_channels=in_channels,
+            input_steps=input_steps,
+            output_steps=output_steps,
+            out_channels=out_channels,
+            encoder_config=config.encoder,
+            decoder_hidden=config.decoder_hidden,
+            rng=rng,
+        )
+    if name == "dcrnn":
+        return DCRNNBackbone(
+            network,
+            in_channels=in_channels,
+            input_steps=input_steps,
+            output_steps=output_steps,
+            out_channels=out_channels,
+            hidden_dim=config.backbone_hidden,
+            latent_dim=config.backbone_latent,
+            decoder_hidden=config.decoder_hidden,
+            rng=rng,
+        )
+    if name == "geoman":
+        return GeoMANBackbone(
+            network,
+            in_channels=in_channels,
+            input_steps=input_steps,
+            output_steps=output_steps,
+            out_channels=out_channels,
+            hidden_dim=config.backbone_hidden,
+            latent_dim=config.backbone_latent,
+            decoder_hidden=config.decoder_hidden,
+            rng=rng,
+        )
+    raise ConfigurationError(f"unknown backbone {name!r}")
+
+
+@dataclass
+class StepOutput:
+    """Losses produced by one URCL training step."""
+
+    total_loss: Tensor
+    task_loss: float
+    ssl_loss: float
+    mixup_lambda: float
+    replay_samples: int
+
+
+class URCLModel(Module):
+    """Unified replay-based continual learner for spatio-temporal prediction.
+
+    Parameters
+    ----------
+    network:
+        Sensor network shared by every stream period.
+    in_channels, input_steps, output_steps, out_channels:
+        Observation and prediction shapes (Table I).
+    config:
+        Framework hyper-parameters and ablation switches.
+    rng:
+        Seed or generator controlling every stochastic component.
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        in_channels: int,
+        input_steps: int = 12,
+        output_steps: int = 1,
+        out_channels: int = 1,
+        config: URCLConfig | None = None,
+        rng=None,
+    ):
+        super().__init__()
+        self.config = config or URCLConfig()
+        self.network = network
+        self.in_channels = in_channels
+        self.input_steps = input_steps
+        self.output_steps = output_steps
+        self.out_channels = out_channels
+        rng = get_rng(rng)
+
+        self.backbone = build_backbone(
+            self.config.backbone,
+            network,
+            in_channels=in_channels,
+            input_steps=input_steps,
+            output_steps=output_steps,
+            out_channels=out_channels,
+            config=self.config,
+            rng=rng,
+        )
+        self.simsiam = STSimSiam(
+            self.backbone.encoder,
+            latent_dim=self.backbone.latent_dim,
+            projection_hidden=self.config.projection_hidden,
+            temperature=self.config.temperature,
+            rng=rng,
+        )
+        self.buffer = ReplayBuffer(self.config.buffer_capacity, rng=spawn_rng(rng))
+        self.mixup = STMixup(alpha=self.config.mixup_alpha, rng=spawn_rng(rng))
+        if self.config.use_rmir:
+            self.sampler = RMIRSampler(
+                virtual_lr=self.config.rmir_virtual_lr,
+                candidate_pool=self.config.rmir_candidate_pool,
+                rng=spawn_rng(rng),
+            )
+        else:
+            self.sampler = RandomSampler(rng=spawn_rng(rng))
+        self.augmentations = AugmentationPipeline(rng=spawn_rng(rng))
+
+    # ------------------------------------------------------------------ #
+    # Prediction path
+    # ------------------------------------------------------------------ #
+    def forward(self, x: Tensor) -> Tensor:
+        """Predict future observations from an input window."""
+        return self.backbone(x)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Numpy-in / numpy-out inference."""
+        return self.backbone.predict(inputs)
+
+    # ------------------------------------------------------------------ #
+    # Data integration (Sec. IV-B)
+    # ------------------------------------------------------------------ #
+    def integrate(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """Fuse the current batch with replayed observations.
+
+        Returns the integrated ``(inputs, targets)``, the mixup coefficient
+        actually used and the number of replayed windows.
+        """
+        if not self.config.use_replay or self.buffer.is_empty:
+            return np.asarray(inputs, float), np.asarray(targets, float), 1.0, 0
+        replay_inputs, replay_targets = self.sampler.sample(
+            self.buffer,
+            inputs,
+            targets,
+            sample_size=self.config.replay_sample_size,
+            model=self.backbone,
+            loss_fn=mae_loss,
+        )
+        if self.config.use_mixup:
+            result = self.mixup(inputs, targets, replay_inputs, replay_targets)
+            return result.inputs, result.targets, result.lam, replay_inputs.shape[0]
+        # w/o STMixup ablation: simply concatenate current and replayed windows.
+        merged_inputs = np.concatenate([inputs, replay_inputs], axis=0)
+        merged_targets = np.concatenate([targets, replay_targets], axis=0)
+        return merged_inputs, merged_targets, 1.0, replay_inputs.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # STCRL (Sec. IV-C)
+    # ------------------------------------------------------------------ #
+    def contrastive_loss(self, mixed_inputs: np.ndarray) -> Tensor:
+        """GraphCL loss over two augmented views of the integrated batch."""
+        if self.config.use_augmentation:
+            first, second = self.augmentations(mixed_inputs, self.network)
+        else:
+            # w/o STA ablation: both branches see the raw integrated sample.
+            first = AugmentedSample(
+                observations=mixed_inputs.copy(),
+                adjacency=self.network.adjacency.copy(),
+                description="identity",
+            )
+            second = AugmentedSample(
+                observations=mixed_inputs.copy(),
+                adjacency=self.network.adjacency.copy(),
+                description="identity",
+            )
+        return self.simsiam.loss(first, second)
+
+    # ------------------------------------------------------------------ #
+    # Full training step (Alg. 1, lines 5-11)
+    # ------------------------------------------------------------------ #
+    def training_step(
+        self, inputs: np.ndarray, targets: np.ndarray, set_name: str = ""
+    ) -> StepOutput:
+        """Run one step of Algorithm 1 and return the combined loss.
+
+        The caller is responsible for ``zero_grad`` / ``backward`` /
+        optimizer stepping so that the step integrates with any optimizer.
+        """
+        inputs = np.asarray(inputs, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        mixed_inputs, mixed_targets, lam, replayed = self.integrate(inputs, targets)
+
+        predictions = self.backbone(Tensor(mixed_inputs))
+        task_loss = mae_loss(predictions, Tensor(mixed_targets))
+        if self.config.joint_current_loss and replayed > 0 and self.config.use_mixup:
+            current_predictions = self.backbone(Tensor(inputs))
+            current_loss = mae_loss(current_predictions, Tensor(targets))
+            task_loss = (task_loss + current_loss) * 0.5
+
+        if self.config.use_graphcl and self.config.ssl_weight > 0:
+            ssl_loss = self.contrastive_loss(mixed_inputs)
+            total = task_loss + ssl_loss * self.config.ssl_weight
+            ssl_value = float(ssl_loss.item())
+        else:
+            total = task_loss
+            ssl_value = 0.0
+
+        # Store the *original* (pre-mixup) observations for future replay.
+        if self.config.use_replay:
+            self.buffer.add_batch(inputs, targets, set_name=set_name)
+
+        return StepOutput(
+            total_loss=total,
+            task_loss=float(task_loss.item()),
+            ssl_loss=ssl_value,
+            mixup_lambda=lam,
+            replay_samples=replayed,
+        )

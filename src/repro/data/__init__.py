@@ -1,0 +1,41 @@
+"""Data substrate: observations, windowed datasets, synthetic benchmarks,
+streaming protocol and batching."""
+
+from .dataset import STDataset, STWindow
+from .datasets import (
+    DATASET_SPECS,
+    DatasetSpec,
+    TrafficDataset,
+    list_datasets,
+    load_dataset,
+)
+from .loader import Batch, DataLoader
+from .scalers import IdentityScaler, MinMaxScaler, StandardScaler
+from .streaming import (
+    StreamingScenario,
+    StreamSet,
+    build_streaming_scenario,
+    incremental_set_names,
+)
+from .synthetic import SyntheticTrafficGenerator, TrafficProfile
+
+__all__ = [
+    "STDataset",
+    "STWindow",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "TrafficDataset",
+    "list_datasets",
+    "load_dataset",
+    "Batch",
+    "DataLoader",
+    "IdentityScaler",
+    "MinMaxScaler",
+    "StandardScaler",
+    "StreamingScenario",
+    "StreamSet",
+    "build_streaming_scenario",
+    "incremental_set_names",
+    "SyntheticTrafficGenerator",
+    "TrafficProfile",
+]

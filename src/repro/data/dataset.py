@@ -1,0 +1,163 @@
+"""Windowed spatio-temporal datasets.
+
+A raw streaming spatio-temporal sequence is an array of shape
+``(time, nodes, channels)`` (Definitions 2–3).  :class:`STDataset` turns it
+into supervised windows: ``M`` historical observations as input and the next
+``H`` observations of the target channel as output (the SSTP problem,
+Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["STWindow", "STDataset"]
+
+
+@dataclass(frozen=True)
+class STWindow:
+    """One supervised sample: ``M`` input steps and ``H`` target steps."""
+
+    inputs: np.ndarray  # (M, nodes, channels)
+    targets: np.ndarray  # (H, nodes, target_channels)
+    start_index: int  # index of the first input step in the source series
+
+
+class STDataset:
+    """Sliding-window view over a ``(time, nodes, channels)`` series.
+
+    Parameters
+    ----------
+    series:
+        Raw observations, shape ``(time, nodes, channels)``.
+    input_steps:
+        Number of historical steps ``M`` fed to the model (12 in Table I).
+    output_steps:
+        Number of future steps ``H`` to predict (1 in Table I).
+    target_channels:
+        Channel indices predicted; defaults to channel 0 (speed for the
+        speed datasets, flow for the flow datasets).
+    stride:
+        Step between consecutive windows.
+    """
+
+    def __init__(
+        self,
+        series: np.ndarray,
+        input_steps: int = 12,
+        output_steps: int = 1,
+        target_channels: tuple[int, ...] = (0,),
+        stride: int = 1,
+    ):
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 3:
+            raise DataError(f"series must be (time, nodes, channels), got {series.shape}")
+        if input_steps < 1 or output_steps < 1:
+            raise DataError("input_steps and output_steps must be >= 1")
+        if stride < 1:
+            raise DataError("stride must be >= 1")
+        if series.shape[0] < input_steps + output_steps:
+            raise DataError(
+                f"series with {series.shape[0]} steps cannot host windows of "
+                f"{input_steps}+{output_steps} steps"
+            )
+        channels = series.shape[2]
+        for channel in target_channels:
+            if not 0 <= channel < channels:
+                raise DataError(f"target channel {channel} out of range [0, {channels})")
+        self.series = series
+        self.input_steps = input_steps
+        self.output_steps = output_steps
+        self.target_channels = tuple(target_channels)
+        self.stride = stride
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.series.shape[1]
+
+    @property
+    def num_channels(self) -> int:
+        return self.series.shape[2]
+
+    @property
+    def num_steps(self) -> int:
+        return self.series.shape[0]
+
+    def __len__(self) -> int:
+        usable = self.num_steps - self.input_steps - self.output_steps + 1
+        if usable <= 0:
+            return 0
+        return (usable + self.stride - 1) // self.stride
+
+    def __getitem__(self, index: int) -> STWindow:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"window index {index} out of range for {len(self)} windows")
+        start = index * self.stride
+        end = start + self.input_steps
+        inputs = self.series[start:end]
+        targets = self.series[end : end + self.output_steps][:, :, list(self.target_channels)]
+        return STWindow(inputs=inputs, targets=targets, start_index=start)
+
+    def windows(self) -> list[STWindow]:
+        """Materialise all windows (used by small evaluation sets)."""
+        return [self[i] for i in range(len(self))]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return all inputs/targets stacked into dense arrays.
+
+        Shapes: ``(num_windows, M, nodes, channels)`` and
+        ``(num_windows, H, nodes, target_channels)``.
+        """
+        if len(self) == 0:
+            raise DataError("dataset has no windows")
+        inputs = np.stack([window.inputs for window in self.windows()])
+        targets = np.stack([window.targets for window in self.windows()])
+        return inputs, targets
+
+    # ------------------------------------------------------------------ #
+    def slice_steps(self, start: int, stop: int) -> "STDataset":
+        """Return a new dataset over ``series[start:stop]`` (same windowing)."""
+        return STDataset(
+            self.series[start:stop],
+            input_steps=self.input_steps,
+            output_steps=self.output_steps,
+            target_channels=self.target_channels,
+            stride=self.stride,
+        )
+
+    def split(self, fractions: tuple[float, float, float] = (0.7, 0.1, 0.2)) -> tuple[
+        "STDataset", "STDataset", "STDataset"
+    ]:
+        """Chronological train/validation/test split of the underlying series."""
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise DataError(f"split fractions must sum to 1, got {fractions}")
+        total = self.num_steps
+        train_end = int(total * fractions[0])
+        val_end = train_end + int(total * fractions[1])
+        minimum = self.input_steps + self.output_steps
+        train_end = max(train_end, minimum)
+        val_end = max(val_end, train_end + minimum)
+        if total - val_end < minimum:
+            raise DataError("series too short for the requested split")
+        return (
+            self.slice_steps(0, train_end),
+            self.slice_steps(train_end, val_end),
+            self.slice_steps(val_end, total),
+        )
+
+    def with_series(self, series: np.ndarray) -> "STDataset":
+        """Return a dataset with the same windowing over a different series."""
+        return STDataset(
+            series,
+            input_steps=self.input_steps,
+            output_steps=self.output_steps,
+            target_channels=self.target_channels,
+            stride=self.stride,
+        )

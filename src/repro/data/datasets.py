@@ -1,0 +1,185 @@
+"""Dataset registry: synthetic analogues of the paper's four benchmarks.
+
+Table I of the paper lists METR-LA, PEMS-BAY, PEMS04 and PEMS08.  The
+registry reproduces their node counts, channel conventions, sampling
+intervals and input/output steps; the observations themselves are produced
+by :class:`~repro.data.synthetic.SyntheticTrafficGenerator` because the real
+downloads are not reachable offline (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..graph.generators import community_network, corridor_network, grid_network
+from ..graph.sensor_network import SensorNetwork
+from ..utils.random import get_rng
+from .dataset import STDataset
+from .synthetic import SyntheticTrafficGenerator, TrafficProfile
+
+__all__ = ["DatasetSpec", "TrafficDataset", "DATASET_SPECS", "list_datasets", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one benchmark dataset (a Table I row)."""
+
+    name: str
+    area: str
+    task: str  # "speed" or "flow"
+    num_nodes: int
+    channels: tuple[str, ...]
+    interval_minutes: int
+    time_span_days: int
+    input_steps: int = 12
+    output_steps: int = 1
+    topology: str = "corridor"  # corridor | grid | community
+
+    @property
+    def target_channel(self) -> int:
+        """Index of the predicted channel (speed for speed datasets, flow otherwise)."""
+        return self.channels.index(self.task)
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.channels)
+
+
+@dataclass
+class TrafficDataset:
+    """A loaded dataset: raw series, sensor network and its spec."""
+
+    spec: DatasetSpec
+    series: np.ndarray  # (time, nodes, channels)
+    network: SensorNetwork
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def to_windows(self, stride: int = 1) -> STDataset:
+        """Wrap the raw series into the supervised windowed view."""
+        return STDataset(
+            self.series,
+            input_steps=self.spec.input_steps,
+            output_steps=self.spec.output_steps,
+            target_channels=(self.spec.target_channel,),
+            stride=stride,
+        )
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "metr-la": DatasetSpec(
+        name="metr-la",
+        area="Los Angeles",
+        task="speed",
+        num_nodes=207,
+        channels=("speed", "flow"),
+        interval_minutes=15,
+        time_span_days=120,
+        topology="grid",
+    ),
+    "pems-bay": DatasetSpec(
+        name="pems-bay",
+        area="California (Bay Area)",
+        task="speed",
+        num_nodes=325,
+        channels=("speed", "flow"),
+        interval_minutes=15,
+        time_span_days=150,
+        topology="corridor",
+    ),
+    "pems04": DatasetSpec(
+        name="pems04",
+        area="San Francisco Bay",
+        task="flow",
+        num_nodes=307,
+        channels=("flow", "speed", "occupancy"),
+        interval_minutes=5,
+        time_span_days=59,
+        topology="corridor",
+    ),
+    "pems08": DatasetSpec(
+        name="pems08",
+        area="San Bernardino",
+        task="flow",
+        num_nodes=170,
+        channels=("flow", "speed", "occupancy"),
+        interval_minutes=5,
+        time_span_days=62,
+        topology="community",
+    ),
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of the registered benchmark datasets."""
+    return sorted(DATASET_SPECS)
+
+
+def _build_network(spec: DatasetSpec, rng) -> SensorNetwork:
+    if spec.topology == "grid":
+        cols = int(np.ceil(np.sqrt(spec.num_nodes)))
+        rows = int(np.ceil(spec.num_nodes / cols))
+        network = grid_network(rows, cols, rng=rng, name=spec.name)
+        if network.num_nodes > spec.num_nodes:
+            network = network.subgraph(np.arange(spec.num_nodes))
+        return network
+    if spec.topology == "community":
+        return community_network(spec.num_nodes, rng=rng, name=spec.name)
+    return corridor_network(spec.num_nodes, rng=rng, name=spec.name)
+
+
+def load_dataset(
+    name: str,
+    num_days: int | None = None,
+    num_nodes: int | None = None,
+    drift: bool = True,
+    profile_overrides: dict | None = None,
+    seed: int | None = 7,
+) -> TrafficDataset:
+    """Load (generate) a synthetic analogue of one benchmark dataset.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_datasets` (case-insensitive).
+    num_days:
+        Length of the generated stream; defaults to the paper's time span
+        but can be reduced drastically for tests and benchmarks.
+    num_nodes:
+        Optional override of the sensor count (scaled-down experiments).
+    drift:
+        Whether to apply concept drift along the stream (the phenomenon the
+        continual-learning framework targets).
+    profile_overrides:
+        Optional keyword overrides applied to the :class:`TrafficProfile`.
+    seed:
+        Seed controlling topology and traffic realisation.
+    """
+    key = name.lower()
+    if key not in DATASET_SPECS:
+        raise DataError(f"unknown dataset {name!r}; available: {list_datasets()}")
+    spec = DATASET_SPECS[key]
+    if num_nodes is not None:
+        if num_nodes < 2:
+            raise DataError("num_nodes override must be >= 2")
+        spec = replace(spec, num_nodes=num_nodes)
+    if num_days is not None:
+        if num_days < 1:
+            raise DataError("num_days must be >= 1")
+        spec = replace(spec, time_span_days=num_days)
+
+    rng = get_rng(seed)
+    network = _build_network(spec, rng)
+    profile_kwargs = {"interval_minutes": spec.interval_minutes}
+    if profile_overrides:
+        profile_kwargs.update(profile_overrides)
+    profile = TrafficProfile(**profile_kwargs)
+    generator = SyntheticTrafficGenerator(network, profile=profile, rng=rng)
+    num_steps = spec.time_span_days * profile.steps_per_day
+    series = generator.generate(num_steps, channels=spec.channels, drift=drift)
+    return TrafficDataset(spec=spec, series=series, network=network)

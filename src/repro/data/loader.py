@@ -1,0 +1,88 @@
+"""Mini-batch loader over windowed spatio-temporal datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..utils.random import get_rng
+from .dataset import STDataset
+
+__all__ = ["Batch", "DataLoader"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A batch of supervised windows.
+
+    ``inputs`` has shape ``(batch, M, nodes, channels)`` and ``targets`` has
+    shape ``(batch, H, nodes, target_channels)``.  ``indices`` are the window
+    indices in the source dataset (useful for replay bookkeeping).
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    indices: np.ndarray
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+
+class DataLoader:
+    """Iterate mini-batches over an :class:`STDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source windowed dataset.
+    batch_size:
+        Number of windows per batch.
+    shuffle:
+        Whether to shuffle window order each epoch.  The paper's Algorithm 1
+        selects batches *sequentially* from the stream, so the continual
+        trainer uses ``shuffle=False``; shuffling remains available for
+        static (offline) training of baselines.
+    drop_last:
+        Drop the final smaller batch when the dataset size is not a multiple
+        of ``batch_size``.
+    """
+
+    def __init__(
+        self,
+        dataset: STDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng=None,
+    ):
+        if batch_size < 1:
+            raise DataError("batch_size must be >= 1")
+        if len(dataset) == 0:
+            raise DataError("dataset has no windows to iterate")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = get_rng(rng)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Batch]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and indices.size < self.batch_size:
+                break
+            windows = [self.dataset[int(i)] for i in indices]
+            inputs = np.stack([w.inputs for w in windows])
+            targets = np.stack([w.targets for w in windows])
+            yield Batch(inputs=inputs, targets=targets, indices=indices)

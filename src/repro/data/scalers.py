@@ -1,0 +1,123 @@
+"""Feature scalers.
+
+The paper normalises streaming observations into ``[0, 1]`` before feature
+learning; the scaler is fitted on the base set only (nothing from the future
+leaks into the past) and reused for every incremental set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["MinMaxScaler", "StandardScaler", "IdentityScaler"]
+
+
+class IdentityScaler:
+    """No-op scaler (useful for ablations and tests)."""
+
+    def fit(self, data: np.ndarray) -> "IdentityScaler":
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        return np.asarray(data, dtype=float)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        return np.asarray(data, dtype=float)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        return np.asarray(data, dtype=float)
+
+
+class _ChannelInverseMixin:
+    """Adds per-channel inverse transforms (targets carry a single channel)."""
+
+    def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        """Inverse-transform values that belong to one original channel.
+
+        Used when predictions only cover the target channel while the scaler
+        was fitted on all channels.
+        """
+        raise NotImplementedError
+
+
+class MinMaxScaler(IdentityScaler, _ChannelInverseMixin):
+    """Per-channel min-max scaling into ``[0, 1]``.
+
+    Statistics are computed over all time steps and nodes separately for
+    every channel (last axis).
+    """
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = eps
+        self.minimum: np.ndarray | None = None
+        self.maximum: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        data = np.asarray(data, dtype=float)
+        if data.ndim < 1:
+            raise DataError("scaler requires at least a 1-d array")
+        axes = tuple(range(data.ndim - 1))
+        self.minimum = data.min(axis=axes)
+        self.maximum = data.max(axis=axes)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.minimum is None or self.maximum is None:
+            raise DataError("scaler must be fitted before use")
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        data = np.asarray(data, dtype=float)
+        span = np.maximum(self.maximum - self.minimum, self.eps)
+        return (data - self.minimum) / span
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        data = np.asarray(data, dtype=float)
+        span = np.maximum(self.maximum - self.minimum, self.eps)
+        return data * span + self.minimum
+
+    def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        self._check_fitted()
+        data = np.asarray(data, dtype=float)
+        span = max(float(self.maximum[channel] - self.minimum[channel]), self.eps)
+        return data * span + float(self.minimum[channel])
+
+
+class StandardScaler(IdentityScaler, _ChannelInverseMixin):
+    """Per-channel z-score scaling."""
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = eps
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "StandardScaler":
+        data = np.asarray(data, dtype=float)
+        if data.ndim < 1:
+            raise DataError("scaler requires at least a 1-d array")
+        axes = tuple(range(data.ndim - 1))
+        self.mean = data.mean(axis=axes)
+        self.std = np.maximum(data.std(axis=axes), self.eps)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.mean is None or self.std is None:
+            raise DataError("scaler must be fitted before use")
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(data, dtype=float) - self.mean) / self.std
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(data, dtype=float) * self.std + self.mean
+
+    def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(data, dtype=float) * float(self.std[channel]) + float(self.mean[channel])

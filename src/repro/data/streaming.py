@@ -1,0 +1,184 @@
+"""Streaming protocol: base set + incremental sets (Fig. 5, Sec. V-A.4).
+
+The paper's continual-learning setting splits every dataset chronologically
+into a base set ``Bset`` (30% of the stream) and four equally sized
+incremental sets ``I1..I4``.  Models are trained on each set in order; after
+training on a set they are evaluated on that set's held-out test windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..graph.sensor_network import SensorNetwork
+from .dataset import STDataset
+from .datasets import DatasetSpec, TrafficDataset
+from .scalers import IdentityScaler, MinMaxScaler
+
+__all__ = ["StreamSet", "StreamingScenario", "build_streaming_scenario", "incremental_set_names"]
+
+
+def incremental_set_names(num_incremental: int) -> list[str]:
+    """Canonical set names: ``Bset, I1, I2, ...``."""
+    return ["Bset"] + [f"I{i}" for i in range(1, num_incremental + 1)]
+
+
+@dataclass
+class StreamSet:
+    """One period of the stream with its chronological train/val/test split."""
+
+    name: str
+    train: STDataset
+    validation: STDataset
+    test: STDataset
+    start_step: int
+    end_step: int
+
+    @property
+    def num_steps(self) -> int:
+        return self.end_step - self.start_step
+
+
+@dataclass
+class StreamingScenario:
+    """A full continual-learning scenario over one dataset.
+
+    Attributes
+    ----------
+    sets:
+        Ordered stream periods (base set first).
+    network:
+        The sensor graph shared by every period (node set is fixed, as the
+        paper's setting requires).
+    scaler:
+        Scaler fitted on the base-set training data and applied everywhere.
+    spec:
+        The originating dataset spec (``None`` for ad-hoc scenarios).
+    """
+
+    sets: list[StreamSet]
+    network: SensorNetwork
+    scaler: IdentityScaler
+    spec: DatasetSpec | None = None
+    raw_series: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def base_set(self) -> StreamSet:
+        return self.sets[0]
+
+    @property
+    def incremental_sets(self) -> list[StreamSet]:
+        return self.sets[1:]
+
+    @property
+    def set_names(self) -> list[str]:
+        return [stream_set.name for stream_set in self.sets]
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def __iter__(self):
+        return iter(self.sets)
+
+
+def _split_period(
+    series: np.ndarray,
+    name: str,
+    start: int,
+    end: int,
+    input_steps: int,
+    output_steps: int,
+    target_channels: tuple[int, ...],
+    split_fractions: tuple[float, float, float],
+) -> StreamSet:
+    dataset = STDataset(
+        series[start:end],
+        input_steps=input_steps,
+        output_steps=output_steps,
+        target_channels=target_channels,
+    )
+    train, validation, test = dataset.split(split_fractions)
+    return StreamSet(
+        name=name,
+        train=train,
+        validation=validation,
+        test=test,
+        start_step=start,
+        end_step=end,
+    )
+
+
+def build_streaming_scenario(
+    dataset: TrafficDataset,
+    base_fraction: float = 0.3,
+    num_incremental: int = 4,
+    split_fractions: tuple[float, float, float] = (0.7, 0.1, 0.2),
+    scaler: IdentityScaler | None = None,
+) -> StreamingScenario:
+    """Build the paper's streaming protocol over ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        Loaded traffic dataset (see :func:`repro.data.load_dataset`).
+    base_fraction:
+        Fraction of the stream used as the base set (0.3 in the paper).
+    num_incremental:
+        Number of equally sized incremental sets (4 in the paper).
+    split_fractions:
+        Chronological train/validation/test fractions inside each set.
+    scaler:
+        Scaler to fit on the base training series; defaults to min-max
+        scaling into ``[0, 1]`` as in the paper.
+    """
+    if not 0.0 < base_fraction < 1.0:
+        raise DataError(f"base_fraction must be in (0, 1), got {base_fraction}")
+    if num_incremental < 1:
+        raise DataError("num_incremental must be >= 1")
+    spec = dataset.spec
+    series = np.asarray(dataset.series, dtype=float)
+    total_steps = series.shape[0]
+    window = spec.input_steps + spec.output_steps
+    minimum_per_set = window * 8
+    base_steps = int(total_steps * base_fraction)
+    incremental_steps = (total_steps - base_steps) // num_incremental
+    if base_steps < minimum_per_set or incremental_steps < minimum_per_set:
+        raise DataError(
+            "stream too short for the requested protocol: "
+            f"{total_steps} steps -> base {base_steps}, incremental {incremental_steps}"
+        )
+
+    scaler = scaler if scaler is not None else MinMaxScaler()
+    scaler.fit(series[: int(base_steps * split_fractions[0])])
+    scaled = scaler.transform(series)
+
+    boundaries = [0, base_steps]
+    for index in range(1, num_incremental):
+        boundaries.append(base_steps + index * incremental_steps)
+    boundaries.append(total_steps)
+
+    names = incremental_set_names(num_incremental)
+    sets = []
+    for name, start, end in zip(names, boundaries[:-1], boundaries[1:]):
+        sets.append(
+            _split_period(
+                scaled,
+                name=name,
+                start=start,
+                end=end,
+                input_steps=spec.input_steps,
+                output_steps=spec.output_steps,
+                target_channels=(spec.target_channel,),
+                split_fractions=split_fractions,
+            )
+        )
+    return StreamingScenario(
+        sets=sets,
+        network=dataset.network,
+        scaler=scaler,
+        spec=spec,
+        raw_series=series,
+    )

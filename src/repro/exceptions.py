@@ -1,0 +1,42 @@
+"""Exception hierarchy for the URCL reproduction library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "DataError",
+    "GraphError",
+    "BufferError_",
+    "TrainingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class ShapeError(ReproError):
+    """Raised when an array has an unexpected shape."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset or observation sequence is malformed."""
+
+
+class GraphError(ReproError):
+    """Raised when a sensor network is malformed or incompatible."""
+
+
+class BufferError_(ReproError):
+    """Raised on invalid replay-buffer operations (the trailing underscore
+    avoids shadowing the builtin :class:`BufferError`)."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training loop is asked to do something impossible."""

@@ -1,0 +1,45 @@
+"""Experiment runners reproducing every table and figure of the paper's
+evaluation section (plus the extra sensitivity studies from DESIGN.md)."""
+
+from .ablation import ABLATION_VARIANTS, run_fig6
+from .backbones import run_table4
+from .common import SCALES, ExperimentScale, get_scale, make_scenario, make_training, make_urcl
+from .convergence import run_fig8
+from .datasets_table import run_table1
+from .efficiency import run_fig7
+from .model_zoo import CLASSICAL_BASELINES, DEEP_BASELINES, make_classical_baseline, make_deep_baseline
+from .overall_accuracy import run_table3
+from .registry import EXPERIMENTS, list_experiments, run_experiment
+from .reporting import format_metric_grid, format_series, format_table
+from .sensitivity import run_buffer_capacity_sweep, run_mixup_alpha_sweep, run_sensitivity
+from .streaming_strategies import run_table2
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "run_fig6",
+    "run_table4",
+    "SCALES",
+    "ExperimentScale",
+    "get_scale",
+    "make_scenario",
+    "make_training",
+    "make_urcl",
+    "run_fig8",
+    "run_table1",
+    "run_fig7",
+    "CLASSICAL_BASELINES",
+    "DEEP_BASELINES",
+    "make_classical_baseline",
+    "make_deep_baseline",
+    "run_table3",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+    "format_metric_grid",
+    "format_series",
+    "format_table",
+    "run_buffer_capacity_sweep",
+    "run_mixup_alpha_sweep",
+    "run_sensitivity",
+    "run_table2",
+]

@@ -1,0 +1,76 @@
+"""Figure 6 — ablation study of URCL's components.
+
+The four variants of the paper are evaluated next to the full framework:
+``w/o_GCL`` (no GraphCL loss), ``w/o_STU`` (no STMixup — current and replayed
+windows are concatenated), ``w/o_RMIR`` (random replay sampling) and
+``w/o_STA`` (no spatio-temporal augmentation).
+"""
+
+from __future__ import annotations
+
+from ..core.config import URCLConfig
+from ..core.trainer import ContinualTrainer
+from .common import get_scale, make_scenario, make_training, make_urcl
+from .reporting import format_metric_grid
+
+__all__ = ["run_fig6", "ABLATION_VARIANTS"]
+
+DEFAULT_DATASETS = ("metr-la", "pems08")
+
+ABLATION_VARIANTS = {
+    "w/o_GCL": "graphcl",
+    "w/o_STU": "mixup",
+    "w/o_RMIR": "rmir",
+    "w/o_STA": "augmentation",
+}
+
+
+def run_fig6(
+    scale: str = "bench",
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    seed: int = 0,
+    base_config: URCLConfig | None = None,
+) -> dict:
+    """Reproduce Fig. 6 (MAE and RMSE of URCL and its four ablated variants)."""
+    resolved = get_scale(scale)
+    training = make_training(resolved, seed=seed)
+    base_config = base_config or URCLConfig(
+        buffer_capacity=resolved.buffer_capacity,
+        replay_sample_size=resolved.replay_sample_size,
+    )
+    results: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
+    formatted_parts = []
+    for dataset_name in datasets:
+        scenario = make_scenario(dataset_name, resolved, seed=seed + 7)
+        per_variant: dict[str, dict[str, dict[str, float]]] = {}
+        for label, component in ABLATION_VARIANTS.items():
+            config = base_config.without(component)
+            model = make_urcl(scenario, resolved, config=config, seed=seed)
+            result = ContinualTrainer(model, training).run(scenario, method_name=label)
+            per_variant[label] = _metrics_grid(result)
+        model = make_urcl(scenario, resolved, config=base_config, seed=seed)
+        result = ContinualTrainer(model, training).run(scenario, method_name="URCL")
+        per_variant["URCL"] = _metrics_grid(result)
+        results[dataset_name] = per_variant
+        set_names = scenario.set_names
+        formatted_parts.append(
+            format_metric_grid(per_variant, set_names, metric="mae",
+                               title=f"Fig. 6 ({dataset_name}) - MAE")
+        )
+        formatted_parts.append(
+            format_metric_grid(per_variant, set_names, metric="rmse",
+                               title=f"Fig. 6 ({dataset_name}) - RMSE")
+        )
+    return {
+        "experiment": "fig6",
+        "scale": resolved.name,
+        "results": results,
+        "formatted": "\n\n".join(formatted_parts),
+    }
+
+
+def _metrics_grid(result) -> dict[str, dict[str, float]]:
+    return {
+        entry.name: {"mae": entry.metrics.mae, "rmse": entry.metrics.rmse}
+        for entry in result.sets
+    }

@@ -1,0 +1,154 @@
+"""Shared experiment infrastructure: scale presets and scenario builders.
+
+The paper's experiments run full-size datasets for hundreds of epochs on a
+GPU.  On CPU/NumPy the same *protocols* are reproduced at configurable
+scale: ``smoke`` (seconds, used by unit tests), ``bench`` (tens of seconds,
+used by the pytest-benchmark harness) and ``paper`` (full node counts and
+epoch budgets — hours on CPU, provided for completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import TrainingConfig, URCLConfig
+from ..core.urcl import URCLModel
+from ..data.datasets import load_dataset
+from ..data.streaming import StreamingScenario, build_streaming_scenario
+from ..exceptions import ConfigurationError
+from ..models.stencoder import STEncoderConfig
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale", "make_scenario", "make_training", "make_urcl"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for runtime."""
+
+    name: str
+    num_nodes: int | None
+    num_days: int | None
+    epochs_base: int
+    epochs_incremental: int
+    batch_size: int
+    max_batches_per_epoch: int | None
+    eval_max_windows: int | None
+    replay_sample_size: int = 8
+    buffer_capacity: int = 256
+
+    def training_config(self, seed: int = 0) -> TrainingConfig:
+        return TrainingConfig(
+            epochs_base=self.epochs_base,
+            epochs_incremental=self.epochs_incremental,
+            batch_size=self.batch_size,
+            max_batches_per_epoch=self.max_batches_per_epoch,
+            eval_max_windows=self.eval_max_windows,
+            seed=seed,
+        )
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        num_nodes=12,
+        num_days=4,
+        epochs_base=1,
+        epochs_incremental=1,
+        batch_size=8,
+        max_batches_per_epoch=3,
+        eval_max_windows=32,
+        replay_sample_size=4,
+        buffer_capacity=64,
+    ),
+    "bench": ExperimentScale(
+        name="bench",
+        num_nodes=20,
+        num_days=6,
+        epochs_base=3,
+        epochs_incremental=2,
+        batch_size=16,
+        max_batches_per_epoch=10,
+        eval_max_windows=96,
+        replay_sample_size=8,
+        buffer_capacity=128,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        num_nodes=None,
+        num_days=None,
+        epochs_base=100,
+        epochs_incremental=100,
+        batch_size=64,
+        max_batches_per_epoch=None,
+        eval_max_windows=None,
+        replay_sample_size=8,
+        buffer_capacity=256,
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale preset by name (or pass through an explicit scale)."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale not in SCALES:
+        raise ConfigurationError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+def make_scenario(dataset_name: str, scale: str | ExperimentScale, seed: int = 7) -> StreamingScenario:
+    """Load a dataset analogue at the requested scale and split it into the
+    base + incremental streaming protocol.
+
+    ``scale.num_days`` is calibrated for 5-minute datasets; coarser sampling
+    intervals get proportionally more days so every dataset yields roughly
+    the same number of time steps (and therefore comparable split sizes).
+    """
+    scale = get_scale(scale)
+    num_days = scale.num_days
+    if num_days is not None:
+        from ..data.datasets import DATASET_SPECS
+
+        spec = DATASET_SPECS.get(dataset_name.lower())
+        if spec is not None and spec.interval_minutes > 5:
+            num_days = num_days * spec.interval_minutes // 5
+    dataset = load_dataset(
+        dataset_name,
+        num_days=num_days,
+        num_nodes=scale.num_nodes,
+        seed=seed,
+    )
+    return build_streaming_scenario(dataset)
+
+
+def make_training(scale: str | ExperimentScale, seed: int = 0) -> TrainingConfig:
+    """Training configuration matching a scale preset."""
+    return get_scale(scale).training_config(seed=seed)
+
+
+def make_urcl(
+    scenario: StreamingScenario,
+    scale: str | ExperimentScale,
+    config: URCLConfig | None = None,
+    seed: int = 0,
+) -> URCLModel:
+    """Build a URCL model sized for the scenario and scale preset."""
+    scale = get_scale(scale)
+    spec = scenario.spec
+    if spec is None:
+        raise ConfigurationError("make_urcl requires a scenario built from a registered dataset")
+    if config is None:
+        config = URCLConfig(
+            encoder=STEncoderConfig(),
+            buffer_capacity=scale.buffer_capacity,
+            replay_sample_size=scale.replay_sample_size,
+        )
+    return URCLModel(
+        scenario.network,
+        in_channels=spec.num_channels,
+        input_steps=spec.input_steps,
+        output_steps=spec.output_steps,
+        out_channels=1,
+        config=config,
+        rng=seed,
+    )

@@ -1,0 +1,86 @@
+"""Figure 7 — training and inference efficiency on PEMS04.
+
+Measures wall-clock training time per epoch and inference time per
+observation window for the deep baselines and URCL, on the base set and
+averaged over the incremental sets.
+"""
+
+from __future__ import annotations
+
+from ..core.config import URCLConfig
+from ..core.strategies import FinetuneSTStrategy
+from ..core.trainer import ContinualTrainer
+from .common import get_scale, make_scenario, make_training, make_urcl
+from .model_zoo import make_deep_baseline
+from .reporting import format_table
+
+__all__ = ["run_fig7"]
+
+DEFAULT_METHODS = ("DCRNN", "STGCN", "MTGNN", "AGCRN", "STGODE")
+
+
+def run_fig7(
+    scale: str = "bench",
+    dataset: str = "pems04",
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    seed: int = 0,
+    urcl_config: URCLConfig | None = None,
+) -> dict:
+    """Reproduce Fig. 7 (training time per epoch, inference time per window)."""
+    resolved = get_scale(scale)
+    training = make_training(resolved, seed=seed)
+    scenario = make_scenario(dataset, resolved, seed=seed + 7)
+
+    timings: dict[str, dict[str, float]] = {}
+    for method in methods:
+        model = make_deep_baseline(method, scenario, seed=seed)
+        result = FinetuneSTStrategy(training).run(scenario, model)
+        timings[method] = _timing_row(result)
+
+    urcl = make_urcl(scenario, resolved, config=urcl_config, seed=seed)
+    result = ContinualTrainer(urcl, training).run(scenario)
+    timings["URCL"] = _timing_row(result)
+
+    headers = [
+        "method",
+        "train s/epoch (Bset)",
+        "train s/epoch (Iset avg)",
+        "inference s/window (Bset)",
+        "inference s/window (Iset avg)",
+    ]
+    rows = [
+        [
+            method,
+            values["train_seconds_per_epoch_base"],
+            values["train_seconds_per_epoch_incremental"],
+            values["inference_seconds_base"],
+            values["inference_seconds_incremental"],
+        ]
+        for method, values in timings.items()
+    ]
+    formatted = format_table(headers, rows, title=f"Fig. 7 - efficiency on {dataset}")
+    return {
+        "experiment": "fig7",
+        "scale": resolved.name,
+        "dataset": dataset,
+        "results": timings,
+        "formatted": formatted,
+    }
+
+
+def _timing_row(result) -> dict[str, float]:
+    base = result.sets[0]
+    incremental = result.sets[1:]
+    incremental_train = [entry.train_seconds_per_epoch for entry in incremental if entry.epochs]
+    incremental_infer = [entry.inference_seconds_per_window for entry in incremental]
+    return {
+        "train_seconds_per_epoch_base": base.train_seconds_per_epoch,
+        "train_seconds_per_epoch_incremental": (
+            sum(incremental_train) / len(incremental_train) if incremental_train else 0.0
+        ),
+        "inference_seconds_base": base.inference_seconds_per_window,
+        "inference_seconds_incremental": (
+            sum(incremental_infer) / len(incremental_infer) if incremental_infer else 0.0
+        ),
+        "num_parameters": 0.0,
+    }

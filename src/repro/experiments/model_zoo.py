@@ -1,0 +1,63 @@
+"""Factories for the baseline models used by the experiment runners."""
+
+from __future__ import annotations
+
+from ..core.config import URCLConfig
+from ..data.streaming import StreamingScenario
+from ..exceptions import ConfigurationError
+from ..models.baselines import AGCRN, ARIMAForecaster, MTGNN, STGCN, STGODE
+from ..models.baselines.classical import ClassicalForecaster, HistoricalAverageForecaster
+from ..models.dcrnn import DCRNNBackbone
+from ..models.base import STModel
+from ..models.graphwavenet import GraphWaveNetBackbone
+
+__all__ = ["DEEP_BASELINES", "CLASSICAL_BASELINES", "make_deep_baseline", "make_classical_baseline"]
+
+DEEP_BASELINES = ("DCRNN", "STGCN", "MTGNN", "AGCRN", "STGODE", "GraphWaveNet")
+CLASSICAL_BASELINES = ("ARIMA", "HistoricalAverage")
+
+
+def _shapes(scenario: StreamingScenario) -> dict:
+    spec = scenario.spec
+    if spec is None:
+        raise ConfigurationError("baseline factories require a registered-dataset scenario")
+    return {
+        "in_channels": spec.num_channels,
+        "input_steps": spec.input_steps,
+        "output_steps": spec.output_steps,
+        "out_channels": 1,
+    }
+
+
+def make_deep_baseline(name: str, scenario: StreamingScenario, seed: int = 0) -> STModel:
+    """Instantiate a deep baseline for ``scenario`` (width-reduced defaults)."""
+    shapes = _shapes(scenario)
+    network = scenario.network
+    key = name.lower()
+    if key == "dcrnn":
+        return DCRNNBackbone(network, rng=seed, **shapes)
+    if key == "stgcn":
+        return STGCN(network, rng=seed, **shapes)
+    if key == "mtgnn":
+        return MTGNN(network, rng=seed, **shapes)
+    if key == "agcrn":
+        return AGCRN(network, rng=seed, **shapes)
+    if key == "stgode":
+        return STGODE(network, rng=seed, **shapes)
+    if key == "graphwavenet":
+        return GraphWaveNetBackbone(network, rng=seed, **shapes)
+    raise ConfigurationError(f"unknown deep baseline {name!r}; available: {DEEP_BASELINES}")
+
+
+def make_classical_baseline(name: str, scenario: StreamingScenario) -> ClassicalForecaster:
+    """Instantiate a classical baseline for ``scenario``."""
+    spec = scenario.spec
+    output_steps = spec.output_steps if spec else 1
+    key = name.lower()
+    if key == "arima":
+        return ARIMAForecaster(order_p=6, output_steps=output_steps)
+    if key in ("historicalaverage", "ha"):
+        return HistoricalAverageForecaster(output_steps=output_steps)
+    raise ConfigurationError(
+        f"unknown classical baseline {name!r}; available: {CLASSICAL_BASELINES}"
+    )

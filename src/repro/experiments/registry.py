@@ -1,0 +1,42 @@
+"""Registry mapping experiment identifiers to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+from .ablation import run_fig6
+from .backbones import run_table4
+from .convergence import run_fig8
+from .datasets_table import run_table1
+from .efficiency import run_fig7
+from .overall_accuracy import run_table3
+from .sensitivity import run_sensitivity
+from .streaming_strategies import run_table2
+
+__all__ = ["EXPERIMENTS", "list_experiments", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[..., dict]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "sensitivity": run_sensitivity,
+}
+
+
+def list_experiments() -> list[str]:
+    """Identifiers of all registered experiments."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, **kwargs) -> dict:
+    """Run an experiment by identifier (e.g. ``"table2"`` or ``"fig6"``)."""
+    if name not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {list_experiments()}"
+        )
+    return EXPERIMENTS[name](**kwargs)

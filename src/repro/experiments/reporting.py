@@ -1,0 +1,60 @@
+"""Plain-text reporting of experiment results (paper-style tables/series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_metric_grid", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_metric_grid(
+    results: Mapping[str, Mapping[str, Mapping[str, float]]],
+    set_names: Sequence[str],
+    metric: str = "mae",
+    title: str = "",
+) -> str:
+    """Render ``method -> set -> metric`` grids (the layout of Tables II-IV).
+
+    ``results`` maps method name to a per-set mapping with metric values.
+    """
+    headers = ["method", *set_names]
+    rows = []
+    for method, per_set in results.items():
+        row = [method]
+        for set_name in set_names:
+            value = per_set.get(set_name, {}).get(metric, float("nan"))
+            row.append(value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_series(series: Mapping[str, Sequence[float]], title: str = "", precision: int = 4) -> str:
+    """Render named numeric series (used for the figure reproductions)."""
+    lines = [title] if title else []
+    for name, values in series.items():
+        rendered = ", ".join(f"{value:.{precision}f}" for value in values)
+        lines.append(f"{name}: [{rendered}]")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Additional sensitivity studies called out in DESIGN.md.
+
+These go beyond the paper's figures: replay-buffer capacity, STMixup's Beta
+parameter and the replay sample size are swept on one dataset so that the
+design choices fixed by the paper (capacity 256, a single alpha) can be
+inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.config import URCLConfig
+from ..core.trainer import ContinualTrainer
+from .common import get_scale, make_scenario, make_training, make_urcl
+from .reporting import format_table
+
+__all__ = ["run_buffer_capacity_sweep", "run_mixup_alpha_sweep", "run_sensitivity"]
+
+
+def _mean_metrics(result) -> tuple[float, float]:
+    return result.mean_mae(), result.mean_rmse()
+
+
+def run_buffer_capacity_sweep(
+    scale: str = "bench",
+    dataset: str = "metr-la",
+    capacities: tuple[int, ...] = (16, 64, 256),
+    seed: int = 0,
+) -> dict:
+    """Sweep the replay-buffer capacity and report mean MAE/RMSE over the stream."""
+    resolved = get_scale(scale)
+    training = make_training(resolved, seed=seed)
+    scenario = make_scenario(dataset, resolved, seed=seed + 7)
+    rows = []
+    results = {}
+    for capacity in capacities:
+        config = URCLConfig(
+            buffer_capacity=capacity, replay_sample_size=resolved.replay_sample_size
+        )
+        model = make_urcl(scenario, resolved, config=config, seed=seed)
+        result = ContinualTrainer(model, training).run(scenario)
+        mean_mae, mean_rmse = _mean_metrics(result)
+        rows.append([capacity, mean_mae, mean_rmse])
+        results[capacity] = {"mae": mean_mae, "rmse": mean_rmse}
+    formatted = format_table(
+        ["buffer capacity", "mean MAE", "mean RMSE"], rows,
+        title=f"Buffer-capacity sensitivity on {dataset}",
+    )
+    return {"experiment": "buffer_capacity", "results": results, "formatted": formatted}
+
+
+def run_mixup_alpha_sweep(
+    scale: str = "bench",
+    dataset: str = "metr-la",
+    alphas: tuple[float, ...] = (0.2, 0.4, 1.0, 2.0),
+    seed: int = 0,
+) -> dict:
+    """Sweep STMixup's Beta(alpha, alpha) parameter."""
+    resolved = get_scale(scale)
+    training = make_training(resolved, seed=seed)
+    scenario = make_scenario(dataset, resolved, seed=seed + 7)
+    base = URCLConfig(
+        buffer_capacity=resolved.buffer_capacity,
+        replay_sample_size=resolved.replay_sample_size,
+    )
+    rows = []
+    results = {}
+    for alpha in alphas:
+        config = replace(base, mixup_alpha=alpha)
+        model = make_urcl(scenario, resolved, config=config, seed=seed)
+        result = ContinualTrainer(model, training).run(scenario)
+        mean_mae, mean_rmse = _mean_metrics(result)
+        rows.append([alpha, mean_mae, mean_rmse])
+        results[alpha] = {"mae": mean_mae, "rmse": mean_rmse}
+    formatted = format_table(
+        ["mixup alpha", "mean MAE", "mean RMSE"], rows,
+        title=f"STMixup alpha sensitivity on {dataset}",
+    )
+    return {"experiment": "mixup_alpha", "results": results, "formatted": formatted}
+
+
+def run_sensitivity(scale: str = "bench", dataset: str = "metr-la", seed: int = 0) -> dict:
+    """Run both sweeps and combine their reports."""
+    capacity = run_buffer_capacity_sweep(scale=scale, dataset=dataset, seed=seed)
+    alpha = run_mixup_alpha_sweep(scale=scale, dataset=dataset, seed=seed)
+    return {
+        "experiment": "sensitivity",
+        "buffer_capacity": capacity,
+        "mixup_alpha": alpha,
+        "formatted": capacity["formatted"] + "\n\n" + alpha["formatted"],
+    }

@@ -1,0 +1,36 @@
+"""Sensor-network substrate: graph structures, adjacency algebra, generators."""
+
+from .adjacency import (
+    add_self_loops,
+    backward_transition,
+    diffusion_supports,
+    forward_transition,
+    power_series,
+    row_normalize,
+    symmetric_normalize,
+)
+from .generators import (
+    community_network,
+    corridor_network,
+    grid_network,
+    random_geometric_network,
+)
+from .random_walk import random_walk, random_walk_subgraph_nodes
+from .sensor_network import SensorNetwork
+
+__all__ = [
+    "SensorNetwork",
+    "add_self_loops",
+    "backward_transition",
+    "diffusion_supports",
+    "forward_transition",
+    "power_series",
+    "row_normalize",
+    "symmetric_normalize",
+    "community_network",
+    "corridor_network",
+    "grid_network",
+    "random_geometric_network",
+    "random_walk",
+    "random_walk_subgraph_nodes",
+]

@@ -1,0 +1,90 @@
+"""Adjacency-matrix algebra used by the graph convolution layers.
+
+Implements the normalisations of Eq. 19–22: self-loop augmentation, row
+normalisation into diffusion transition matrices (forward and backward for
+directed graphs) and truncated power series for K-step diffusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+__all__ = [
+    "add_self_loops",
+    "row_normalize",
+    "symmetric_normalize",
+    "forward_transition",
+    "backward_transition",
+    "diffusion_supports",
+    "power_series",
+]
+
+
+def _check_square(adjacency: np.ndarray) -> np.ndarray:
+    adjacency = np.asarray(adjacency, dtype=float)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise GraphError(f"adjacency must be square, got {adjacency.shape}")
+    return adjacency
+
+
+def add_self_loops(adjacency: np.ndarray, weight: float = 1.0) -> np.ndarray:
+    """Return :math:`\\tilde A = A + w I` (Eq. 19)."""
+    adjacency = _check_square(adjacency)
+    return adjacency + weight * np.eye(adjacency.shape[0])
+
+
+def row_normalize(adjacency: np.ndarray) -> np.ndarray:
+    """Row-normalise so every row sums to one (rows of zeros stay zero)."""
+    adjacency = _check_square(adjacency)
+    row_sums = adjacency.sum(axis=1, keepdims=True)
+    safe = np.where(row_sums > 0, row_sums, 1.0)
+    return adjacency / safe
+
+
+def symmetric_normalize(adjacency: np.ndarray) -> np.ndarray:
+    """Return :math:`D^{-1/2} \\tilde A D^{-1/2}` with self loops added."""
+    adjacency = add_self_loops(_check_square(adjacency))
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = np.where(degrees > 0, degrees**-0.5, 0.0)
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def forward_transition(adjacency: np.ndarray) -> np.ndarray:
+    """Forward diffusion transition matrix :math:`P^f = \\tilde A / rowsum(\\tilde A)`."""
+    return row_normalize(add_self_loops(_check_square(adjacency)))
+
+
+def backward_transition(adjacency: np.ndarray) -> np.ndarray:
+    """Backward diffusion transition matrix computed on the transposed graph."""
+    return row_normalize(add_self_loops(_check_square(adjacency).T))
+
+
+def power_series(matrix: np.ndarray, order: int) -> list[np.ndarray]:
+    """Return ``[I, P, P^2, ..., P^order]`` (the K-step diffusion supports)."""
+    matrix = _check_square(matrix)
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    powers = [np.eye(matrix.shape[0])]
+    for _ in range(order):
+        powers.append(powers[-1] @ matrix)
+    return powers
+
+
+def diffusion_supports(
+    adjacency: np.ndarray, order: int, directed: bool = False
+) -> list[np.ndarray]:
+    """Return the diffusion supports used by the graph convolution (Eq. 21–22).
+
+    For undirected graphs this is ``[I, P, ..., P^K]``; for directed graphs
+    the forward and backward power series are interleaved (skipping the
+    duplicate identity).
+    """
+    forward = power_series(forward_transition(adjacency), order)
+    if not directed:
+        return forward
+    backward = power_series(backward_transition(adjacency), order)
+    supports = list(forward)
+    supports.extend(backward[1:])
+    return supports

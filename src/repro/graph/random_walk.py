@@ -1,0 +1,81 @@
+"""Random-walk sub-graph sampling (used by the SubGraph augmentation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..utils.random import get_rng
+from .sensor_network import SensorNetwork
+
+__all__ = ["random_walk", "random_walk_subgraph_nodes"]
+
+
+def random_walk(
+    network: SensorNetwork,
+    start: int,
+    length: int,
+    rng=None,
+) -> list[int]:
+    """Perform a weighted random walk of ``length`` steps from ``start``.
+
+    Transition probabilities are proportional to edge weights.  Dead ends
+    restart the walk from a uniformly random node so that the requested
+    number of steps is always produced.
+    """
+    if not 0 <= start < network.num_nodes:
+        raise GraphError(f"start node {start} out of range [0, {network.num_nodes})")
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = get_rng(rng)
+    walk = [start]
+    current = start
+    for _ in range(length - 1):
+        weights = network.adjacency[current]
+        total = weights.sum()
+        if total <= 0:
+            current = int(rng.integers(0, network.num_nodes))
+        else:
+            current = int(rng.choice(network.num_nodes, p=weights / total))
+        walk.append(current)
+    return walk
+
+
+def random_walk_subgraph_nodes(
+    network: SensorNetwork,
+    target_size: int,
+    rng=None,
+    max_steps: int | None = None,
+) -> np.ndarray:
+    """Collect approximately ``target_size`` distinct nodes via random walks.
+
+    The SubGraph (SG) augmentation uses this to preserve local semantics of
+    the sensor network while restricting attention to a neighbourhood.
+    """
+    if target_size < 1:
+        raise ValueError("target_size must be >= 1")
+    target_size = min(target_size, network.num_nodes)
+    rng = get_rng(rng)
+    max_steps = max_steps or 10 * target_size
+    visited: list[int] = []
+    seen: set[int] = set()
+    current = int(rng.integers(0, network.num_nodes))
+    steps = 0
+    while len(seen) < target_size and steps < max_steps:
+        if current not in seen:
+            seen.add(current)
+            visited.append(current)
+        weights = network.adjacency[current]
+        total = weights.sum()
+        if total <= 0:
+            current = int(rng.integers(0, network.num_nodes))
+        else:
+            current = int(rng.choice(network.num_nodes, p=weights / total))
+        steps += 1
+    # Top up with uniformly random nodes if the walk got stuck.
+    while len(seen) < target_size:
+        candidate = int(rng.integers(0, network.num_nodes))
+        if candidate not in seen:
+            seen.add(candidate)
+            visited.append(candidate)
+    return np.asarray(sorted(visited[:target_size]), dtype=int)

@@ -1,0 +1,30 @@
+"""Spatio-temporal prediction models: the URCL backbone family (GraphWaveNet,
+DCRNN, GeoMAN in autoencoder form), the STSimSiam branch and the baselines."""
+
+from . import baselines
+from .base import AutoencoderBackbone, STModel
+from .dcrnn import DCRNNBackbone, DCRNNEncoder
+from .gcn import AdaptiveAdjacency, DiffusionGraphConv
+from .geoman import GeoMANBackbone, GeoMANEncoder
+from .graphwavenet import GraphWaveNetBackbone
+from .stdecoder import STDecoder
+from .stencoder import STEncoder, STEncoderConfig
+from .stsimsiam import SimSiamOutputs, STSimSiam
+
+__all__ = [
+    "baselines",
+    "AutoencoderBackbone",
+    "STModel",
+    "DCRNNBackbone",
+    "DCRNNEncoder",
+    "AdaptiveAdjacency",
+    "DiffusionGraphConv",
+    "GeoMANBackbone",
+    "GeoMANEncoder",
+    "GraphWaveNetBackbone",
+    "STDecoder",
+    "STEncoder",
+    "STEncoderConfig",
+    "SimSiamOutputs",
+    "STSimSiam",
+]

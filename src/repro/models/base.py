@@ -1,0 +1,105 @@
+"""Model interfaces shared by the URCL backbone and the baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..graph.sensor_network import SensorNetwork
+from ..nn.module import Module
+from ..tensor import Tensor, no_grad
+
+__all__ = ["STModel", "AutoencoderBackbone"]
+
+
+class STModel(Module):
+    """Base class for spatio-temporal predictors.
+
+    A predictor consumes a window of ``input_steps`` observations over a
+    fixed sensor network ``(batch, input_steps, nodes, in_channels)`` and
+    produces ``(batch, output_steps, nodes, out_channels)`` predictions.
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        in_channels: int,
+        input_steps: int,
+        output_steps: int = 1,
+        out_channels: int = 1,
+    ):
+        super().__init__()
+        self.network = network
+        self.in_channels = in_channels
+        self.input_steps = input_steps
+        self.output_steps = output_steps
+        self.out_channels = out_channels
+
+    # ------------------------------------------------------------------ #
+    def check_input(self, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        if x.ndim != 4:
+            raise ShapeError(f"expected (batch, time, nodes, channels), got {x.shape}")
+        if x.shape[2] != self.network.num_nodes:
+            raise ShapeError(
+                f"expected {self.network.num_nodes} nodes, got {x.shape[2]}"
+            )
+        if x.shape[3] != self.in_channels:
+            raise ShapeError(f"expected {self.in_channels} channels, got {x.shape[3]}")
+        return x
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Numpy-in / numpy-out inference.
+
+        Runs in evaluation mode (dropout disabled) without building an
+        autograd graph; the previous training/evaluation mode is restored
+        afterwards.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                outputs = self.forward(Tensor(np.asarray(inputs, dtype=float)))
+        finally:
+            self.train(was_training)
+        return outputs.data
+
+
+class AutoencoderBackbone(STModel):
+    """A predictor structured as STEncoder + STDecoder (Sec. IV-D).
+
+    Sub-classes implement :meth:`encode` (returning latent node features of
+    shape ``(batch, nodes, latent_dim)``) and :meth:`decode`.  The URCL
+    framework plugs any such backbone in: the encoder is shared with the
+    STSimSiam branches, the decoder produces predictions, and the latent
+    dimension is exposed for the projection heads.
+    """
+
+    latent_dim: int
+
+    def encode(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+        """Map observations to latent node features ``(batch, nodes, latent_dim)``.
+
+        ``adjacency`` optionally overrides the network adjacency — required
+        because the spatial augmentations perturb the graph per view.
+        """
+        raise NotImplementedError
+
+    def decode(self, latent: Tensor) -> Tensor:
+        """Map latent node features to predictions."""
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.check_input(x)
+        return self.decode(self.encode(x))
+
+    def readout(self, latent: Tensor) -> Tensor:
+        """Pool latent node features into one vector per sample.
+
+        Used by the STSimSiam branches, whose contrastive loss operates on a
+        single representation per augmented observation (Eq. 12–16).
+        """
+        return latent.mean(axis=1)

@@ -1,0 +1,25 @@
+"""Baseline models of Table III: ARIMA, DCRNN, STGCN, MTGNN, AGCRN, STGODE.
+
+The DCRNN baseline is provided by :mod:`repro.models.dcrnn` (it doubles as
+an alternative URCL backbone); the remaining deep baselines live here, plus
+the classical ARIMA / historical-average forecasters.
+"""
+
+from .agcrn import AGCRN, AGCRNCell
+from .classical import ARIMAForecaster, ClassicalForecaster, HistoricalAverageForecaster
+from .mtgnn import MTGNN
+from .stgcn import STGCN, ChebGraphConv
+from .stgode import STGODE, GraphODEBlock
+
+__all__ = [
+    "AGCRN",
+    "AGCRNCell",
+    "ARIMAForecaster",
+    "ClassicalForecaster",
+    "HistoricalAverageForecaster",
+    "MTGNN",
+    "STGCN",
+    "ChebGraphConv",
+    "STGODE",
+    "GraphODEBlock",
+]

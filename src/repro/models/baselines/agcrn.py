@@ -1,0 +1,81 @@
+"""AGCRN baseline [Bai et al., NeurIPS 2020] — adaptive graph convolutional recurrent network.
+
+Each GRU gate is computed through a graph convolution whose adjacency is
+learned from node embeddings (node-adaptive parameter learning is folded
+into the shared adaptive adjacency for a width-reduced CPU build).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph.sensor_network import SensorNetwork
+from ...nn.linear import Linear
+from ...nn.module import Module
+from ...tensor import Tensor, concatenate
+from ...tensor import functional as F
+from ...utils.random import get_rng
+from ..base import STModel
+from ..gcn import AdaptiveAdjacency, DiffusionGraphConv
+
+__all__ = ["AGCRNCell", "AGCRN"]
+
+
+class AGCRNCell(Module):
+    """GRU cell whose gates are adaptive graph convolutions."""
+
+    def __init__(self, num_nodes: int, in_channels: int, hidden_dim: int,
+                 embedding_dim: int = 8, rng=None):
+        super().__init__()
+        rng = get_rng(rng)
+        self.hidden_dim = hidden_dim
+        self.adaptive = AdaptiveAdjacency(num_nodes, embedding_dim, rng=rng)
+        self.gate_conv = DiffusionGraphConv(
+            in_channels + hidden_dim, 2 * hidden_dim, adjacency=None,
+            adaptive=self.adaptive, rng=rng,
+        )
+        self.candidate_conv = DiffusionGraphConv(
+            in_channels + hidden_dim, hidden_dim, adjacency=None,
+            adaptive=self.adaptive, rng=rng,
+        )
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        # x: (batch, nodes, channels); hidden: (batch, nodes, hidden_dim).
+        combined = concatenate([x, hidden], axis=-1).expand_dims(1)
+        gates = F.sigmoid(self.gate_conv(combined)).squeeze(1)
+        update = gates[:, :, : self.hidden_dim]
+        reset = gates[:, :, self.hidden_dim :]
+        candidate_input = concatenate([x, reset * hidden], axis=-1).expand_dims(1)
+        candidate = F.tanh(self.candidate_conv(candidate_input)).squeeze(1)
+        return update * hidden + candidate * (1.0 - update)
+
+
+class AGCRN(STModel):
+    """Adaptive graph convolutional recurrent network."""
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        in_channels: int,
+        input_steps: int = 12,
+        output_steps: int = 1,
+        out_channels: int = 1,
+        hidden_dim: int = 16,
+        embedding_dim: int = 8,
+        rng=None,
+    ):
+        super().__init__(network, in_channels, input_steps, output_steps, out_channels)
+        rng = get_rng(rng)
+        self.hidden_dim = hidden_dim
+        self.cell = AGCRNCell(network.num_nodes, in_channels, hidden_dim,
+                              embedding_dim=embedding_dim, rng=rng)
+        self.head = Linear(hidden_dim, output_steps * out_channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.check_input(x)
+        batch, time, nodes, _ = x.shape
+        hidden = Tensor(np.zeros((batch, nodes, self.hidden_dim)))
+        for step in range(time):
+            hidden = self.cell(x[:, step, :, :], hidden)
+        flat = self.head(hidden)
+        return flat.reshape(batch, nodes, self.output_steps, self.out_channels).transpose(0, 2, 1, 3)

@@ -1,0 +1,85 @@
+"""STGCN baseline [Yu et al., IJCAI 2018] — ChebNet GCN + 1-D temporal convolution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph.adjacency import symmetric_normalize
+from ...graph.sensor_network import SensorNetwork
+from ...nn.conv import GatedTemporalConv
+from ...nn.linear import Linear
+from ...nn.module import Module, Parameter
+from ...nn import init
+from ...tensor import Tensor
+from ...tensor import functional as F
+from ...utils.random import get_rng
+from ..base import STModel
+
+__all__ = ["ChebGraphConv", "STGCN"]
+
+
+class ChebGraphConv(Module):
+    """Chebyshev-polynomial graph convolution of order ``K`` (ChebNet)."""
+
+    def __init__(self, in_channels: int, out_channels: int, adjacency: np.ndarray,
+                 order: int = 2, rng=None):
+        super().__init__()
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        rng = get_rng(rng)
+        self.order = order
+        normalized = symmetric_normalize(adjacency)
+        # Scaled Laplacian approximation: L~ = I - D^-1/2 A D^-1/2.
+        laplacian = np.eye(adjacency.shape[0]) - normalized
+        self._chebyshev = self._chebyshev_basis(laplacian, order)
+        self.weight = Parameter(init.xavier_uniform((order, in_channels, out_channels), rng=rng))
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    @staticmethod
+    def _chebyshev_basis(laplacian: np.ndarray, order: int) -> list[np.ndarray]:
+        basis = [np.eye(laplacian.shape[0]), laplacian]
+        for _ in range(2, order):
+            basis.append(2.0 * laplacian @ basis[-1] - basis[-2])
+        return basis[:order]
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = None
+        for index, basis in enumerate(self._chebyshev):
+            term = (Tensor(basis) @ x) @ self.weight[index]
+            out = term if out is None else out + term
+        return out + self.bias
+
+
+class STGCN(STModel):
+    """Sandwich blocks of temporal convolution - graph convolution - temporal convolution."""
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        in_channels: int,
+        input_steps: int = 12,
+        output_steps: int = 1,
+        out_channels: int = 1,
+        hidden_dim: int = 16,
+        cheb_order: int = 2,
+        rng=None,
+    ):
+        super().__init__(network, in_channels, input_steps, output_steps, out_channels)
+        rng = get_rng(rng)
+        self.temporal_in = GatedTemporalConv(in_channels, hidden_dim, kernel_size=2,
+                                             dilation=1, causal_padding=True, rng=rng)
+        self.graph_conv = ChebGraphConv(hidden_dim, hidden_dim, network.adjacency,
+                                        order=cheb_order, rng=rng)
+        self.temporal_out = GatedTemporalConv(hidden_dim, hidden_dim, kernel_size=2,
+                                              dilation=2, causal_padding=True, rng=rng)
+        self.head = Linear(hidden_dim, output_steps * out_channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.check_input(x)
+        hidden = self.temporal_in(x)
+        hidden = F.relu(self.graph_conv(hidden))
+        hidden = self.temporal_out(hidden)
+        latest = hidden[:, -1, :, :]
+        flat = self.head(latest)
+        batch, nodes, _ = flat.shape
+        return flat.reshape(batch, nodes, self.output_steps, self.out_channels).transpose(0, 2, 1, 3)

@@ -1,0 +1,106 @@
+"""DCRNN-style backbone: recurrent graph convolution (Sec. V-B.4 backbone study).
+
+A width-reduced Diffusion Convolutional Recurrent Neural Network [Li et al.,
+ICLR 2018]: at every time step the observations are mixed over the graph by
+a diffusion convolution and fed to a GRU whose hidden state lives on every
+node; the final hidden state is the latent representation, decoded by the
+standard STDecoder (the paper attaches stacked MLPs when a backbone lacks a
+decoder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.sensor_network import SensorNetwork
+from ..nn.linear import Linear
+from ..nn.module import Module
+from ..nn.rnn import GRUCell
+from ..tensor import Tensor
+from ..utils.random import get_rng
+from .base import AutoencoderBackbone
+from .gcn import DiffusionGraphConv
+from .stdecoder import STDecoder
+
+__all__ = ["DCRNNEncoder", "DCRNNBackbone"]
+
+
+class DCRNNEncoder(Module):
+    """Graph-convolutional recurrent encoder producing ``(batch, nodes, latent)``."""
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        in_channels: int,
+        hidden_dim: int = 32,
+        latent_dim: int = 32,
+        diffusion_order: int = 2,
+        rng=None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.network = network
+        self.hidden_dim = hidden_dim
+        self.latent_dim = latent_dim
+        self.input_conv = DiffusionGraphConv(
+            in_channels, hidden_dim, adjacency=network.adjacency,
+            diffusion_order=diffusion_order, rng=rng,
+        )
+        self.cell = GRUCell(hidden_dim, hidden_dim, rng=rng)
+        self.output_proj = Linear(hidden_dim, latent_dim, rng=rng)
+
+    def forward(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"DCRNNEncoder expects 4-d input, got {x.shape}")
+        mixed = self.input_conv(x, adjacency=adjacency)  # (batch, time, nodes, hidden)
+        batch, time, nodes, _ = mixed.shape
+        hidden = Tensor(np.zeros((batch, nodes, self.hidden_dim)))
+        for step in range(time):
+            hidden = self.cell(mixed[:, step, :, :], hidden)
+        return self.output_proj(hidden)
+
+    encode = forward
+
+
+class DCRNNBackbone(AutoencoderBackbone):
+    """DCRNN reorganised into the URCL autoencoder interface."""
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        in_channels: int,
+        input_steps: int = 12,
+        output_steps: int = 1,
+        out_channels: int = 1,
+        hidden_dim: int = 32,
+        latent_dim: int = 32,
+        decoder_hidden: int = 64,
+        rng=None,
+    ):
+        super().__init__(
+            network,
+            in_channels=in_channels,
+            input_steps=input_steps,
+            output_steps=output_steps,
+            out_channels=out_channels,
+        )
+        rng = get_rng(rng)
+        self.encoder = DCRNNEncoder(
+            network, in_channels=in_channels, hidden_dim=hidden_dim,
+            latent_dim=latent_dim, rng=rng,
+        )
+        self.latent_dim = latent_dim
+        self.decoder = STDecoder(
+            latent_dim=latent_dim,
+            output_steps=output_steps,
+            out_channels=out_channels,
+            hidden_dim=decoder_hidden,
+            rng=rng,
+        )
+
+    def encode(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+        return self.encoder(x, adjacency=adjacency)
+
+    def decode(self, latent: Tensor) -> Tensor:
+        return self.decoder(latent)

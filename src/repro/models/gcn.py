@@ -1,0 +1,122 @@
+"""Graph convolution layers (Eq. 19–24).
+
+Two spatial mixing mechanisms are combined, exactly as in GraphWaveNet:
+
+* **diffusion convolution** over the pre-defined distance graph, with
+  forward/backward transition matrices and a truncated K-step power series
+  (Eq. 21–22);
+* a **self-adaptive adjacency matrix** built from two learnable node
+  embeddings, ``softmax(relu(E1 E2^T))`` (Eq. 23), capturing global
+  correlations the distance graph misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.adjacency import diffusion_supports
+from ..tensor import Tensor
+from ..tensor import functional as F
+from ..utils.random import get_rng
+from ..nn import init
+from ..nn.module import Module, Parameter
+
+__all__ = ["AdaptiveAdjacency", "DiffusionGraphConv"]
+
+
+class AdaptiveAdjacency(Module):
+    """Self-adaptive adjacency matrix ``softmax(relu(E1 E2^T))`` (Eq. 23)."""
+
+    def __init__(self, num_nodes: int, embedding_dim: int = 10, rng=None):
+        super().__init__()
+        if num_nodes < 1 or embedding_dim < 1:
+            raise ValueError("num_nodes and embedding_dim must be >= 1")
+        rng = get_rng(rng)
+        self.num_nodes = num_nodes
+        self.embedding_dim = embedding_dim
+        self.source_embedding = Parameter(init.normal((num_nodes, embedding_dim), std=0.1, rng=rng))
+        self.target_embedding = Parameter(init.normal((num_nodes, embedding_dim), std=0.1, rng=rng))
+
+    def forward(self) -> Tensor:
+        scores = F.relu(self.source_embedding @ self.target_embedding.transpose(1, 0))
+        return F.softmax(scores, axis=-1)
+
+
+class DiffusionGraphConv(Module):
+    """K-step diffusion graph convolution with optional adaptive adjacency (Eq. 24).
+
+    Input and output follow the ``(batch, time, nodes, channels)`` layout;
+    spatial mixing happens on the ``nodes`` axis.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Feature sizes.
+    adjacency:
+        Pre-defined sensor-network adjacency (may be ``None`` when the graph
+        is unknown, in which case only the adaptive matrix is used).
+    diffusion_order:
+        ``K`` in Eq. 21.
+    adaptive:
+        Shared :class:`AdaptiveAdjacency` module or ``None``.
+    directed:
+        Whether to use forward+backward transition matrices.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        adjacency: np.ndarray | None,
+        diffusion_order: int = 2,
+        adaptive: AdaptiveAdjacency | None = None,
+        directed: bool = False,
+        rng=None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.diffusion_order = diffusion_order
+        self.adaptive = adaptive
+        self.directed = directed
+        self._static_supports = self._build_supports(adjacency)
+        num_supports = len(self._static_supports) + (1 if adaptive is not None else 0)
+        if num_supports == 0:
+            raise ValueError("DiffusionGraphConv needs a graph or an adaptive adjacency")
+        self.weight = Parameter(
+            init.xavier_uniform((num_supports, in_channels, out_channels), rng=rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    def _build_supports(self, adjacency: np.ndarray | None) -> list[np.ndarray]:
+        if adjacency is None:
+            return []
+        supports = diffusion_supports(adjacency, self.diffusion_order, directed=self.directed)
+        # Drop the identity support: the residual connection plays that role.
+        return [support for support in supports[1:]]
+
+    def supports_for(self, adjacency: np.ndarray | None) -> list[np.ndarray]:
+        """Return diffusion supports for an (optionally overridden) adjacency."""
+        if adjacency is None:
+            return self._static_supports
+        return self._build_supports(adjacency)
+
+    def forward(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"DiffusionGraphConv expects 4-d input, got {x.shape}")
+        supports = self.supports_for(adjacency)
+        out = None
+        index = 0
+        for support in supports:
+            mixed = Tensor(support) @ x
+            term = mixed @ self.weight[index]
+            out = term if out is None else out + term
+            index += 1
+        if self.adaptive is not None:
+            adaptive_matrix = self.adaptive()
+            mixed = adaptive_matrix @ x
+            term = mixed @ self.weight[index]
+            out = term if out is None else out + term
+        return out + self.bias

@@ -1,0 +1,78 @@
+"""GraphWaveNet backbone reorganised as STEncoder + STDecoder (Sec. IV-D).
+
+The paper takes GraphWaveNet [Wu et al., IJCAI 2019] as its reference
+spatio-temporal prediction model and restructures it into the autoencoder
+form URCL requires.  This module exposes exactly that restructured model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.sensor_network import SensorNetwork
+from ..tensor import Tensor
+from ..utils.random import get_rng
+from .base import AutoencoderBackbone
+from .stdecoder import STDecoder
+from .stencoder import STEncoder, STEncoderConfig
+
+__all__ = ["GraphWaveNetBackbone"]
+
+
+class GraphWaveNetBackbone(AutoencoderBackbone):
+    """GraphWaveNet in autoencoder form: dilated gated TCN + diffusion GCN
+    encoder, stacked-MLP decoder.
+
+    Parameters
+    ----------
+    network:
+        Sensor network.
+    in_channels:
+        Observation channels (2 for the speed datasets, 3 for the flow ones).
+    input_steps, output_steps:
+        Window length ``M`` and prediction horizon ``H``.
+    out_channels:
+        Predicted channels (1: the target speed or flow).
+    encoder_config:
+        STEncoder hyper-parameters; defaults to the width-reduced config.
+    decoder_hidden:
+        Width of the decoder's hidden MLP layer (512 in the paper).
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        in_channels: int,
+        input_steps: int = 12,
+        output_steps: int = 1,
+        out_channels: int = 1,
+        encoder_config: STEncoderConfig | None = None,
+        decoder_hidden: int = 64,
+        rng=None,
+    ):
+        super().__init__(
+            network,
+            in_channels=in_channels,
+            input_steps=input_steps,
+            output_steps=output_steps,
+            out_channels=out_channels,
+        )
+        rng = get_rng(rng)
+        self.encoder = STEncoder(
+            network, in_channels=in_channels, input_steps=input_steps,
+            config=encoder_config, rng=rng,
+        )
+        self.latent_dim = self.encoder.latent_dim
+        self.decoder = STDecoder(
+            latent_dim=self.latent_dim,
+            output_steps=output_steps,
+            out_channels=out_channels,
+            hidden_dim=decoder_hidden,
+            rng=rng,
+        )
+
+    def encode(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+        return self.encoder(x, adjacency=adjacency)
+
+    def decode(self, latent: Tensor) -> Tensor:
+        return self.decoder(latent)

@@ -1,0 +1,54 @@
+"""STDecoder — stacked feed-forward prediction head (Sec. IV-D.2, Fig. 4, Eq. 27)."""
+
+from __future__ import annotations
+
+from ..nn.linear import Linear
+from ..nn.module import Module
+from ..tensor import Tensor
+from ..tensor import functional as F
+from ..utils.random import get_rng
+
+__all__ = ["STDecoder"]
+
+
+class STDecoder(Module):
+    """Decode latent node features into multi-step predictions.
+
+    Takes ``(batch, nodes, latent_dim)`` latent representations produced by
+    the STEncoder and emits ``(batch, output_steps, nodes, out_channels)``
+    predictions through stacked MLP layers with ReLU activations (Eq. 27).
+    """
+
+    def __init__(
+        self,
+        latent_dim: int,
+        output_steps: int = 1,
+        out_channels: int = 1,
+        hidden_dim: int = 64,
+        rng=None,
+    ):
+        super().__init__()
+        if output_steps < 1 or out_channels < 1:
+            raise ValueError("output_steps and out_channels must be >= 1")
+        rng = get_rng(rng)
+        self.latent_dim = latent_dim
+        self.output_steps = output_steps
+        self.out_channels = out_channels
+        self.hidden = Linear(latent_dim, hidden_dim, rng=rng)
+        self.output = Linear(hidden_dim, output_steps * out_channels, rng=rng)
+
+    def forward(self, latent: Tensor) -> Tensor:
+        latent = latent if isinstance(latent, Tensor) else Tensor(latent)
+        if latent.ndim != 3:
+            raise ValueError(
+                f"STDecoder expects (batch, nodes, latent_dim), got {latent.shape}"
+            )
+        if latent.shape[-1] != self.latent_dim:
+            raise ValueError(
+                f"expected latent_dim={self.latent_dim}, got {latent.shape[-1]}"
+            )
+        hidden = F.relu(self.hidden(latent))
+        flat = self.output(hidden)  # (batch, nodes, output_steps * out_channels)
+        batch, nodes, _ = flat.shape
+        reshaped = flat.reshape(batch, nodes, self.output_steps, self.out_channels)
+        return reshaped.transpose(0, 2, 1, 3)

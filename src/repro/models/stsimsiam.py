@@ -1,0 +1,96 @@
+"""STSimSiam — self-supervised holistic representation learning (Sec. IV-C.2).
+
+Two augmented views of the mixed observations are encoded by the *shared*
+STEncoder, one branch is passed through a projection MLP head, the other is
+stop-gradient detached, and their mutual information is maximised with the
+symmetric GraphCL loss (Eq. 12–16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..augmentation.base import AugmentedSample
+from ..nn.linear import MLP
+from ..nn.losses import graphcl_loss
+from ..nn.module import Module
+from ..tensor import Tensor
+from ..utils.random import get_rng
+
+__all__ = ["SimSiamOutputs", "STSimSiam"]
+
+
+@dataclass
+class SimSiamOutputs:
+    """Projections (p) and encoder representations (z) of the two views."""
+
+    p_first: Tensor
+    z_first: Tensor
+    p_second: Tensor
+    z_second: Tensor
+
+
+class STSimSiam(Module):
+    """Siamese branch around a shared spatio-temporal encoder.
+
+    Parameters
+    ----------
+    encoder:
+        The shared encoder; must expose ``forward(x, adjacency=None)`` or
+        ``encode`` returning ``(batch, nodes, latent_dim)`` features.  The
+        *same object* is used by the prediction network so that holistic
+        features learned here directly benefit prediction.
+    latent_dim:
+        Encoder output width.  The projection head ``h`` maps back into this
+        space so that projections ``p`` and representations ``z`` are
+        directly comparable (Eq. 13).
+    projection_hidden:
+        Hidden width of the projection MLP head ``h``.
+    temperature:
+        GraphCL softmax temperature :math:`\\tau`.
+    """
+
+    def __init__(
+        self,
+        encoder: Module,
+        latent_dim: int,
+        projection_hidden: int = 64,
+        temperature: float = 0.5,
+        rng=None,
+    ):
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        rng = get_rng(rng)
+        self.encoder = encoder
+        self.latent_dim = latent_dim
+        self.temperature = temperature
+        self.projector = MLP(latent_dim, [projection_hidden], latent_dim, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def _encode_view(self, view: AugmentedSample) -> Tensor:
+        """Encode one augmented view into a per-sample vector via mean read-out."""
+        features = self.encoder(Tensor(view.observations), adjacency=view.adjacency)
+        return features.mean(axis=1)
+
+    def forward(self, first: AugmentedSample, second: AugmentedSample) -> SimSiamOutputs:
+        z_first = self._encode_view(first)
+        z_second = self._encode_view(second)
+        p_first = self.projector(z_first)
+        p_second = self.projector(z_second)
+        return SimSiamOutputs(
+            p_first=p_first, z_first=z_first, p_second=p_second, z_second=z_second
+        )
+
+    def loss(self, first: AugmentedSample, second: AugmentedSample) -> Tensor:
+        """Symmetric GraphCL loss with stop-gradient on the z branches (Eq. 15–16)."""
+        outputs = self.forward(first, second)
+        return graphcl_loss(
+            outputs.p_first,
+            outputs.z_second.detach(),
+            p_second=outputs.p_second,
+            z_first=outputs.z_first.detach(),
+            temperature=self.temperature,
+        )

@@ -1,0 +1,68 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`.
+
+Provides the module system (parameters, state dicts, sharing), dense and
+temporal-convolution layers, recurrent and attention primitives, losses and
+optimizers — i.e. the subset of a deep-learning framework that the URCL
+framework and its baselines require.
+"""
+
+from . import init
+from .activations import GELU, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .attention import ScaledDotProductAttention, SpatialAttention, TemporalAttention
+from .conv import GatedTemporalConv, TemporalConv
+from .dropout import Dropout
+from .linear import MLP, Linear
+from .losses import (
+    graphcl_loss,
+    huber_loss,
+    mae_loss,
+    masked_mae_loss,
+    mse_loss,
+    rmse_loss,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .normalization import BatchNorm, LayerNorm
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .rnn import GRU, GRUCell
+from .scheduler import CosineAnnealingLR, ExponentialLR, LRScheduler, StepLR
+
+__all__ = [
+    "init",
+    "GELU",
+    "LeakyReLU",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "ScaledDotProductAttention",
+    "SpatialAttention",
+    "TemporalAttention",
+    "GatedTemporalConv",
+    "TemporalConv",
+    "Dropout",
+    "MLP",
+    "Linear",
+    "graphcl_loss",
+    "huber_loss",
+    "mae_loss",
+    "masked_mae_loss",
+    "mse_loss",
+    "rmse_loss",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "BatchNorm",
+    "LayerNorm",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+    "clip_grad_norm",
+    "GRU",
+    "GRUCell",
+    "CosineAnnealingLR",
+    "ExponentialLR",
+    "LRScheduler",
+    "StepLR",
+]

@@ -1,0 +1,59 @@
+"""Activation layers (module wrappers over the functional interface)."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from ..tensor import functional as F
+from .module import Module
+
+__all__ = ["ReLU", "LeakyReLU", "Tanh", "Sigmoid", "GELU", "Softmax"]
+
+
+class ReLU(Module):
+    """Rectified linear unit layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU layer."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    """Sigmoid layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class GELU(Module):
+    """GELU layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Softmax(Module):
+    """Softmax over a fixed axis."""
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)

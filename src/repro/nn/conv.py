@@ -1,0 +1,132 @@
+"""Temporal convolutions used by the STEncoder.
+
+The paper's Gated TCN (Eq. 25–26) is a dilated *causal* convolution along
+the time axis, applied independently to every sensor node.  Inputs follow
+the library-wide layout ``(batch, time, nodes, channels)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import functional as F
+from ..utils.random import get_rng
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["TemporalConv", "GatedTemporalConv"]
+
+
+class TemporalConv(Module):
+    """Dilated causal convolution along the time axis (Eq. 25).
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Feature sizes before/after the convolution.
+    kernel_size:
+        Length of the filter ``K``.
+    dilation:
+        Dilation factor ``d`` (skipping steps).
+    causal_padding:
+        When ``True`` the input is left-padded with zeros so the output has
+        the same temporal length as the input; otherwise the output shrinks
+        by ``dilation * (kernel_size - 1)`` steps.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        causal_padding: bool = False,
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        if dilation < 1:
+            raise ValueError("dilation must be >= 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.causal_padding = causal_padding
+        rng = get_rng(rng)
+        # One (C_in, C_out) weight matrix per kernel tap.
+        self.weight = Parameter(
+            init.xavier_uniform((kernel_size, in_channels, out_channels), rng=rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    @property
+    def receptive_field(self) -> int:
+        """Number of input steps each output step depends on."""
+        return self.dilation * (self.kernel_size - 1) + 1
+
+    def output_length(self, input_length: int) -> int:
+        """Temporal length of the output given ``input_length`` input steps."""
+        if self.causal_padding:
+            return input_length
+        return input_length - self.dilation * (self.kernel_size - 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"TemporalConv expects (batch, time, nodes, channels), got {x.shape}")
+        batch, time, nodes, channels = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        span = self.dilation * (self.kernel_size - 1)
+        if self.causal_padding and span > 0:
+            x = x.pad(((0, 0), (span, 0), (0, 0), (0, 0)))
+            time = time + span
+        out_steps = time - span
+        if out_steps <= 0:
+            raise ValueError(
+                f"input with {time} steps is shorter than the receptive field {span + 1}"
+            )
+        result: Tensor | None = None
+        for tap in range(self.kernel_size):
+            start = tap * self.dilation
+            window = x[:, start : start + out_steps, :, :]
+            term = window @ self.weight[tap]
+            result = term if result is None else result + term
+        if self.bias is not None:
+            result = result + self.bias
+        return result
+
+
+class GatedTemporalConv(Module):
+    """Gated TCN: ``tanh(TCN_a(x)) * sigmoid(TCN_b(x))`` (Eq. 26)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        causal_padding: bool = False,
+        rng=None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        self.filter_conv = TemporalConv(
+            in_channels, out_channels, kernel_size, dilation, causal_padding, rng=rng
+        )
+        self.gate_conv = TemporalConv(
+            in_channels, out_channels, kernel_size, dilation, causal_padding, rng=rng
+        )
+
+    @property
+    def receptive_field(self) -> int:
+        return self.filter_conv.receptive_field
+
+    def output_length(self, input_length: int) -> int:
+        return self.filter_conv.output_length(input_length)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(self.filter_conv(x)) * F.sigmoid(self.gate_conv(x))

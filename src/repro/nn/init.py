@@ -1,0 +1,85 @@
+"""Parameter initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.random import get_rng
+
+__all__ = [
+    "zeros",
+    "ones",
+    "constant",
+    "uniform",
+    "normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "orthogonal",
+]
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=float)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=float)
+
+
+def constant(shape: tuple[int, ...], value: float) -> np.ndarray:
+    return np.full(shape, float(value), dtype=float)
+
+
+def uniform(shape: tuple[int, ...], low: float = -0.1, high: float = 0.1, rng=None) -> np.ndarray:
+    return get_rng(rng).uniform(low, high, size=shape)
+
+
+def normal(shape: tuple[int, ...], mean: float = 0.0, std: float = 0.01, rng=None) -> np.ndarray:
+    return get_rng(rng).normal(mean, std, size=shape)
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple[int, ...], gain: float = 1.0, rng=None) -> np.ndarray:
+    """Glorot uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return get_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], gain: float = 1.0, rng=None) -> np.ndarray:
+    """Glorot normal initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return get_rng(rng).normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """He uniform initialisation (ReLU gain)."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return get_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: tuple[int, ...], gain: float = 1.0, rng=None) -> np.ndarray:
+    """Orthogonal initialisation for square-ish matrices (used by GRU cells)."""
+    if len(shape) < 2:
+        return normal(shape, std=gain, rng=rng)
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    matrix = get_rng(rng).normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(matrix)
+    q = q[:rows, :cols] if rows <= cols else q[:rows, :cols]
+    if q.shape != (rows, cols):
+        q = np.resize(q, (rows, cols))
+    return gain * q.reshape(shape)

@@ -1,0 +1,96 @@
+"""Dense layers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import functional as F
+from ..utils.random import get_rng
+from . import init
+from .module import Module, Parameter, Sequential
+
+__all__ = ["Linear", "MLP"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` applied to the last axis.
+
+    Works for inputs of any rank; the transformation is applied to the
+    trailing feature dimension, which matches how the paper's MLP layers are
+    used over ``(batch, time, nodes, channels)`` observations.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear requires positive feature sizes")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = get_rng(rng)
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and activation.
+
+    Used as the STDecoder (Eq. 27) and as the SimSiam projection/prediction
+    heads (Eq. 12).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: Sequence[int],
+        out_features: int,
+        activation: str = "relu",
+        final_activation: bool = False,
+        rng=None,
+    ):
+        super().__init__()
+        rng = get_rng(rng)
+        sizes = [in_features, *hidden_features, out_features]
+        layers = []
+        for index, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            layers.append(Linear(fan_in, fan_out, rng=rng))
+        self.layers = layers
+        for index, layer in enumerate(layers):
+            self.add_module(f"layer{index}", layer)
+        self.activation = activation
+        self.final_activation = final_activation
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "relu":
+            return F.relu(x)
+        if self.activation == "tanh":
+            return F.tanh(x)
+        if self.activation == "sigmoid":
+            return F.sigmoid(x)
+        if self.activation == "gelu":
+            return F.gelu(x)
+        raise ValueError(f"unknown activation {self.activation!r}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x if isinstance(x, Tensor) else Tensor(x)
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            out = layer(out)
+            if index < last or self.final_activation:
+                out = self._activate(out)
+        return out

@@ -1,0 +1,128 @@
+"""Loss functions.
+
+Contains the prediction losses (MAE is the paper's task loss, Eq. 28) and
+the GraphCL contrastive loss used by STSimSiam for mutual-information
+maximisation (Eq. 14–16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, as_tensor
+from ..tensor import functional as F
+
+__all__ = [
+    "mae_loss",
+    "mse_loss",
+    "rmse_loss",
+    "huber_loss",
+    "masked_mae_loss",
+    "graphcl_loss",
+]
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error (the task loss :math:`L_{task}`, Eq. 28)."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    difference = prediction - target
+    return (difference * difference).mean()
+
+
+def rmse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Root mean squared error."""
+    return mse_loss(prediction, target).sqrt()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    difference = (prediction - target).abs()
+    quadratic = difference * difference * 0.5
+    linear = difference * delta - 0.5 * delta * delta
+    from ..tensor import where
+
+    return where(difference.data <= delta, quadratic, linear).mean()
+
+
+def masked_mae_loss(prediction: Tensor, target: Tensor, null_value: float = 0.0) -> Tensor:
+    """MAE that ignores entries equal to ``null_value`` in the target.
+
+    Mirrors the masked losses commonly used on the PEMS datasets where
+    missing sensor readings are encoded as zeros.
+    """
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    mask = (np.abs(target.data - null_value) > 1e-8).astype(float)
+    weight = mask.sum()
+    if weight == 0:
+        return (prediction * 0.0).sum()
+    mask_tensor = Tensor(mask / weight * mask.size)
+    return ((prediction - target).abs() * mask_tensor).mean()
+
+
+def graphcl_loss(
+    p_first: Tensor,
+    z_second: Tensor,
+    p_second: Tensor | None = None,
+    z_first: Tensor | None = None,
+    temperature: float = 0.5,
+) -> Tensor:
+    """Symmetric GraphCL (InfoNCE-style) loss, Eq. 14–16.
+
+    Parameters
+    ----------
+    p_first:
+        Projection-head outputs of the first augmented view, shape ``(S, D)``.
+    z_second:
+        Encoder outputs of the second augmented view (already detached by
+        the caller to implement stop-gradient), shape ``(S, D)``.
+    p_second, z_first:
+        Optional symmetric counterparts; when omitted, the asymmetric
+        variant of Eq. 14 is used.
+    temperature:
+        Softmax temperature :math:`\\tau`.
+
+    Returns
+    -------
+    Tensor
+        Scalar loss averaged over the batch of augmented-observation pairs.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    p_first = as_tensor(p_first)
+    z_second = as_tensor(z_second)
+    if p_first.ndim != 2 or z_second.ndim != 2:
+        raise ValueError("graphcl_loss expects 2-d (batch, features) inputs")
+    batch = p_first.shape[0]
+    if batch < 2:
+        # A single pair has no negatives; the contrastive term degenerates.
+        return (1.0 - F.cosine_similarity(p_first, z_second)).mean()
+
+    def _pairwise(p: Tensor, z: Tensor) -> Tensor:
+        p_norm = F.l2_normalize(p, axis=-1)
+        z_norm = F.l2_normalize(z, axis=-1)
+        return p_norm @ z_norm.transpose(1, 0)
+
+    similarity = _pairwise(p_first, z_second)
+    if p_second is not None and z_first is not None:
+        similarity = (similarity + _pairwise(as_tensor(p_second), as_tensor(z_first))) * 0.5
+
+    logits = similarity * (1.0 / temperature)
+    # Numerator: diagonal (positive pairs); denominator: off-diagonal negatives.
+    eye = np.eye(batch, dtype=bool)
+    positives = logits[np.arange(batch), np.arange(batch)]
+    negative_mask = Tensor((~eye).astype(float))
+    exponentials = logits.exp() * negative_mask
+    denominator = exponentials.sum(axis=1)
+    loss = (denominator.log() - positives).mean()
+    return loss

@@ -1,0 +1,211 @@
+"""Module/parameter abstractions, mirroring the ``torch.nn`` API surface the
+URCL implementation relies on (parameter registration, train/eval switches,
+state dicts, parameter sharing between networks)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` flagged as trainable.
+
+    Parameters are what optimizers update and what ``state_dict`` exports.
+    They always require gradients upon creation.
+    """
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network components.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` instances as
+    attributes; registration happens automatically via ``__setattr__`` so
+    that :meth:`parameters`, :meth:`state_dict` and friends can walk the
+    module tree.  Parameter *sharing* (the URCL STEncoder is shared between
+    the prediction network and both SimSiam branches) is expressed simply by
+    assigning the same sub-module object in several places; the traversal
+    de-duplicates by object identity.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, parameter: Parameter) -> None:
+        """Explicitly register a parameter under ``name``."""
+        self._parameters[name] = parameter
+        object.__setattr__(self, name, parameter)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Explicitly register a sub-module under ``name``."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs, de-duplicated by identity."""
+        seen: set[int] = set()
+        yield from self._named_parameters(prefix, seen)
+
+    def _named_parameters(self, prefix: str, seen: set[int]) -> Iterator[tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            if id(parameter) in seen:
+                continue
+            seen.add(id(parameter))
+            yield (f"{prefix}{name}", parameter)
+        for name, module in self._modules.items():
+            yield from module._named_parameters(f"{prefix}{name}.", seen)
+
+    def parameters(self) -> list[Parameter]:
+        """Return the list of unique trainable parameters."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(name, module)`` pairs including ``self``."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(f"{prefix}{name}.")
+
+    def modules(self) -> list["Module"]:
+        return [module for _, module in self.named_modules()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (for efficiency reporting)."""
+        return int(sum(parameter.size for parameter in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Mode switches and gradient bookkeeping
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout, batch norm)."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a flat name → array mapping of all parameters."""
+        return OrderedDict(
+            (name, parameter.data.copy()) for name, parameter in self.named_parameters()
+        )
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from ``state`` in place."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=parameter.data.dtype)
+            if value.shape != parameter.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.shape}, got {value.shape}"
+                )
+            parameter.data[...] = value
+
+    def copy_parameters_from(self, other: "Module") -> None:
+        """Copy parameter values from another module with an identical layout."""
+        self.load_state_dict(other.state_dict())
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Apply contained modules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers = []
+        for index, layer in enumerate(layers):
+            self.add_module(str(index), layer)
+            self._layers.append(layer)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class ModuleList(Module):
+    """Hold sub-modules in a list (registered for traversal)."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called directly")

@@ -1,0 +1,67 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .module import Module, Parameter
+from . import init
+
+__all__ = ["LayerNorm", "BatchNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the trailing feature dimension."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.features = features
+        self.eps = eps
+        self.gamma = Parameter(init.ones((features,)))
+        self.beta = Parameter(init.zeros((features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        variance = x.var(axis=-1, keepdims=True)
+        normalised = (x - mean) / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class BatchNorm(Module):
+    """Batch normalisation over all axes except the trailing feature axis.
+
+    Keeps running statistics for evaluation mode; momentum follows the
+    conventional exponential moving average formulation.
+    """
+
+    def __init__(self, features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.features = features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((features,)))
+        self.beta = Parameter(init.zeros((features,)))
+        self.running_mean = np.zeros(features)
+        self.running_var = np.ones(features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        axes = tuple(range(x.ndim - 1))
+        if self.training:
+            batch_mean = x.data.mean(axis=axes)
+            batch_var = x.data.var(axis=axes)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * batch_var
+            )
+            mean = x.mean(axis=axes, keepdims=True)
+            variance = x.var(axis=axes, keepdims=True)
+        else:
+            mean = Tensor(self.running_mean)
+            variance = Tensor(self.running_var)
+        normalised = (x - mean) / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta

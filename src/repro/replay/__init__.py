@@ -1,0 +1,16 @@
+"""Replay machinery: buffer, RMIR/random sampling and STMixup (Sec. IV-B)."""
+
+from .buffer import BufferEntry, ReplayBuffer
+from .mixup import MixupResult, STMixup
+from .sampling import RandomSampler, ReplaySampler, RMIRSampler, pearson_similarity
+
+__all__ = [
+    "BufferEntry",
+    "ReplayBuffer",
+    "MixupResult",
+    "STMixup",
+    "RandomSampler",
+    "ReplaySampler",
+    "RMIRSampler",
+    "pearson_similarity",
+]

@@ -1,0 +1,134 @@
+"""Replay buffer (Sec. IV-B).
+
+The buffer is organised as a bounded FIFO queue (size 256 in the paper) of
+previously *learned* observation windows — i.e. raw training pairs before
+STMixup — together with their prediction targets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import BufferError_
+from ..utils.random import get_rng
+
+__all__ = ["BufferEntry", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class BufferEntry:
+    """One stored observation window and its target."""
+
+    inputs: np.ndarray  # (M, nodes, channels)
+    targets: np.ndarray  # (H, nodes, target_channels)
+    set_name: str = ""
+    step: int = -1
+
+
+class ReplayBuffer:
+    """Bounded FIFO queue of previously learned observation windows.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored windows (the paper uses 256).
+    rng:
+        Generator used for random draws.
+    """
+
+    def __init__(self, capacity: int = 256, rng=None):
+        if capacity < 1:
+            raise BufferError_(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: deque[BufferEntry] = deque(maxlen=capacity)
+        self._rng = get_rng(rng)
+        self._total_added = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) == self.capacity
+
+    @property
+    def total_added(self) -> int:
+        """Number of windows ever pushed (including evicted ones)."""
+        return self._total_added
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def add(self, inputs: np.ndarray, targets: np.ndarray, set_name: str = "", step: int = -1) -> None:
+        """Store a single observation window."""
+        inputs = np.asarray(inputs, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if inputs.ndim != 3 or targets.ndim != 3:
+            raise BufferError_(
+                "buffer entries must be single windows of shape (time, nodes, channels); "
+                f"got {inputs.shape} and {targets.shape}"
+            )
+        self._entries.append(
+            BufferEntry(inputs=inputs.copy(), targets=targets.copy(), set_name=set_name, step=step)
+        )
+        self._total_added += 1
+
+    def add_batch(
+        self, inputs: np.ndarray, targets: np.ndarray, set_name: str = "", step: int = -1
+    ) -> None:
+        """Store every window of a batch ``(batch, time, nodes, channels)``."""
+        inputs = np.asarray(inputs, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if inputs.ndim != 4 or targets.ndim != 4:
+            raise BufferError_(
+                "add_batch expects batched windows; "
+                f"got {inputs.shape} and {targets.shape}"
+            )
+        if inputs.shape[0] != targets.shape[0]:
+            raise BufferError_("inputs and targets must have the same batch size")
+        for sample_inputs, sample_targets in zip(inputs, targets):
+            self.add(sample_inputs, sample_targets, set_name=set_name, step=step)
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> list[BufferEntry]:
+        """Snapshot of the stored entries (oldest first)."""
+        return list(self._entries)
+
+    def get(self, indices: np.ndarray | list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Return stacked ``(inputs, targets)`` for the requested indices."""
+        if self.is_empty:
+            raise BufferError_("cannot read from an empty buffer")
+        entries = list(self._entries)
+        inputs = np.stack([entries[int(i)].inputs for i in indices])
+        targets = np.stack([entries[int(i)].targets for i in indices])
+        return inputs, targets
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return every stored window stacked into dense arrays."""
+        if self.is_empty:
+            raise BufferError_("cannot read from an empty buffer")
+        return self.get(np.arange(len(self)))
+
+    def sample_random(self, size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Uniformly sample ``size`` windows (without replacement when possible)."""
+        if self.is_empty:
+            raise BufferError_("cannot sample from an empty buffer")
+        size = min(size, len(self))
+        indices = self._rng.choice(len(self), size=size, replace=False)
+        return self.get(indices)
+
+    def occupancy_by_set(self) -> dict[str, int]:
+        """Histogram of which stream period each stored window came from."""
+        histogram: dict[str, int] = {}
+        for entry in self._entries:
+            histogram[entry.set_name] = histogram.get(entry.set_name, 0) + 1
+        return histogram

@@ -1,0 +1,78 @@
+"""STMixup — spatio-temporal mixup between current and replayed samples
+(Sec. IV-B.2, Eq. 4–5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..utils.random import get_rng
+
+__all__ = ["MixupResult", "STMixup"]
+
+
+@dataclass(frozen=True)
+class MixupResult:
+    """Interpolated inputs/targets plus the mixing coefficient used."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    lam: float
+
+
+class STMixup:
+    """Interpolate current observations with replayed observations.
+
+    ``lambda`` is drawn from ``Beta(alpha, alpha)``; the same coefficient is
+    applied to inputs and targets (Eq. 4–5), enlarging the support of the
+    training distribution across stream periods (vicinal risk minimisation).
+
+    When the replayed batch is smaller than the current batch, replayed
+    windows are paired with current windows by uniform resampling.
+    """
+
+    def __init__(self, alpha: float = 0.4, rng=None):
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self._rng = get_rng(rng)
+
+    def sample_lambda(self) -> float:
+        """Draw the Beta(alpha, alpha) interpolation coefficient."""
+        return float(self._rng.beta(self.alpha, self.alpha))
+
+    def __call__(
+        self,
+        current_inputs: np.ndarray,
+        current_targets: np.ndarray,
+        replay_inputs: np.ndarray | None,
+        replay_targets: np.ndarray | None,
+        lam: float | None = None,
+    ) -> MixupResult:
+        current_inputs = np.asarray(current_inputs, dtype=float)
+        current_targets = np.asarray(current_targets, dtype=float)
+        if replay_inputs is None or replay_targets is None or len(replay_inputs) == 0:
+            # Nothing to replay yet (e.g. the very first batches of the base set).
+            return MixupResult(current_inputs.copy(), current_targets.copy(), 1.0)
+        replay_inputs = np.asarray(replay_inputs, dtype=float)
+        replay_targets = np.asarray(replay_targets, dtype=float)
+        if current_inputs.shape[1:] != replay_inputs.shape[1:]:
+            raise ShapeError(
+                "current and replayed windows must share shapes, got "
+                f"{current_inputs.shape[1:]} vs {replay_inputs.shape[1:]}"
+            )
+        if current_targets.shape[1:] != replay_targets.shape[1:]:
+            raise ShapeError(
+                "current and replayed targets must share shapes, got "
+                f"{current_targets.shape[1:]} vs {replay_targets.shape[1:]}"
+            )
+        batch = current_inputs.shape[0]
+        pair_indices = self._rng.integers(0, replay_inputs.shape[0], size=batch)
+        paired_inputs = replay_inputs[pair_indices]
+        paired_targets = replay_targets[pair_indices]
+        lam = self.sample_lambda() if lam is None else float(lam)
+        mixed_inputs = lam * current_inputs + (1.0 - lam) * paired_inputs
+        mixed_targets = lam * current_targets + (1.0 - lam) * paired_targets
+        return MixupResult(mixed_inputs, mixed_targets, lam)

@@ -1,0 +1,40 @@
+"""Reverse-mode autodiff tensor engine (NumPy-backed).
+
+This subpackage replaces the PyTorch dependency of the original URCL
+implementation.  It exposes:
+
+* :class:`Tensor` — the differentiable array type,
+* :mod:`repro.tensor.functional` — activations, softmax, dropout, cosine
+  similarity and other differentiable helpers,
+* :mod:`repro.tensor.grad_check` — numerical gradient checking used by the
+  test suite.
+"""
+
+from . import functional
+from .grad_check import check_gradients, numerical_gradient
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,129 @@
+"""Functional interface over :class:`repro.tensor.Tensor`.
+
+Higher-level differentiable functions used throughout the neural-network
+layers: activations, softmax/log-softmax, normalisation helpers, dropout and
+cosine similarity (the building block of the GraphCL / STSimSiam losses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, maximum, stack, where
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "softplus",
+    "elu",
+    "gelu",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "cosine_similarity",
+    "l2_normalize",
+    "one_hot",
+    "linear_interpolate",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with configurable negative slope."""
+    x = as_tensor(x)
+    mask = x.data > 0
+    return where(mask, x, x * negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Numerically benign softplus ``log(1 + exp(x))``."""
+    x = as_tensor(x)
+    # log(1 + exp(x)) = max(x, 0) + log(1 + exp(-|x|))
+    positive = x.relu()
+    return positive + ((-x.abs()).exp() + 1.0).log()
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    x = as_tensor(x)
+    mask = x.data > 0
+    return where(mask, x, (x.exp() - 1.0) * alpha)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    x = as_tensor(x)
+    inner = (x + x**3 * 0.044715) * np.sqrt(2.0 / np.pi)
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exponentials = shifted.exp()
+    return exponentials / exponentials.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate`` is zero."""
+    if not training or rate <= 0.0:
+        return as_tensor(x)
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    rng = rng if rng is not None else np.random.default_rng()
+    x = as_tensor(x)
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    return x * Tensor(mask)
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalise ``x`` to unit L2 norm along ``axis``."""
+    x = as_tensor(x)
+    return x / x.norm(axis=axis, keepdims=True, eps=eps)
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity between ``a`` and ``b`` along ``axis`` (Eq. 13)."""
+    a = l2_normalize(as_tensor(a), axis=axis, eps=eps)
+    b = l2_normalize(as_tensor(b), axis=axis, eps=eps)
+    return (a * b).sum(axis=axis)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> Tensor:
+    """Return a one-hot (non-differentiable) encoding of integer indices."""
+    indices = np.asarray(indices, dtype=int)
+    encoding = np.zeros(indices.shape + (num_classes,), dtype=float)
+    np.put_along_axis(encoding, indices[..., None], 1.0, axis=-1)
+    return Tensor(encoding)
+
+
+def linear_interpolate(a: Tensor, b: Tensor, weight: float) -> Tensor:
+    """Return ``weight * a + (1 - weight) * b`` (the mixup primitive, Eq. 5)."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    return a * float(weight) + b * (1.0 - float(weight))

@@ -1,0 +1,72 @@
+"""Numerical gradient checking utilities.
+
+Used by the test suite to verify that the analytic gradients produced by the
+autograd engine match central finite differences, which is the correctness
+anchor for every model built on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Estimate ``d func(inputs) / d inputs[index]`` with central differences.
+
+    ``func`` must return a scalar :class:`Tensor`.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = float(func(*inputs).data)
+        flat[i] = original - epsilon
+        lower = float(func(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> bool:
+    """Compare analytic and numerical gradients for every differentiable input.
+
+    Returns ``True`` when all gradients match; raises ``AssertionError`` with
+    a diagnostic message otherwise.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = func(*inputs)
+    if output.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    output.backward()
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        expected = numerical_gradient(func, inputs, index, epsilon=epsilon)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs diff {worst:.3e}"
+            )
+    return True

@@ -1,0 +1,32 @@
+"""Cross-cutting utilities: RNG management, logging, validation, serialisation."""
+
+from .logging import configure_logging, get_logger
+from .random import DEFAULT_SEED, get_rng, seed_everything, spawn_rng
+from .serialization import load_json, load_state_dict, save_json, save_state_dict
+from .validation import (
+    check_fraction,
+    check_ndim,
+    check_positive,
+    check_probability,
+    check_same_shape,
+    check_shape,
+)
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "DEFAULT_SEED",
+    "get_rng",
+    "seed_everything",
+    "spawn_rng",
+    "load_json",
+    "load_state_dict",
+    "save_json",
+    "save_state_dict",
+    "check_fraction",
+    "check_ndim",
+    "check_positive",
+    "check_probability",
+    "check_same_shape",
+    "check_shape",
+]

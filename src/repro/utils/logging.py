@@ -1,0 +1,29 @@
+"""Thin logging helpers with a library-wide namespace."""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a simple stream handler to the library root logger."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

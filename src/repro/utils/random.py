@@ -1,0 +1,49 @@
+"""Random-number management.
+
+Every stochastic component of the library (initialisers, dropout, samplers,
+augmentations, synthetic data generators) draws from a
+``numpy.random.Generator``.  Components accept an explicit generator; when
+none is supplied they fall back to the module-level default, which can be
+re-seeded via :func:`seed_everything` to make whole experiments repeatable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seed_everything", "get_rng", "spawn_rng", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 0
+
+_default_rng = np.random.default_rng(DEFAULT_SEED)
+
+
+def seed_everything(seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """Reset the library-wide default generator and return it."""
+    global _default_rng
+    _default_rng = np.random.default_rng(seed)
+    return _default_rng
+
+
+def get_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Resolve an optional generator/seed argument into a generator.
+
+    ``None`` returns the library default, an integer seeds a fresh
+    generator, and an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return _default_rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng
+
+
+def spawn_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Create an independent child generator from ``rng``.
+
+    Useful when a component needs its own stream that should not perturb the
+    caller's sequence of draws (e.g. data augmentation inside a trainer).
+    """
+    parent = get_rng(rng)
+    seed = int(parent.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,49 @@
+"""Serialisation helpers for model/optimizer state and experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict", "save_json", "load_json"]
+
+
+def save_state_dict(path: str | Path, state: Mapping[str, np.ndarray]) -> Path:
+    """Save a flat mapping of parameter arrays to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{key: np.asarray(value) for key, value in state.items()})
+    return path
+
+
+def load_state_dict(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a mapping of parameter arrays previously saved with
+    :func:`save_state_dict`."""
+    with np.load(Path(path)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def _json_default(value: Any):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value)!r} to JSON")
+
+
+def save_json(path: str | Path, payload: Any) -> Path:
+    """Serialise ``payload`` (possibly containing NumPy scalars) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=_json_default)
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document."""
+    with open(Path(path), encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,65 @@
+"""Shared argument-validation helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = [
+    "check_positive",
+    "check_probability",
+    "check_fraction",
+    "check_shape",
+    "check_ndim",
+    "check_same_shape",
+]
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is (strictly) positive."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def check_fraction(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the open interval (0, 1)."""
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must be in (0, 1), got {value}")
+
+
+def check_ndim(name: str, array: np.ndarray, ndim: int) -> None:
+    """Raise :class:`ShapeError` unless ``array`` has ``ndim`` dimensions."""
+    if np.ndim(array) != ndim:
+        raise ShapeError(f"{name} must have {ndim} dimensions, got shape {np.shape(array)}")
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> None:
+    """Raise :class:`ShapeError` unless ``array`` matches ``shape``.
+
+    ``None`` entries in ``shape`` act as wildcards.
+    """
+    actual = np.shape(array)
+    if len(actual) != len(shape):
+        raise ShapeError(f"{name} must have shape {shape}, got {actual}")
+    for expected, got in zip(shape, actual):
+        if expected is not None and expected != got:
+            raise ShapeError(f"{name} must have shape {shape}, got {actual}")
+
+
+def check_same_shape(name_a: str, a: np.ndarray, name_b: str, b: np.ndarray) -> None:
+    """Raise :class:`ShapeError` unless the two arrays share a shape."""
+    if np.shape(a) != np.shape(b):
+        raise ShapeError(
+            f"{name_a} and {name_b} must share a shape, got {np.shape(a)} vs {np.shape(b)}"
+        )

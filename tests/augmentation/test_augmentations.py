@@ -1,0 +1,194 @@
+"""Tests for the five spatio-temporal data augmentations."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    AddEdge,
+    AugmentationPipeline,
+    Augmentation,
+    AugmentedSample,
+    DropEdge,
+    DropNodes,
+    SubGraph,
+    TimeShifting,
+    default_augmentations,
+)
+from repro.exceptions import ShapeError
+
+
+class TestBaseAugmentation:
+    def test_identity_copies_inputs(self, small_observation_batch, small_network):
+        sample = Augmentation(rng=0)(small_observation_batch, small_network)
+        assert isinstance(sample, AugmentedSample)
+        np.testing.assert_allclose(sample.observations, small_observation_batch)
+        np.testing.assert_allclose(sample.adjacency, small_network.adjacency)
+        assert sample.observations is not small_observation_batch
+
+    def test_rejects_bad_rank(self, small_network):
+        with pytest.raises(ShapeError):
+            Augmentation()(np.zeros((12, 9, 2)), small_network)
+
+    def test_rejects_node_mismatch(self, small_network):
+        with pytest.raises(ShapeError):
+            Augmentation()(np.zeros((2, 12, 5, 2)), small_network)
+
+
+class TestDropNodes:
+    def test_drops_expected_number_of_nodes(self, small_observation_batch, small_network):
+        augmentation = DropNodes(drop_ratio=0.3, rng=0)
+        sample = augmentation(small_observation_batch, small_network)
+        zero_rows = int((sample.adjacency.sum(axis=1) == 0).sum())
+        expected = int(round(0.3 * small_network.num_nodes))
+        original_isolated = int((small_network.adjacency.sum(axis=1) == 0).sum())
+        assert zero_rows >= expected - original_isolated
+
+    def test_masks_features_of_dropped_nodes(self, small_observation_batch, small_network):
+        augmentation = DropNodes(drop_ratio=0.3, mask_features=True, rng=0)
+        sample = augmentation(small_observation_batch, small_network)
+        # Nodes whose features were zeroed are exactly the dropped ones; their
+        # adjacency rows must be zero and their count must match the ratio.
+        masked = np.where(np.abs(sample.observations).sum(axis=(0, 1, 3)) == 0)[0]
+        assert len(masked) == int(round(0.3 * small_network.num_nodes))
+        assert np.allclose(sample.adjacency[masked, :], 0.0)
+        assert np.allclose(sample.adjacency[:, masked], 0.0)
+
+    def test_zero_ratio_is_identity(self, small_observation_batch, small_network):
+        sample = DropNodes(drop_ratio=0.0, rng=0)(small_observation_batch, small_network)
+        np.testing.assert_allclose(sample.adjacency, small_network.adjacency)
+
+    def test_shape_preserved(self, small_observation_batch, small_network):
+        sample = DropNodes(drop_ratio=0.5, rng=1)(small_observation_batch, small_network)
+        assert sample.observations.shape == small_observation_batch.shape
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            DropNodes(drop_ratio=1.5)
+
+
+class TestDropEdge:
+    def test_only_removes_edges(self, small_observation_batch, small_network):
+        sample = DropEdge(sample_ratio=0.8, rng=0)(small_observation_batch, small_network)
+        assert ((sample.adjacency > 0) <= (small_network.adjacency > 0)).all()
+
+    def test_strong_edges_survive_threshold(self, small_observation_batch, small_network):
+        strongest = small_network.adjacency.max()
+        augmentation = DropEdge(sample_ratio=1.0, weight_threshold=strongest / 2, rng=0)
+        sample = augmentation(small_observation_batch, small_network)
+        i, j = np.unravel_index(np.argmax(small_network.adjacency), small_network.adjacency.shape)
+        assert sample.adjacency[i, j] == pytest.approx(strongest)
+
+    def test_observations_untouched(self, small_observation_batch, small_network):
+        sample = DropEdge(rng=0)(small_observation_batch, small_network)
+        np.testing.assert_allclose(sample.observations, small_observation_batch)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            DropEdge(sample_ratio=-0.1)
+
+
+class TestSubGraph:
+    def test_isolates_non_subgraph_nodes(self, small_observation_batch, small_network):
+        sample = SubGraph(keep_ratio=0.5, rng=0)(small_observation_batch, small_network)
+        connected = (sample.adjacency.sum(axis=1) > 0).sum()
+        assert connected <= int(round(0.5 * small_network.num_nodes)) + 1
+
+    def test_keeps_node_count(self, small_observation_batch, small_network):
+        sample = SubGraph(keep_ratio=0.5, rng=0)(small_observation_batch, small_network)
+        assert sample.adjacency.shape == small_network.adjacency.shape
+
+    def test_subgraph_edges_are_original_edges(self, small_observation_batch, small_network):
+        sample = SubGraph(keep_ratio=0.7, rng=1)(small_observation_batch, small_network)
+        mask = sample.adjacency > 0
+        np.testing.assert_allclose(sample.adjacency[mask], small_network.adjacency[mask])
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            SubGraph(keep_ratio=1.0)
+
+
+class TestAddEdge:
+    def test_adds_edges_between_distant_pairs(self, small_observation_batch, small_network):
+        augmentation = AddEdge(add_ratio=0.5, min_hops=2, rng=0)
+        sample = augmentation(small_observation_batch, small_network)
+        added = (sample.adjacency > 0) & (small_network.adjacency == 0)
+        hops = small_network.hop_matrix()
+        for i, j in zip(*np.nonzero(added)):
+            assert hops[i, j] > 2 or np.isinf(hops[i, j])
+
+    def test_never_removes_existing_edges(self, small_observation_batch, small_network):
+        sample = AddEdge(add_ratio=0.2, rng=0)(small_observation_batch, small_network)
+        assert (sample.adjacency >= small_network.adjacency - 1e-12).all()
+
+    def test_no_distant_pairs_is_identity(self, small_observation_batch):
+        # A fully connected triangle has no pairs more than 1 hop apart.
+        from repro.graph import SensorNetwork
+
+        adjacency = np.ones((3, 3)) - np.eye(3)
+        network = SensorNetwork(adjacency=adjacency)
+        observations = np.random.default_rng(0).normal(size=(2, 12, 3, 2))
+        sample = AddEdge(min_hops=3, rng=0)(observations, network)
+        np.testing.assert_allclose(sample.adjacency, adjacency)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AddEdge(add_ratio=2.0)
+        with pytest.raises(ValueError):
+            AddEdge(min_hops=0)
+
+
+class TestTimeShifting:
+    def test_shape_preserved_for_all_modes(self, small_observation_batch, small_network):
+        for mode in ("slice_warp", "warp", "flip"):
+            sample = TimeShifting(mode=mode, rng=0)(small_observation_batch, small_network)
+            assert sample.observations.shape == small_observation_batch.shape
+            assert mode in sample.description
+
+    def test_flip_reverses_time(self, small_observation_batch, small_network):
+        sample = TimeShifting(mode="flip", rng=0)(small_observation_batch, small_network)
+        np.testing.assert_allclose(sample.observations, small_observation_batch[:, ::-1])
+
+    def test_graph_untouched(self, small_observation_batch, small_network):
+        sample = TimeShifting(rng=0)(small_observation_batch, small_network)
+        np.testing.assert_allclose(sample.adjacency, small_network.adjacency)
+
+    def test_slice_warp_values_within_original_range(self, small_observation_batch, small_network):
+        sample = TimeShifting(mode="slice_warp", rng=3)(small_observation_batch, small_network)
+        assert sample.observations.max() <= small_observation_batch.max() + 1e-9
+        assert sample.observations.min() >= small_observation_batch.min() - 1e-9
+
+    def test_random_mode_selection_is_seeded(self, small_observation_batch, small_network):
+        a = TimeShifting(rng=7)(small_observation_batch, small_network)
+        b = TimeShifting(rng=7)(small_observation_batch, small_network)
+        np.testing.assert_allclose(a.observations, b.observations)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TimeShifting(min_slice_ratio=0.0)
+        with pytest.raises(ValueError):
+            TimeShifting(mode="bogus")
+
+
+class TestPipeline:
+    def test_default_pool_has_five_augmentations(self):
+        assert len(default_augmentations(rng=0)) == 5
+
+    def test_sample_pair_distinct(self):
+        pipeline = AugmentationPipeline(rng=0)
+        first, second = pipeline.sample_pair()
+        assert first is not second
+
+    def test_call_returns_two_views(self, small_observation_batch, small_network):
+        pipeline = AugmentationPipeline(rng=0)
+        first, second = pipeline(small_observation_batch, small_network)
+        assert first.observations.shape == small_observation_batch.shape
+        assert second.observations.shape == small_observation_batch.shape
+
+    def test_single_augmentation_pool(self, small_observation_batch, small_network):
+        pipeline = AugmentationPipeline([TimeShifting(mode="flip", rng=0)], rng=0)
+        first, second = pipeline(small_observation_batch, small_network)
+        np.testing.assert_allclose(first.observations, second.observations)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            AugmentationPipeline([])

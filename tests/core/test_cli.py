@@ -1,0 +1,47 @@
+"""Tests for the experiment command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "bench"
+        assert args.seed == 0
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig8", "--scale", "smoke", "--seed", "3", "--output", "out.json"]
+        )
+        assert args.scale == "smoke" and args.seed == 3 and args.output == "out.json"
+
+
+class TestMain:
+    def test_list_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "table2" in output and "fig6" in output
+
+    def test_no_experiment_lists(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_runs_table1_and_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "table1.json"
+        assert main(["table1", "--scale", "smoke", "--output", str(output)]) == 0
+        printed = capsys.readouterr().out
+        assert "Table I" in printed
+        payload = json.loads(output.read_text())
+        assert payload["experiment"] == "table1"
+        assert len(payload["rows"]) == 4
+
+    def test_unknown_experiment_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["table42", "--scale", "smoke"])

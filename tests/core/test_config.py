@@ -1,0 +1,87 @@
+"""Tests for the URCL and training configuration objects."""
+
+import pytest
+
+from repro.core.config import TrainingConfig, URCLConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestURCLConfig:
+    def test_defaults_are_valid(self):
+        config = URCLConfig()
+        assert config.backbone == "graphwavenet"
+        assert config.use_replay and config.use_mixup and config.use_rmir
+        assert config.use_augmentation and config.use_graphcl
+
+    def test_unknown_backbone_rejected(self):
+        with pytest.raises(ConfigurationError):
+            URCLConfig(backbone="transformer")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"buffer_capacity": 0},
+            {"replay_sample_size": 0},
+            {"mixup_alpha": 0.0},
+            {"ssl_weight": -1.0},
+            {"temperature": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            URCLConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "component, attribute",
+        [
+            ("mixup", "use_mixup"),
+            ("rmir", "use_rmir"),
+            ("augmentation", "use_augmentation"),
+            ("graphcl", "use_graphcl"),
+            ("replay", "use_replay"),
+        ],
+    )
+    def test_without_disables_single_component(self, component, attribute):
+        config = URCLConfig().without(component)
+        assert getattr(config, attribute) is False
+        # every other switch stays on
+        for other in ("use_mixup", "use_rmir", "use_augmentation", "use_graphcl", "use_replay"):
+            if other != attribute:
+                assert getattr(config, other) is True
+
+    def test_without_unknown_component(self):
+        with pytest.raises(ConfigurationError):
+            URCLConfig().without("decoder")
+
+    def test_config_is_immutable(self):
+        config = URCLConfig()
+        with pytest.raises(Exception):
+            config.buffer_capacity = 7
+
+
+class TestTrainingConfig:
+    def test_defaults_are_valid(self):
+        config = TrainingConfig()
+        assert config.eval_protocol == "cumulative"
+
+    def test_epochs_for(self):
+        config = TrainingConfig(epochs_base=5, epochs_incremental=2)
+        assert config.epochs_for(0) == 5
+        assert config.epochs_for(1) == 2
+        assert config.epochs_for(4) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs_base": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"eval_protocol": "everything"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(**kwargs)
+
+    def test_current_protocol_accepted(self):
+        assert TrainingConfig(eval_protocol="current").eval_protocol == "current"

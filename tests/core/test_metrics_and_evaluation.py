@@ -1,0 +1,121 @@
+"""Tests for metrics and the evaluation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.evaluation import (
+    collect_predictions,
+    evaluate_classical,
+    evaluate_classical_on_sets,
+    evaluate_model,
+    evaluate_model_on_sets,
+)
+from repro.core.metrics import PredictionMetrics, compute_metrics, mae, mape, rmse
+from repro.data import MinMaxScaler, STDataset
+from repro.exceptions import ShapeError
+from repro.models.baselines import HistoricalAverageForecaster
+from repro.models.graphwavenet import GraphWaveNetBackbone
+
+
+class TestMetrics:
+    def test_mae_value(self):
+        assert mae(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == pytest.approx(1.5)
+
+    def test_rmse_value(self):
+        assert rmse(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == pytest.approx(np.sqrt(2.5))
+
+    def test_rmse_ge_mae(self, rng):
+        prediction = rng.normal(size=100)
+        target = rng.normal(size=100)
+        assert rmse(prediction, target) >= mae(prediction, target)
+
+    def test_mape_ignores_near_zero_targets(self):
+        value = mape(np.array([1.0, 5.0]), np.array([2.0, 0.0]))
+        assert value == pytest.approx(50.0)
+
+    def test_mape_all_zero_targets(self):
+        assert mape(np.array([1.0]), np.array([0.0])) == 0.0
+
+    def test_perfect_prediction_is_zero(self, rng):
+        values = rng.normal(size=(5, 4))
+        metrics = compute_metrics(values, values)
+        assert metrics.mae == 0.0 and metrics.rmse == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_compute_metrics_bundle(self, rng):
+        metrics = compute_metrics(rng.normal(size=(6, 2)), rng.normal(size=(6, 2)))
+        assert isinstance(metrics, PredictionMetrics)
+        assert metrics.num_samples == 6
+        assert set(metrics.as_dict()) == {"mae", "rmse", "mape", "num_samples"}
+        assert "MAE" in str(metrics)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(dtype=np.float64, shape=(20,),
+           elements=st.floats(min_value=-100, max_value=100, allow_nan=False)),
+    arrays(dtype=np.float64, shape=(20,),
+           elements=st.floats(min_value=-100, max_value=100, allow_nan=False)),
+)
+def test_metric_properties(prediction, target):
+    assert mae(prediction, target) >= 0
+    assert rmse(prediction, target) >= mae(prediction, target) - 1e-9
+    assert mae(prediction, target) == pytest.approx(mae(target, prediction))
+
+
+class TestEvaluation:
+    @pytest.fixture
+    def dataset(self, small_series):
+        return STDataset(small_series, input_steps=12, output_steps=1, target_channels=(0,))
+
+    @pytest.fixture
+    def model(self, small_network, tiny_encoder_config):
+        return GraphWaveNetBackbone(
+            small_network, in_channels=2, input_steps=12,
+            encoder_config=tiny_encoder_config, rng=0,
+        )
+
+    def test_collect_predictions_shapes(self, model, dataset):
+        predictions, targets = collect_predictions(model, dataset, batch_size=16)
+        assert predictions.shape == targets.shape
+        assert predictions.shape[0] == len(dataset)
+
+    def test_collect_predictions_respects_max_windows(self, model, dataset):
+        predictions, _ = collect_predictions(model, dataset, batch_size=8, max_windows=8)
+        assert predictions.shape[0] <= 16  # at most one extra batch
+
+    def test_evaluate_model_returns_metrics(self, model, dataset):
+        metrics = evaluate_model(model, dataset, batch_size=16)
+        assert np.isfinite(metrics.mae) and np.isfinite(metrics.rmse)
+
+    def test_evaluate_model_with_scaler_changes_units(self, model, dataset, small_series):
+        scaler = MinMaxScaler().fit(small_series)
+        raw = evaluate_model(model, dataset, batch_size=16)
+        rescaled = evaluate_model(model, dataset, batch_size=16, scaler=scaler, target_channel=0)
+        assert rescaled.mae != pytest.approx(raw.mae)
+
+    def test_evaluate_on_sets_pools_windows(self, model, dataset):
+        single = evaluate_model_on_sets(model, [dataset], batch_size=16)
+        double = evaluate_model_on_sets(model, [dataset, dataset], batch_size=16)
+        assert double.mae == pytest.approx(single.mae, rel=1e-9)
+        assert double.num_samples == 2 * single.num_samples
+
+    def test_evaluate_on_sets_requires_datasets(self, model):
+        with pytest.raises(ValueError):
+            evaluate_model_on_sets(model, [])
+
+    def test_evaluate_classical(self, dataset):
+        metrics = evaluate_classical(HistoricalAverageForecaster(), dataset, target_channel=0)
+        assert np.isfinite(metrics.mae)
+
+    def test_evaluate_classical_on_sets(self, dataset):
+        model = HistoricalAverageForecaster()
+        single = evaluate_classical_on_sets(model, [dataset], target_channel=0)
+        double = evaluate_classical_on_sets(model, [dataset, dataset], target_channel=0)
+        assert double.mae == pytest.approx(single.mae, rel=1e-9)

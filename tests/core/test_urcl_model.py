@@ -1,0 +1,159 @@
+"""Tests for the URCL model (Algorithm 1 components wired together)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import URCLConfig
+from repro.core.urcl import URCLModel, build_backbone
+from repro.exceptions import ConfigurationError
+from repro.models.dcrnn import DCRNNBackbone
+from repro.models.geoman import GeoMANBackbone
+from repro.models.graphwavenet import GraphWaveNetBackbone
+from repro.replay.sampling import RandomSampler, RMIRSampler
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def urcl(small_network, tiny_urcl_config):
+    return URCLModel(
+        small_network, in_channels=2, input_steps=12, output_steps=1,
+        out_channels=1, config=tiny_urcl_config, rng=0,
+    )
+
+
+@pytest.fixture
+def batch(rng, small_network):
+    inputs = rng.normal(size=(6, 12, small_network.num_nodes, 2))
+    targets = rng.normal(size=(6, 1, small_network.num_nodes, 1))
+    return inputs, targets
+
+
+class TestBackboneFactory:
+    def test_graphwavenet(self, small_network, tiny_urcl_config):
+        backbone = build_backbone("graphwavenet", small_network, 2, 12, 1, 1, tiny_urcl_config, rng=0)
+        assert isinstance(backbone, GraphWaveNetBackbone)
+
+    def test_dcrnn(self, small_network, tiny_urcl_config):
+        backbone = build_backbone("dcrnn", small_network, 2, 12, 1, 1, tiny_urcl_config, rng=0)
+        assert isinstance(backbone, DCRNNBackbone)
+
+    def test_geoman(self, small_network, tiny_urcl_config):
+        backbone = build_backbone("geoman", small_network, 2, 12, 1, 1, tiny_urcl_config, rng=0)
+        assert isinstance(backbone, GeoMANBackbone)
+
+    def test_unknown(self, small_network, tiny_urcl_config):
+        with pytest.raises(ConfigurationError):
+            build_backbone("mlp", small_network, 2, 12, 1, 1, tiny_urcl_config)
+
+
+class TestURCLModelStructure:
+    def test_encoder_shared_between_prediction_and_simsiam(self, urcl):
+        assert urcl.simsiam.encoder is urcl.backbone.encoder
+
+    def test_sampler_selected_by_config(self, small_network, tiny_urcl_config):
+        rmir_model = URCLModel(small_network, 2, config=tiny_urcl_config, rng=0)
+        assert isinstance(rmir_model.sampler, RMIRSampler)
+        random_model = URCLModel(
+            small_network, 2, config=tiny_urcl_config.without("rmir"), rng=0
+        )
+        assert isinstance(random_model.sampler, RandomSampler)
+
+    def test_forward_and_predict(self, urcl, batch):
+        inputs, _ = batch
+        out = urcl(Tensor(inputs))
+        assert out.shape == (6, 1, urcl.network.num_nodes, 1)
+        assert isinstance(urcl.predict(inputs), np.ndarray)
+
+    def test_parameters_include_projector_and_backbone(self, urcl):
+        parameter_count = len(urcl.parameters())
+        assert parameter_count > len(urcl.backbone.parameters())
+
+
+class TestIntegrate:
+    def test_empty_buffer_passthrough(self, urcl, batch):
+        inputs, targets = batch
+        mixed_inputs, mixed_targets, lam, replayed = urcl.integrate(inputs, targets)
+        np.testing.assert_allclose(mixed_inputs, inputs)
+        assert lam == 1.0 and replayed == 0
+
+    def test_replay_mixes_after_buffer_fills(self, urcl, batch):
+        inputs, targets = batch
+        urcl.buffer.add_batch(inputs, targets, set_name="Bset")
+        mixed_inputs, mixed_targets, lam, replayed = urcl.integrate(inputs, targets)
+        assert replayed > 0
+        assert 0.0 <= lam <= 1.0
+        assert mixed_inputs.shape == inputs.shape
+
+    def test_without_mixup_concatenates(self, small_network, tiny_urcl_config, batch):
+        model = URCLModel(small_network, 2, config=tiny_urcl_config.without("mixup"), rng=0)
+        inputs, targets = batch
+        model.buffer.add_batch(inputs, targets)
+        mixed_inputs, mixed_targets, lam, replayed = model.integrate(inputs, targets)
+        assert mixed_inputs.shape[0] == inputs.shape[0] + replayed
+        assert lam == 1.0
+
+    def test_without_replay_never_touches_buffer(self, small_network, tiny_urcl_config, batch):
+        model = URCLModel(small_network, 2, config=tiny_urcl_config.without("replay"), rng=0)
+        inputs, targets = batch
+        model.training_step(inputs, targets)
+        assert len(model.buffer) == 0
+
+
+class TestTrainingStep:
+    def test_step_output_fields(self, urcl, batch):
+        inputs, targets = batch
+        step = urcl.training_step(inputs, targets, set_name="Bset")
+        assert np.isfinite(step.task_loss)
+        assert np.isfinite(step.ssl_loss)
+        assert step.total_loss.requires_grad
+
+    def test_buffer_grows_with_steps(self, urcl, batch):
+        inputs, targets = batch
+        urcl.training_step(inputs, targets, set_name="Bset")
+        assert len(urcl.buffer) == inputs.shape[0]
+        urcl.training_step(inputs, targets, set_name="I1")
+        assert len(urcl.buffer) == 2 * inputs.shape[0]
+        assert set(urcl.buffer.occupancy_by_set()) == {"Bset", "I1"}
+
+    def test_backward_and_update_changes_parameters(self, urcl, batch):
+        from repro.nn.optim import Adam
+
+        inputs, targets = batch
+        optimizer = Adam(urcl.parameters(), lr=1e-3)
+        before = {name: value.copy() for name, value in urcl.backbone.state_dict().items()}
+        step = urcl.training_step(inputs, targets)
+        urcl.zero_grad()
+        step.total_loss.backward()
+        optimizer.step()
+        after = urcl.backbone.state_dict()
+        changed = any(not np.allclose(before[name], after[name]) for name in before)
+        assert changed
+
+    def test_without_graphcl_has_zero_ssl_loss(self, small_network, tiny_urcl_config, batch):
+        model = URCLModel(small_network, 2, config=tiny_urcl_config.without("graphcl"), rng=0)
+        inputs, targets = batch
+        step = model.training_step(inputs, targets)
+        assert step.ssl_loss == 0.0
+
+    def test_without_augmentation_still_computes_ssl(self, small_network, tiny_urcl_config, batch):
+        model = URCLModel(small_network, 2, config=tiny_urcl_config.without("augmentation"), rng=0)
+        inputs, targets = batch
+        step = model.training_step(inputs, targets)
+        assert np.isfinite(step.ssl_loss)
+
+    def test_replay_samples_reported_after_warmup(self, urcl, batch):
+        inputs, targets = batch
+        first = urcl.training_step(inputs, targets)
+        second = urcl.training_step(inputs, targets)
+        assert first.replay_samples == 0
+        assert second.replay_samples > 0
+
+    def test_paper_exact_loss_path(self, small_network, tiny_urcl_config, batch):
+        from dataclasses import replace
+
+        config = replace(tiny_urcl_config, joint_current_loss=False)
+        model = URCLModel(small_network, 2, config=config, rng=0)
+        inputs, targets = batch
+        model.buffer.add_batch(inputs, targets)
+        step = model.training_step(inputs, targets)
+        assert np.isfinite(step.task_loss)

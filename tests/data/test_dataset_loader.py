@@ -1,0 +1,125 @@
+"""Tests for the windowed dataset and the mini-batch loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import Batch, DataLoader, STDataset
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def dataset(small_series):
+    return STDataset(small_series, input_steps=12, output_steps=1, target_channels=(0,))
+
+
+class TestSTDataset:
+    def test_window_count(self, small_series):
+        dataset = STDataset(small_series, input_steps=12, output_steps=1)
+        assert len(dataset) == small_series.shape[0] - 12
+
+    def test_window_shapes(self, dataset, small_series):
+        window = dataset[0]
+        assert window.inputs.shape == (12, small_series.shape[1], 2)
+        assert window.targets.shape == (1, small_series.shape[1], 1)
+
+    def test_window_alignment(self, dataset, small_series):
+        window = dataset[5]
+        np.testing.assert_allclose(window.inputs, small_series[5:17])
+        np.testing.assert_allclose(window.targets[0, :, 0], small_series[17, :, 0])
+
+    def test_negative_index(self, dataset):
+        np.testing.assert_allclose(dataset[-1].inputs, dataset[len(dataset) - 1].inputs)
+
+    def test_out_of_range_raises(self, dataset):
+        with pytest.raises(IndexError):
+            dataset[len(dataset)]
+
+    def test_stride_reduces_windows(self, small_series):
+        dense = STDataset(small_series, input_steps=12)
+        strided = STDataset(small_series, input_steps=12, stride=4)
+        assert len(strided) == int(np.ceil(len(dense) / 4))
+
+    def test_multi_step_targets(self, small_series):
+        dataset = STDataset(small_series, input_steps=12, output_steps=3)
+        assert dataset[0].targets.shape[0] == 3
+
+    def test_multi_channel_targets(self, small_series):
+        dataset = STDataset(small_series, input_steps=12, target_channels=(0, 1))
+        assert dataset[0].targets.shape[-1] == 2
+
+    def test_arrays_shapes(self, dataset):
+        inputs, targets = dataset.arrays()
+        assert inputs.shape[0] == len(dataset)
+        assert targets.shape[0] == len(dataset)
+
+    def test_split_chronological(self, dataset):
+        train, validation, test = dataset.split((0.6, 0.2, 0.2))
+        assert train.num_steps > validation.num_steps
+        total = train.num_steps + validation.num_steps + test.num_steps
+        assert total == dataset.num_steps
+
+    def test_split_bad_fractions(self, dataset):
+        with pytest.raises(DataError):
+            dataset.split((0.5, 0.2, 0.2))
+
+    def test_rejects_bad_series_rank(self):
+        with pytest.raises(DataError):
+            STDataset(np.zeros((10, 3)))
+
+    def test_rejects_too_short_series(self):
+        with pytest.raises(DataError):
+            STDataset(np.zeros((5, 3, 1)), input_steps=12)
+
+    def test_rejects_bad_target_channel(self, small_series):
+        with pytest.raises(DataError):
+            STDataset(small_series, target_channels=(7,))
+
+    def test_slice_steps(self, dataset):
+        sliced = dataset.slice_steps(0, 30)
+        assert sliced.num_steps == 30
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, dataset):
+        loader = DataLoader(dataset, batch_size=8)
+        batch = next(iter(loader))
+        assert isinstance(batch, Batch)
+        assert batch.inputs.shape[0] == 8
+        assert len(batch) == 8
+
+    def test_number_of_batches(self, dataset):
+        loader = DataLoader(dataset, batch_size=16)
+        assert len(loader) == int(np.ceil(len(dataset) / 16))
+        assert sum(1 for _ in loader) == len(loader)
+
+    def test_drop_last(self, dataset):
+        loader = DataLoader(dataset, batch_size=16, drop_last=True)
+        assert all(len(batch) == 16 for batch in loader)
+
+    def test_sequential_order_without_shuffle(self, dataset):
+        loader = DataLoader(dataset, batch_size=4, shuffle=False)
+        batch = next(iter(loader))
+        np.testing.assert_array_equal(batch.indices, [0, 1, 2, 3])
+
+    def test_shuffle_changes_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=len(dataset), shuffle=True, rng=0)
+        batch = next(iter(loader))
+        assert not np.array_equal(batch.indices, np.arange(len(dataset)))
+        # but every window appears exactly once
+        assert sorted(batch.indices.tolist()) == list(range(len(dataset)))
+
+    def test_rejects_bad_batch_size(self, dataset):
+        with pytest.raises(DataError):
+            DataLoader(dataset, batch_size=0)
+
+    def test_single_window_dataset_iterates(self, small_series):
+        dataset = STDataset(small_series[:13], input_steps=12, output_steps=1)
+        assert len(dataset) == 1
+        batches = list(DataLoader(dataset, batch_size=4))
+        assert len(batches) == 1
+        assert len(batches[0]) == 1
+
+    def test_shuffle_is_reproducible_with_seed(self, dataset):
+        first = next(iter(DataLoader(dataset, batch_size=8, shuffle=True, rng=5)))
+        second = next(iter(DataLoader(dataset, batch_size=8, shuffle=True, rng=5)))
+        np.testing.assert_array_equal(first.indices, second.indices)

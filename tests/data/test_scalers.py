@@ -1,0 +1,108 @@
+"""Tests for feature scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import IdentityScaler, MinMaxScaler, StandardScaler
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def series(rng):
+    return rng.normal(loc=50, scale=10, size=(40, 6, 3))
+
+
+class TestMinMaxScaler:
+    def test_transform_range(self, series):
+        scaled = MinMaxScaler().fit_transform(series)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+    def test_roundtrip(self, series):
+        scaler = MinMaxScaler().fit(series)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(series)), series, rtol=1e-9
+        )
+
+    def test_per_channel_statistics(self, series):
+        scaler = MinMaxScaler().fit(series)
+        assert scaler.minimum.shape == (3,)
+
+    def test_channel_inverse(self, series):
+        scaler = MinMaxScaler().fit(series)
+        scaled = scaler.transform(series)
+        recovered = scaler.inverse_transform_channel(scaled[..., 1], channel=1)
+        np.testing.assert_allclose(recovered, series[..., 1], rtol=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(DataError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_constant_channel_does_not_divide_by_zero(self):
+        data = np.ones((10, 2, 1))
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, series):
+        scaled = StandardScaler().fit_transform(series)
+        np.testing.assert_allclose(scaled.mean(axis=(0, 1)), np.zeros(3), atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=(0, 1)), np.ones(3), rtol=1e-6)
+
+    def test_roundtrip(self, series):
+        scaler = StandardScaler().fit(series)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(series)), series, rtol=1e-9
+        )
+
+    def test_channel_inverse(self, series):
+        scaler = StandardScaler().fit(series)
+        scaled = scaler.transform(series)
+        np.testing.assert_allclose(
+            scaler.inverse_transform_channel(scaled[..., 0], 0), series[..., 0], rtol=1e-9
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(DataError):
+            StandardScaler().inverse_transform(np.zeros((2, 2)))
+
+
+class TestIdentityScaler:
+    def test_is_noop(self, series):
+        scaler = IdentityScaler()
+        np.testing.assert_allclose(scaler.fit_transform(series), series)
+        np.testing.assert_allclose(scaler.inverse_transform(series), series)
+        np.testing.assert_allclose(scaler.inverse_transform_channel(series[..., 0], 0), series[..., 0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=(20, 3, 2),
+        elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+)
+def test_minmax_roundtrip_property(data):
+    scaler = MinMaxScaler().fit(data)
+    np.testing.assert_allclose(
+        scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-6, atol=1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=(20, 3, 2),
+        elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+)
+def test_standard_roundtrip_property(data):
+    scaler = StandardScaler().fit(data)
+    np.testing.assert_allclose(
+        scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-6, atol=1e-6
+    )

@@ -1,0 +1,85 @@
+"""Tests for the streaming protocol (base + incremental sets, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MinMaxScaler,
+    StreamingScenario,
+    build_streaming_scenario,
+    incremental_set_names,
+    load_dataset,
+)
+from repro.exceptions import DataError
+
+
+class TestSetNames:
+    def test_names(self):
+        assert incremental_set_names(4) == ["Bset", "I1", "I2", "I3", "I4"]
+        assert incremental_set_names(1) == ["Bset", "I1"]
+
+
+class TestBuildScenario:
+    def test_default_protocol(self, tiny_scenario):
+        assert isinstance(tiny_scenario, StreamingScenario)
+        assert tiny_scenario.set_names == ["Bset", "I1", "I2", "I3", "I4"]
+        assert len(tiny_scenario) == 5
+        assert tiny_scenario.base_set.name == "Bset"
+        assert len(tiny_scenario.incremental_sets) == 4
+
+    def test_base_fraction_respected(self, tiny_dataset):
+        scenario = build_streaming_scenario(tiny_dataset, base_fraction=0.3)
+        total = tiny_dataset.series.shape[0]
+        assert scenario.base_set.num_steps == pytest.approx(0.3 * total, rel=0.02)
+
+    def test_periods_are_contiguous_and_cover_stream(self, tiny_scenario, tiny_dataset):
+        boundaries = [(s.start_step, s.end_step) for s in tiny_scenario.sets]
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == tiny_dataset.series.shape[0]
+        for (_, end), (start, _) in zip(boundaries[:-1], boundaries[1:]):
+            assert end == start
+
+    def test_incremental_sets_equal_size(self, tiny_scenario):
+        sizes = [s.num_steps for s in tiny_scenario.incremental_sets]
+        assert max(sizes) - min(sizes) <= max(sizes) * 0.1 + 1
+
+    def test_scaling_applied(self, tiny_scenario):
+        # Scaled base training data must lie in [0, 1].
+        train = tiny_scenario.base_set.train.series
+        assert train.min() >= -1e-9
+        assert train.max() <= 1.0 + 1e-9
+
+    def test_scaler_fitted_only_on_base_train(self, tiny_dataset):
+        scenario = build_streaming_scenario(tiny_dataset, scaler=MinMaxScaler())
+        # Later (drifted) periods may exceed the base range after scaling.
+        last = scenario.sets[-1].test.series
+        assert np.isfinite(last).all()
+
+    def test_train_val_test_split_inside_each_set(self, tiny_scenario):
+        for stream_set in tiny_scenario:
+            assert len(stream_set.train) > 0
+            assert len(stream_set.validation) > 0
+            assert len(stream_set.test) > 0
+            assert stream_set.train.num_steps > stream_set.test.num_steps
+
+    def test_each_set_has_all_nodes(self, tiny_scenario, tiny_dataset):
+        for stream_set in tiny_scenario:
+            assert stream_set.train.num_nodes == tiny_dataset.network.num_nodes
+
+    def test_rejects_bad_base_fraction(self, tiny_dataset):
+        with pytest.raises(DataError):
+            build_streaming_scenario(tiny_dataset, base_fraction=1.5)
+
+    def test_rejects_bad_incremental_count(self, tiny_dataset):
+        with pytest.raises(DataError):
+            build_streaming_scenario(tiny_dataset, num_incremental=0)
+
+    def test_rejects_too_short_stream(self):
+        dataset = load_dataset("pems08", num_days=1, num_nodes=8, seed=0)
+        dataset.series = dataset.series[:200]
+        with pytest.raises(DataError):
+            build_streaming_scenario(dataset, num_incremental=8)
+
+    def test_custom_number_of_incremental_sets(self, tiny_dataset):
+        scenario = build_streaming_scenario(tiny_dataset, num_incremental=2)
+        assert scenario.set_names == ["Bset", "I1", "I2"]

@@ -1,0 +1,139 @@
+"""Tests for the synthetic traffic generator and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_SPECS,
+    SyntheticTrafficGenerator,
+    TrafficProfile,
+    list_datasets,
+    load_dataset,
+)
+from repro.exceptions import DataError
+from repro.graph import grid_network
+
+
+@pytest.fixture
+def generator(small_network):
+    profile = TrafficProfile(interval_minutes=15)
+    return SyntheticTrafficGenerator(small_network, profile=profile, rng=0)
+
+
+class TestSyntheticGenerator:
+    def test_output_shape_and_channel_order(self, generator, small_network):
+        series = generator.generate(100, channels=("flow", "speed", "occupancy"))
+        assert series.shape == (100, small_network.num_nodes, 3)
+
+    def test_values_are_physical(self, generator):
+        series = generator.generate(96 * 2, channels=("speed", "flow"))
+        speed, flow = series[..., 0], series[..., 1]
+        assert (speed > 0).all() and (speed <= TrafficProfile().free_flow_speed + 1e-6).all()
+        assert (flow >= 0).all()
+
+    def test_occupancy_bounded(self, generator):
+        occupancy = generator.generate(200, channels=("occupancy",))[..., 0]
+        assert (occupancy >= 0).all() and (occupancy <= 1.0).all()
+
+    def test_daily_periodicity_present(self, small_network):
+        profile = TrafficProfile(interval_minutes=15, noise_scale=0.0, incident_rate=0.0,
+                                 drift_strength=0.0)
+        generator = SyntheticTrafficGenerator(small_network, profile=profile, rng=0)
+        series = generator.generate(96 * 7, channels=("flow",), drift=False)[..., 0]
+        daily = series.reshape(7, 96, -1).mean(axis=2)
+        # Peak-hour flow should clearly exceed night-time flow on weekdays.
+        assert daily[:5, 30:38].mean() > 1.5 * daily[:5, :10].mean()
+
+    def test_weekend_demand_lower(self, small_network):
+        profile = TrafficProfile(interval_minutes=15, noise_scale=0.0, incident_rate=0.0,
+                                 drift_strength=0.0)
+        generator = SyntheticTrafficGenerator(small_network, profile=profile, rng=0)
+        series = generator.generate(96 * 7, channels=("flow",), drift=False)[..., 0]
+        weekday = series[: 96 * 5].mean()
+        weekend = series[96 * 5 :].mean()
+        assert weekend < weekday
+
+    def test_concept_drift_changes_statistics(self, small_network):
+        profile = TrafficProfile(interval_minutes=5, noise_scale=0.0, incident_rate=0.0)
+        generator = SyntheticTrafficGenerator(small_network, profile=profile, rng=0)
+        series = generator.generate(288 * 6, channels=("flow",), drift=True)[..., 0]
+        early = series[: 288 * 2].mean(axis=0)
+        late = series[288 * 4 :].mean(axis=0)
+        relative_change = np.abs(early - late) / np.maximum(early, 1e-6)
+        assert relative_change.mean() > 0.05
+
+    def test_no_drift_keeps_statistics_stable(self, small_network):
+        profile = TrafficProfile(interval_minutes=5, noise_scale=0.0, incident_rate=0.0,
+                                 weekend_factor=1.0)
+        generator = SyntheticTrafficGenerator(small_network, profile=profile, rng=0)
+        series = generator.generate(288 * 6, channels=("flow",), drift=False)[..., 0]
+        early = series[: 288 * 2].mean()
+        late = series[288 * 4 :].mean()
+        assert abs(early - late) / early < 0.05
+
+    def test_reproducible_with_seed(self, small_network):
+        a = SyntheticTrafficGenerator(small_network, rng=5).generate(50)
+        b = SyntheticTrafficGenerator(small_network, rng=5).generate(50)
+        np.testing.assert_allclose(a, b)
+
+    def test_rejects_unknown_channel(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(10, channels=("speed", "bogus"))
+
+    def test_rejects_non_positive_steps(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate(0)
+
+
+class TestDatasetRegistry:
+    def test_four_benchmarks_registered(self):
+        assert set(list_datasets()) == {"metr-la", "pems-bay", "pems04", "pems08"}
+
+    def test_specs_match_table1(self):
+        assert DATASET_SPECS["metr-la"].num_nodes == 207
+        assert DATASET_SPECS["pems-bay"].num_nodes == 325
+        assert DATASET_SPECS["pems04"].num_nodes == 307
+        assert DATASET_SPECS["pems08"].num_nodes == 170
+        assert DATASET_SPECS["metr-la"].interval_minutes == 15
+        assert DATASET_SPECS["pems04"].interval_minutes == 5
+        assert DATASET_SPECS["pems04"].num_channels == 3
+        assert DATASET_SPECS["metr-la"].num_channels == 2
+
+    def test_target_channel_matches_task(self):
+        assert DATASET_SPECS["metr-la"].channels[DATASET_SPECS["metr-la"].target_channel] == "speed"
+        assert DATASET_SPECS["pems08"].channels[DATASET_SPECS["pems08"].target_channel] == "flow"
+
+    def test_load_dataset_shapes(self):
+        dataset = load_dataset("pems08", num_days=2, num_nodes=10, seed=0)
+        steps_per_day = 24 * 60 // 5
+        assert dataset.series.shape == (2 * steps_per_day, 10, 3)
+        assert dataset.network.num_nodes == 10
+
+    def test_load_dataset_default_nodes(self):
+        dataset = load_dataset("metr-la", num_days=1, seed=0)
+        assert dataset.series.shape[1] == 207
+
+    def test_load_dataset_windows(self):
+        dataset = load_dataset("pems08", num_days=2, num_nodes=8, seed=0)
+        windows = dataset.to_windows()
+        assert windows.input_steps == 12
+        assert windows[0].targets.shape[-1] == 1
+
+    def test_load_dataset_reproducible(self):
+        a = load_dataset("pems08", num_days=1, num_nodes=8, seed=11)
+        b = load_dataset("pems08", num_days=1, num_nodes=8, seed=11)
+        np.testing.assert_allclose(a.series, b.series)
+
+    def test_load_dataset_unknown_name(self):
+        with pytest.raises(DataError):
+            load_dataset("does-not-exist")
+
+    def test_load_dataset_bad_overrides(self):
+        with pytest.raises(DataError):
+            load_dataset("pems08", num_nodes=1)
+        with pytest.raises(DataError):
+            load_dataset("pems08", num_days=0)
+
+    def test_case_insensitive_names(self):
+        dataset = load_dataset("PEMS08", num_days=1, num_nodes=8, seed=0)
+        assert dataset.spec.name == "pems08"

@@ -1,0 +1,156 @@
+"""Tests for the experiment infrastructure and smoke-scale runs of the runners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    EXPERIMENTS,
+    SCALES,
+    format_metric_grid,
+    format_series,
+    format_table,
+    get_scale,
+    list_experiments,
+    make_classical_baseline,
+    make_deep_baseline,
+    make_scenario,
+    make_training,
+    make_urcl,
+    run_experiment,
+    run_table1,
+)
+from repro.experiments.ablation import ABLATION_VARIANTS
+from repro.experiments.common import ExperimentScale
+from repro.models.base import STModel
+from repro.models.baselines.classical import ClassicalForecaster
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert {"smoke", "bench", "paper"} <= set(SCALES)
+
+    def test_get_scale_by_name_and_passthrough(self):
+        assert get_scale("smoke").name == "smoke"
+        custom = ExperimentScale(name="c", num_nodes=5, num_days=2, epochs_base=1,
+                                 epochs_incremental=1, batch_size=4,
+                                 max_batches_per_epoch=1, eval_max_windows=4)
+        assert get_scale(custom) is custom
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("gigantic")
+
+    def test_training_config_from_scale(self):
+        training = make_training("smoke", seed=3)
+        assert training.epochs_base == SCALES["smoke"].epochs_base
+        assert training.seed == 3
+
+
+class TestScenarioAndModelFactories:
+    def test_make_scenario_smoke(self):
+        scenario = make_scenario("pems08", "smoke", seed=1)
+        assert scenario.spec.name == "pems08"
+        assert len(scenario.sets) == 5
+
+    def test_make_scenario_scales_days_for_coarse_intervals(self):
+        scenario = make_scenario("metr-la", "smoke", seed=1)
+        # 15-minute dataset gets 3x the days so the step count matches.
+        assert scenario.raw_series.shape[0] >= 96 * 10
+
+    def test_make_urcl(self):
+        scenario = make_scenario("pems08", "smoke", seed=1)
+        model = make_urcl(scenario, "smoke", seed=0)
+        assert model.in_channels == scenario.spec.num_channels
+
+    def test_make_deep_baselines(self):
+        scenario = make_scenario("pems08", "smoke", seed=1)
+        for name in ("DCRNN", "STGCN", "MTGNN", "AGCRN", "STGODE", "GraphWaveNet"):
+            model = make_deep_baseline(name, scenario, seed=0)
+            assert isinstance(model, STModel)
+
+    def test_make_classical_baselines(self):
+        scenario = make_scenario("pems08", "smoke", seed=1)
+        assert isinstance(make_classical_baseline("ARIMA", scenario), ClassicalForecaster)
+        assert isinstance(make_classical_baseline("HA", scenario), ClassicalForecaster)
+
+    def test_unknown_baseline(self):
+        scenario = make_scenario("pems08", "smoke", seed=1)
+        with pytest.raises(ConfigurationError):
+            make_deep_baseline("Prophet", scenario)
+        with pytest.raises(ConfigurationError):
+            make_classical_baseline("Prophet", scenario)
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in text and "2.500" in text and "x" in text
+
+    def test_format_metric_grid(self):
+        results = {"URCL": {"Bset": {"mae": 1.0, "rmse": 2.0}}}
+        text = format_metric_grid(results, ["Bset"], metric="mae")
+        assert "URCL" in text and "1.000" in text
+
+    def test_format_series(self):
+        text = format_series({"metr-la": [1.0, 2.0]}, title="Loss")
+        assert "metr-la" in text and "Loss" in text
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        assert {"table1", "table2", "table3", "table4", "fig6", "fig7", "fig8"} <= set(
+            list_experiments()
+        )
+
+    def test_ablation_variants_match_paper(self):
+        assert set(ABLATION_VARIANTS) == {"w/o_GCL", "w/o_STU", "w/o_RMIR", "w/o_STA"}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("table99")
+
+    def test_registry_callables(self):
+        for name, runner in EXPERIMENTS.items():
+            assert callable(runner), name
+
+
+class TestRunners:
+    def test_table1_lists_all_datasets(self):
+        result = run_table1(scale="smoke")
+        assert result["experiment"] == "table1"
+        assert len(result["rows"]) == 4
+        assert "metr-la" in result["formatted"]
+
+    def test_table2_smoke_single_dataset(self):
+        result = run_experiment("table2", scale="smoke", datasets=("pems08",), seed=0)
+        methods = result["results"]["pems08"]
+        assert set(methods) == {"OneFitAll", "FinetuneST", "URCL"}
+        for per_set in methods.values():
+            assert set(per_set) == {"Bset", "I1", "I2", "I3", "I4"}
+            assert all(np.isfinite(v["mae"]) for v in per_set.values())
+        assert "Table II" in result["formatted"]
+
+    def test_fig8_smoke_single_dataset(self):
+        result = run_experiment("fig8", scale="smoke", datasets=("pems08",), seed=0)
+        curve = result["loss_curves"]["pems08"]
+        assert len(curve) >= 5  # one entry per epoch per set
+        assert all(np.isfinite(v) for v in curve)
+
+    def test_fig6_smoke_has_all_variants(self):
+        result = run_experiment("fig6", scale="smoke", datasets=("pems08",), seed=0)
+        variants = result["results"]["pems08"]
+        assert set(variants) == {"w/o_GCL", "w/o_STU", "w/o_RMIR", "w/o_STA", "URCL"}
+
+    def test_table4_smoke_single_dataset(self):
+        result = run_experiment(
+            "table4", scale="smoke", datasets=("pems08",), backbones=("geoman", "graphwavenet"),
+            seed=0,
+        )
+        assert set(result["results"]["pems08"]) == {"GEOMAN", "URCL"}
+
+    def test_fig7_smoke_reports_timings(self):
+        result = run_experiment("fig7", scale="smoke", methods=("STGCN",), seed=0)
+        assert "URCL" in result["results"] and "STGCN" in result["results"]
+        for timing in result["results"].values():
+            assert timing["train_seconds_per_epoch_base"] >= 0

@@ -1,0 +1,113 @@
+"""Tests for adjacency normalisation and diffusion supports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    add_self_loops,
+    backward_transition,
+    diffusion_supports,
+    forward_transition,
+    power_series,
+    row_normalize,
+    symmetric_normalize,
+)
+
+
+@pytest.fixture
+def adjacency():
+    return np.array(
+        [
+            [0.0, 2.0, 0.0],
+            [1.0, 0.0, 3.0],
+            [0.0, 0.0, 0.0],
+        ]
+    )
+
+
+class TestNormalisation:
+    def test_add_self_loops(self, adjacency):
+        out = add_self_loops(adjacency)
+        np.testing.assert_allclose(np.diag(out), np.ones(3))
+
+    def test_row_normalize_rows_sum_to_one(self, adjacency):
+        out = row_normalize(add_self_loops(adjacency))
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(3))
+
+    def test_row_normalize_zero_row_stays_zero(self):
+        out = row_normalize(np.zeros((2, 2)))
+        np.testing.assert_allclose(out, np.zeros((2, 2)))
+
+    def test_symmetric_normalize_is_symmetric_for_symmetric_input(self):
+        symmetric = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = symmetric_normalize(symmetric)
+        np.testing.assert_allclose(out, out.T)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError):
+            row_normalize(np.zeros((2, 3)))
+
+
+class TestTransitions:
+    def test_forward_transition_row_stochastic(self, adjacency):
+        out = forward_transition(adjacency)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(3))
+        assert (out >= 0).all()
+
+    def test_backward_transition_uses_transpose(self, adjacency):
+        forward = forward_transition(adjacency)
+        backward = backward_transition(adjacency)
+        assert not np.allclose(forward, backward)
+        np.testing.assert_allclose(backward.sum(axis=1), np.ones(3))
+
+    def test_power_series_length_and_identity(self, adjacency):
+        powers = power_series(forward_transition(adjacency), 3)
+        assert len(powers) == 4
+        np.testing.assert_allclose(powers[0], np.eye(3))
+
+    def test_power_series_negative_order(self, adjacency):
+        with pytest.raises(ValueError):
+            power_series(adjacency, -1)
+
+    def test_diffusion_supports_undirected(self, adjacency):
+        supports = diffusion_supports(adjacency, 2, directed=False)
+        assert len(supports) == 3
+
+    def test_diffusion_supports_directed_has_both_directions(self, adjacency):
+        supports = diffusion_supports(adjacency, 2, directed=True)
+        assert len(supports) == 5  # forward 0..2 plus backward 1..2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=(5, 5),
+        elements=st.floats(min_value=0, max_value=10, allow_nan=False),
+    )
+)
+def test_row_normalize_always_row_stochastic_or_zero(matrix):
+    out = row_normalize(matrix)
+    sums = out.sum(axis=1)
+    for original_row, normalised_sum in zip(matrix, sums):
+        if original_row.sum() > 0:
+            assert normalised_sum == pytest.approx(1.0, rel=1e-9)
+        else:
+            assert normalised_sum == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=(4, 4),
+        elements=st.floats(min_value=0, max_value=5, allow_nan=False),
+    )
+)
+def test_forward_transition_entries_are_probabilities(matrix):
+    out = forward_transition(matrix)
+    assert (out >= 0).all() and (out <= 1.0 + 1e-12).all()

@@ -1,0 +1,160 @@
+"""Tests for dense, convolutional, recurrent, attention and norm layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+
+
+class TestLinearAndMLP:
+    def test_linear_shape_any_rank(self):
+        layer = nn.Linear(5, 3, rng=0)
+        assert layer(Tensor(np.zeros((2, 5)))).shape == (2, 3)
+        assert layer(Tensor(np.zeros((2, 7, 5)))).shape == (2, 7, 3)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_linear_gradcheck(self):
+        layer = nn.Linear(3, 2, rng=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+        assert check_gradients(lambda x: layer(x).sum(), [x])
+
+    def test_mlp_shapes_and_activations(self):
+        mlp = nn.MLP(6, [8, 8], 2, activation="tanh", rng=0)
+        assert mlp(Tensor(np.zeros((3, 6)))).shape == (3, 2)
+
+    def test_mlp_final_activation_flag(self):
+        mlp = nn.MLP(3, [], 2, final_activation=True, rng=0)
+        out = mlp(Tensor(-np.ones((2, 3))))
+        assert (out.data >= 0).all()
+
+    def test_mlp_unknown_activation(self):
+        mlp = nn.MLP(3, [4], 2, activation="nope", rng=0)
+        with pytest.raises(ValueError):
+            mlp(Tensor(np.zeros((1, 3))))
+
+
+class TestTemporalConv:
+    def test_output_length_valid_mode(self):
+        conv = nn.TemporalConv(2, 4, kernel_size=2, dilation=3)
+        x = Tensor(np.zeros((2, 12, 5, 2)))
+        out = conv(x)
+        assert out.shape == (2, 12 - 3, 5, 4)
+        assert conv.output_length(12) == 9
+        assert conv.receptive_field == 4
+
+    def test_causal_padding_keeps_length(self):
+        conv = nn.TemporalConv(2, 4, kernel_size=2, dilation=2, causal_padding=True)
+        out = conv(Tensor(np.zeros((1, 10, 3, 2))))
+        assert out.shape == (1, 10, 3, 4)
+
+    def test_causality(self):
+        # Changing a future time step must not affect earlier outputs.
+        conv = nn.TemporalConv(1, 1, kernel_size=2, dilation=1, causal_padding=True, rng=0)
+        x = np.random.default_rng(0).normal(size=(1, 8, 2, 1))
+        base = conv(Tensor(x)).data.copy()
+        perturbed = x.copy()
+        perturbed[:, -1] += 10.0
+        out = conv(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[:, :-1], base[:, :-1])
+
+    def test_too_short_input_raises(self):
+        conv = nn.TemporalConv(1, 1, kernel_size=2, dilation=8)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 5, 2, 1))))
+
+    def test_rejects_bad_rank(self):
+        conv = nn.TemporalConv(1, 1)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((5, 2, 1))))
+
+    def test_gradcheck(self):
+        conv = nn.TemporalConv(2, 3, kernel_size=2, dilation=2, rng=3)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 6, 2, 2)), requires_grad=True)
+        assert check_gradients(lambda x: conv(x).sum(), [x])
+
+    def test_gated_conv_output_bounded_by_gate(self):
+        gated = nn.GatedTemporalConv(2, 4, kernel_size=2, dilation=1, rng=0)
+        out = gated(Tensor(np.random.default_rng(2).normal(size=(2, 6, 3, 2))))
+        assert (np.abs(out.data) <= 1.0 + 1e-9).all()  # tanh * sigmoid is in (-1, 1)
+
+
+class TestRecurrent:
+    def test_gru_cell_shapes(self):
+        cell = nn.GRUCell(3, 5, rng=0)
+        h = cell(Tensor(np.zeros((2, 4, 3))), Tensor(np.zeros((2, 4, 5))))
+        assert h.shape == (2, 4, 5)
+
+    def test_gru_unroll(self):
+        gru = nn.GRU(3, 6, rng=0)
+        sequence, final = gru(Tensor(np.random.default_rng(0).normal(size=(2, 7, 4, 3))))
+        assert sequence.shape == (2, 7, 4, 6)
+        assert final.shape == (2, 4, 6)
+        np.testing.assert_allclose(sequence.data[:, -1], final.data)
+
+    def test_gru_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            nn.GRU(3, 6)(Tensor(np.zeros((2, 7, 3))))
+
+    def test_gru_hidden_state_is_bounded(self):
+        gru = nn.GRU(2, 4, rng=1)
+        _, final = gru(Tensor(np.random.default_rng(1).normal(size=(1, 20, 2, 2)) * 5))
+        assert (np.abs(final.data) <= 1.0 + 1e-9).all()
+
+
+class TestAttention:
+    def test_scaled_dot_product_shapes(self):
+        attention = nn.ScaledDotProductAttention()
+        q = Tensor(np.random.default_rng(0).normal(size=(2, 5, 4)))
+        out = attention(q, q, q)
+        assert out.shape == (2, 5, 4)
+
+    def test_temporal_attention_preserves_shape(self):
+        layer = nn.TemporalAttention(6, rng=0)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 7, 3, 6)))
+        assert layer(x).shape == (2, 7, 3, 6)
+
+    def test_spatial_attention_preserves_shape(self):
+        layer = nn.SpatialAttention(6, rng=0)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 7, 3, 6)))
+        assert layer(x).shape == (2, 7, 3, 6)
+
+    def test_attention_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            nn.TemporalAttention(6)(Tensor(np.zeros((2, 7, 6))))
+
+
+class TestNormalizationAndDropout:
+    def test_layer_norm_normalises_last_axis(self):
+        layer = nn.LayerNorm(8)
+        out = layer(Tensor(np.random.default_rng(0).normal(loc=5, scale=3, size=(4, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_batch_norm_train_vs_eval(self):
+        layer = nn.BatchNorm(4)
+        x = Tensor(np.random.default_rng(1).normal(size=(50, 4)) * 2 + 3)
+        layer(x)  # updates running statistics
+        layer.eval()
+        out = layer(Tensor(np.zeros((2, 4))))
+        assert out.shape == (2, 4)
+
+    def test_dropout_in_training_and_eval(self):
+        layer = nn.Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 100)))
+        train_out = layer(x)
+        assert (train_out.data == 0).any()
+        layer.eval()
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)

@@ -1,0 +1,103 @@
+"""Tests for the loss functions, including the GraphCL contrastive loss."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, check_gradients
+from repro.tensor import functional as F
+
+
+class TestPredictionLosses:
+    def test_mae_value(self):
+        loss = nn.mae_loss(Tensor([1.0, 2.0]), Tensor([2.0, 4.0]))
+        assert loss.item() == pytest.approx(1.5)
+
+    def test_mse_value(self):
+        loss = nn.mse_loss(Tensor([1.0, 2.0]), Tensor([2.0, 4.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        pred, target = Tensor([1.0, 2.0]), Tensor([2.0, 4.0])
+        assert nn.rmse_loss(pred, target).item() == pytest.approx(np.sqrt(2.5))
+
+    def test_huber_quadratic_region(self):
+        loss = nn.huber_loss(Tensor([0.5]), Tensor([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_huber_linear_region(self):
+        loss = nn.huber_loss(Tensor([3.0]), Tensor([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_masked_mae_ignores_nulls(self):
+        pred = Tensor([1.0, 5.0])
+        target = Tensor([2.0, 0.0])  # second entry is a missing reading
+        assert nn.masked_mae_loss(pred, target).item() == pytest.approx(1.0)
+
+    def test_masked_mae_all_null_is_zero(self):
+        assert nn.masked_mae_loss(Tensor([1.0]), Tensor([0.0])).item() == pytest.approx(0.0)
+
+    def test_losses_are_differentiable(self):
+        pred = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        target = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        for loss_fn in (nn.mae_loss, nn.mse_loss, nn.rmse_loss, nn.huber_loss):
+            pred.zero_grad()
+            loss_fn(pred, target).backward()
+            assert pred.grad is not None
+
+
+class TestGraphCLLoss:
+    def _views(self, batch=6, dim=8, seed=0):
+        rng = np.random.default_rng(seed)
+        return (
+            Tensor(rng.normal(size=(batch, dim)), requires_grad=True),
+            Tensor(rng.normal(size=(batch, dim))),
+        )
+
+    def test_scalar_output(self):
+        p, z = self._views()
+        assert nn.graphcl_loss(p, z).size == 1
+
+    def test_positive_alignment_lowers_loss(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(8, 16))
+        aligned = nn.graphcl_loss(Tensor(z), Tensor(z)).item()
+        shuffled = nn.graphcl_loss(Tensor(z), Tensor(np.roll(z, 1, axis=0))).item()
+        assert aligned < shuffled
+
+    def test_symmetric_variant_accepted(self):
+        p1, z2 = self._views(seed=1)
+        p2, z1 = self._views(seed=2)
+        loss = nn.graphcl_loss(p1, z2, p_second=p2, z_first=z1)
+        assert np.isfinite(loss.item())
+
+    def test_single_pair_degenerates_to_cosine(self):
+        p = Tensor(np.array([[1.0, 0.0]]))
+        z = Tensor(np.array([[1.0, 0.0]]))
+        assert nn.graphcl_loss(p, z).item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_flows_to_projections(self):
+        p, z = self._views(seed=3)
+        nn.graphcl_loss(p, z).backward()
+        assert p.grad is not None and np.abs(p.grad).sum() > 0
+
+    def test_invalid_temperature(self):
+        p, z = self._views()
+        with pytest.raises(ValueError):
+            nn.graphcl_loss(p, z, temperature=0.0)
+
+    def test_requires_2d_inputs(self):
+        with pytest.raises(ValueError):
+            nn.graphcl_loss(Tensor(np.zeros((2, 3, 4))), Tensor(np.zeros((2, 3, 4))))
+
+    def test_temperature_scales_sharpness(self):
+        p, z = self._views(seed=4)
+        sharp = nn.graphcl_loss(p, z, temperature=0.1).item()
+        soft = nn.graphcl_loss(p, z, temperature=5.0).item()
+        assert np.isfinite(sharp) and np.isfinite(soft)
+        assert sharp != pytest.approx(soft)
+
+    def test_gradcheck_small(self):
+        p = Tensor(np.random.default_rng(5).normal(size=(3, 4)), requires_grad=True)
+        z = Tensor(np.random.default_rng(6).normal(size=(3, 4)))
+        assert check_gradients(lambda p: nn.graphcl_loss(p, z, temperature=1.0), [p])

@@ -1,0 +1,126 @@
+"""Tests for the module system: registration, sharing, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.tensor import Tensor
+
+
+class _Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = nn.Linear(3, 2, rng=0)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_are_collected(self):
+        toy = _Toy()
+        names = dict(toy.named_parameters())
+        assert "scale" in names
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+
+    def test_num_parameters(self):
+        toy = _Toy()
+        assert toy.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_shared_submodule_deduplicated(self):
+        shared = nn.Linear(4, 4, rng=0)
+
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = shared
+                self.b = shared
+
+        holder = Holder()
+        assert len(holder.parameters()) == 2  # weight + bias counted once
+
+    def test_add_module_and_register_parameter(self):
+        module = Module()
+        module.add_module("layer", nn.Linear(2, 2, rng=0))
+        module.register_parameter("extra", Parameter(np.zeros(3)))
+        names = [name for name, _ in module.named_parameters()]
+        assert "extra" in names and "layer.weight" in names
+
+    def test_named_modules_includes_children(self):
+        toy = _Toy()
+        names = [name for name, _ in toy.named_modules()]
+        assert "" in names and "linear" in names
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        toy = _Toy()
+        toy.eval()
+        assert not toy.training and not toy.linear.training
+        toy.train()
+        assert toy.training and toy.linear.training
+
+    def test_zero_grad_clears_all(self):
+        toy = _Toy()
+        out = toy(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        toy = _Toy()
+        other = _Toy()
+        other.load_state_dict(toy.state_dict())
+        for (name_a, a), (name_b, b) in zip(toy.named_parameters(), other.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_strict_mismatch_raises(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_non_strict_ignores_missing(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        state.pop("scale")
+        toy.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        toy = _Toy()
+        state = toy.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_copy_parameters_from(self):
+        a, b = _Toy(), _Toy()
+        a.scale.data[...] = 7.0
+        b.copy_parameters_from(a)
+        np.testing.assert_allclose(b.scale.data, a.scale.data)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(nn.Linear(3, 4, rng=0), nn.ReLU(), nn.Linear(4, 2, rng=1))
+        out = seq(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_module_list_registers_parameters(self):
+        layers = ModuleList([nn.Linear(2, 2, rng=0), nn.Linear(2, 2, rng=1)])
+        assert len(layers) == 2
+        assert len(layers.parameters()) == 4
+
+    def test_module_list_cannot_be_called(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([])(Tensor([1.0]))

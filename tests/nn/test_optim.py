@@ -1,0 +1,131 @@
+"""Tests for optimizers, gradient clipping and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+def _quadratic_loss(parameter):
+    return ((parameter - 3.0) * (parameter - 3.0)).sum()
+
+
+def _optimize(optimizer_cls, steps=200, **kwargs):
+    parameter = Parameter(np.zeros(4))
+    optimizer = optimizer_cls([parameter], **kwargs)
+    for _ in range(steps):
+        parameter.zero_grad()
+        loss = _quadratic_loss(parameter)
+        loss.backward()
+        optimizer.step()
+    return parameter
+
+
+class TestOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        parameter = _optimize(nn.SGD, lr=0.1)
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        parameter = _optimize(nn.SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        parameter = _optimize(nn.Adam, steps=600, lr=0.05)
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_adamw_decoupled_decay_shrinks_weights(self):
+        parameter = Parameter(np.ones(3) * 10.0)
+        optimizer = nn.AdamW([parameter], lr=0.01, weight_decay=0.1)
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert (np.abs(parameter.data) < 10.0).all()
+
+    def test_weight_decay_pulls_towards_zero(self):
+        parameter = Parameter(np.ones(3) * 5.0)
+        optimizer = nn.SGD([parameter], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            parameter.zero_grad()
+            (parameter * 0.0).sum().backward()
+            optimizer.step()
+        assert (np.abs(parameter.data) < 1.0).all()
+
+    def test_skips_parameters_without_grad(self):
+        a, b = Parameter(np.ones(2)), Parameter(np.ones(2))
+        optimizer = nn.Adam([a, b], lr=0.1)
+        a.zero_grad()
+        (a.sum()).backward()
+        optimizer.step()
+        np.testing.assert_allclose(b.data, np.ones(2))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.ones(1))], lr=-1.0)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.5)
+
+    def test_adam_state_dict_roundtrip(self):
+        parameter = Parameter(np.zeros(2))
+        optimizer = nn.Adam([parameter], lr=0.01)
+        parameter.zero_grad()
+        _quadratic_loss(parameter).backward()
+        optimizer.step()
+        state = optimizer.state_dict()
+        fresh = nn.Adam([parameter], lr=0.01)
+        fresh.load_state_dict(state)
+        assert fresh._step_count == 1
+        np.testing.assert_allclose(fresh._m[0], optimizer._m[0])
+
+
+class TestGradClipping:
+    def test_clip_reduces_norm(self):
+        parameter = Parameter(np.zeros(10))
+        parameter.grad = np.full(10, 10.0)
+        norm = nn.clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(np.sqrt(1000.0))
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_noop_when_below_threshold(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([parameter], max_norm=10.0)
+        np.testing.assert_allclose(parameter.grad, [0.1, 0.1])
+
+    def test_clip_handles_missing_grads(self):
+        assert nn.clip_grad_norm([Parameter(np.zeros(2))], 1.0) == 0.0
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = nn.StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_exponential_lr(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = nn.ExponentialLR(optimizer, gamma=0.9)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.9)
+
+    def test_cosine_annealing_reaches_min(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = nn.CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_invalid_scheduler_args(self):
+        optimizer = nn.SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(optimizer, total_epochs=0)

@@ -1,0 +1,119 @@
+"""Tests for the replay buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BufferError_
+from repro.replay import ReplayBuffer
+
+
+def _window(value, nodes=4):
+    inputs = np.full((12, nodes, 2), float(value))
+    targets = np.full((1, nodes, 1), float(value))
+    return inputs, targets
+
+
+class TestBufferBasics:
+    def test_starts_empty(self):
+        buffer = ReplayBuffer(capacity=8)
+        assert len(buffer) == 0
+        assert buffer.is_empty
+        assert not buffer.is_full
+
+    def test_add_and_len(self):
+        buffer = ReplayBuffer(capacity=8)
+        buffer.add(*_window(1))
+        assert len(buffer) == 1
+        assert buffer.total_added == 1
+
+    def test_add_batch(self):
+        buffer = ReplayBuffer(capacity=8)
+        inputs = np.zeros((5, 12, 4, 2))
+        targets = np.zeros((5, 1, 4, 1))
+        buffer.add_batch(inputs, targets, set_name="Bset")
+        assert len(buffer) == 5
+        assert buffer.occupancy_by_set() == {"Bset": 5}
+
+    def test_fifo_eviction(self):
+        buffer = ReplayBuffer(capacity=3)
+        for value in range(5):
+            buffer.add(*_window(value))
+        assert buffer.is_full
+        inputs, _ = buffer.as_arrays()
+        np.testing.assert_allclose(np.unique(inputs[:, 0, 0, 0]), [2.0, 3.0, 4.0])
+
+    def test_entries_are_copies(self):
+        buffer = ReplayBuffer(capacity=2)
+        inputs, targets = _window(1)
+        buffer.add(inputs, targets)
+        inputs[...] = 99.0
+        stored, _ = buffer.as_arrays()
+        assert stored.max() == 1.0
+
+    def test_clear(self):
+        buffer = ReplayBuffer(capacity=2)
+        buffer.add(*_window(1))
+        buffer.clear()
+        assert buffer.is_empty
+
+    def test_get_by_indices(self):
+        buffer = ReplayBuffer(capacity=4)
+        for value in range(4):
+            buffer.add(*_window(value))
+        inputs, targets = buffer.get([1, 3])
+        np.testing.assert_allclose(inputs[:, 0, 0, 0], [1.0, 3.0])
+        np.testing.assert_allclose(targets[:, 0, 0, 0], [1.0, 3.0])
+
+    def test_sample_random_size_capped(self):
+        buffer = ReplayBuffer(capacity=8, rng=0)
+        for value in range(3):
+            buffer.add(*_window(value))
+        inputs, _ = buffer.sample_random(10)
+        assert inputs.shape[0] == 3
+
+
+class TestBufferErrors:
+    def test_invalid_capacity(self):
+        with pytest.raises(BufferError_):
+            ReplayBuffer(capacity=0)
+
+    def test_reject_non_window_entries(self):
+        buffer = ReplayBuffer(capacity=2)
+        with pytest.raises(BufferError_):
+            buffer.add(np.zeros((12, 4)), np.zeros((1, 4)))
+
+    def test_reject_non_batched_add_batch(self):
+        buffer = ReplayBuffer(capacity=2)
+        with pytest.raises(BufferError_):
+            buffer.add_batch(np.zeros((12, 4, 2)), np.zeros((1, 4, 1)))
+
+    def test_reject_mismatched_batch_sizes(self):
+        buffer = ReplayBuffer(capacity=4)
+        with pytest.raises(BufferError_):
+            buffer.add_batch(np.zeros((3, 12, 4, 2)), np.zeros((2, 1, 4, 1)))
+
+    def test_read_from_empty_raises(self):
+        buffer = ReplayBuffer(capacity=2)
+        with pytest.raises(BufferError_):
+            buffer.as_arrays()
+        with pytest.raises(BufferError_):
+            buffer.sample_random(1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=20),
+    num_added=st.integers(min_value=0, max_value=50),
+)
+def test_buffer_never_exceeds_capacity(capacity, num_added):
+    buffer = ReplayBuffer(capacity=capacity)
+    for value in range(num_added):
+        buffer.add(*_window(value))
+    assert len(buffer) == min(capacity, num_added)
+    assert buffer.total_added == num_added
+    if num_added > 0:
+        inputs, _ = buffer.as_arrays()
+        # FIFO: the oldest surviving window is num_added - len(buffer).
+        assert inputs[0, 0, 0, 0] == float(num_added - len(buffer))

@@ -1,0 +1,183 @@
+"""Gradient correctness of the autodiff engine (analytic vs numerical)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, concatenate, no_grad, stack, where
+from repro.tensor import functional as F
+
+
+def _t(shape, seed=0, scale=1.0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape) * scale, requires_grad=True)
+
+
+class TestBasicBackward:
+    def test_add_mul_chain(self):
+        a, b = _t((3, 4), 0), _t((3, 4), 1)
+        assert check_gradients(lambda a, b: ((a + b) * a).sum(), [a, b])
+
+    def test_broadcast_add(self):
+        a, b = _t((3, 4), 0), _t((4,), 1)
+        assert check_gradients(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_broadcast_mul_scalar_tensor(self):
+        a, b = _t((2, 3), 0), _t((1,), 1)
+        assert check_gradients(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_division(self):
+        a, b = _t((3,), 0), Tensor(np.array([1.5, 2.0, 3.0]), requires_grad=True)
+        assert check_gradients(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_pow(self):
+        a = Tensor(np.array([1.2, 2.3, 0.7]), requires_grad=True)
+        assert check_gradients(lambda a: (a**3).sum(), [a])
+
+    def test_matmul(self):
+        a, b = _t((3, 4), 0), _t((4, 2), 1)
+        assert check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched_broadcast(self):
+        a, b = _t((5, 5), 0), _t((2, 3, 5, 4), 1)
+        assert check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_cases(self):
+        a, b = _t((4,), 0), _t((4,), 1)
+        assert check_gradients(lambda a, b: (a @ b) * 1.0, [a, b])
+
+
+class TestUnaryBackward:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "abs", "sqrt"])
+    def test_elementwise(self, op):
+        scale = 1.0
+        seed = hash(op) % 100
+        data = np.abs(np.random.default_rng(seed).normal(size=(3, 3))) + 0.5
+        a = Tensor(data, requires_grad=True)
+        assert check_gradients(lambda a: getattr(a, op)().sum(), [a])
+
+    def test_log(self):
+        a = Tensor(np.array([0.5, 1.5, 2.5]), requires_grad=True)
+        assert check_gradients(lambda a: a.log().sum(), [a])
+
+    def test_clip(self):
+        a = Tensor(np.array([-2.0, 0.3, 2.0]), requires_grad=True)
+        assert check_gradients(lambda a: a.clip(-1.0, 1.0).sum(), [a])
+
+
+class TestReductionBackward:
+    def test_sum_axis(self):
+        a = _t((3, 4, 2), 3)
+        assert check_gradients(lambda a: a.sum(axis=1).sum(), [a])
+
+    def test_mean(self):
+        a = _t((4, 5), 4)
+        assert check_gradients(lambda a: a.mean(axis=0).sum(), [a])
+
+    def test_max(self):
+        # Use distinct values so the max is differentiable at the test point.
+        a = Tensor(np.arange(12, dtype=float).reshape(3, 4) / 7.0, requires_grad=True)
+        assert check_gradients(lambda a: a.max(axis=1).sum(), [a])
+
+    def test_norm(self):
+        a = _t((3, 4), 5)
+        assert check_gradients(lambda a: a.norm(axis=1).sum(), [a])
+
+    def test_var(self):
+        a = _t((3, 4), 6)
+        assert check_gradients(lambda a: a.var(axis=1).sum(), [a])
+
+
+class TestShapeBackward:
+    def test_reshape_transpose(self):
+        a = _t((2, 3, 4), 7)
+        assert check_gradients(lambda a: a.reshape(6, 4).transpose(1, 0).sum(), [a])
+
+    def test_getitem(self):
+        a = _t((4, 5), 8)
+        assert check_gradients(lambda a: a[1:3, ::2].sum(), [a])
+
+    def test_pad(self):
+        a = _t((2, 3), 9)
+        assert check_gradients(lambda a: a.pad(((1, 1), (0, 2))).sum(), [a])
+
+    def test_concatenate_stack(self):
+        a, b = _t((2, 3), 10), _t((2, 3), 11)
+        assert check_gradients(lambda a, b: concatenate([a, b], axis=1).sum(), [a, b])
+        assert check_gradients(lambda a, b: stack([a, b], axis=0).sum(), [a, b])
+
+    def test_where(self):
+        a, b = _t((3, 3), 12), _t((3, 3), 13)
+        condition = np.random.default_rng(14).random((3, 3)) > 0.5
+        assert check_gradients(lambda a, b: where(condition, a, b).sum(), [a, b])
+
+
+class TestFunctionalBackward:
+    def test_softmax(self):
+        a = _t((4, 5), 15)
+        assert check_gradients(lambda a: (F.softmax(a, axis=-1) * F.softmax(a, axis=-1)).sum(), [a])
+
+    def test_log_softmax(self):
+        a = _t((3, 4), 16)
+        assert check_gradients(lambda a: F.log_softmax(a, axis=-1).sum(), [a])
+
+    def test_cosine_similarity(self):
+        a, b = _t((4, 6), 17), _t((4, 6), 18)
+        assert check_gradients(lambda a, b: F.cosine_similarity(a, b).sum(), [a, b])
+
+    def test_gelu_softplus_elu(self):
+        a = _t((3, 3), 19)
+        assert check_gradients(lambda a: F.gelu(a).sum(), [a])
+        assert check_gradients(lambda a: F.softplus(a).sum(), [a])
+        assert check_gradients(lambda a: F.elu(a).sum(), [a])
+
+    def test_leaky_relu(self):
+        a = _t((3, 3), 20)
+        assert check_gradients(lambda a: F.leaky_relu(a, 0.1).sum(), [a])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_over_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a * 3.0 + a * 4.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 2.0).backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(t.grad, [2.0, 2.0])
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_detached_tensor_stops_gradient(self):
+        a = Tensor([3.0], requires_grad=True)
+        out = (a * 2.0).detach() * a
+        out.backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_diamond_graph_topological_order(self):
+        a = Tensor([1.5], requires_grad=True)
+        b = a * 2.0
+        c = a * 3.0
+        out = (b * c).sum()
+        out.backward()
+        # d/da (2a * 3a) = 12a
+        np.testing.assert_allclose(a.grad, [18.0])

@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for the tensor engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+_FLOATS = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False, width=64)
+
+
+def _array_strategy(shape):
+    return arrays(dtype=np.float64, shape=shape, elements=_FLOATS)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_array_strategy((3, 4)), _array_strategy((3, 4)))
+def test_addition_commutes(a, b):
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_allclose(left, right)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_array_strategy((2, 5)))
+def test_double_negation_is_identity(a):
+    np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_array_strategy((4, 3)))
+def test_sum_matches_numpy(a):
+    np.testing.assert_allclose(Tensor(a).sum().item(), a.sum(), rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_array_strategy((3, 6)))
+def test_softmax_rows_are_distributions(a):
+    out = F.softmax(Tensor(a), axis=-1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), rtol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_array_strategy((4, 4)))
+def test_relu_is_idempotent(a):
+    once = Tensor(a).relu().data
+    twice = Tensor(once).relu().data
+    np.testing.assert_allclose(once, twice)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_array_strategy((2, 3)), _array_strategy((3, 2)))
+def test_matmul_matches_numpy(a, b):
+    np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_array_strategy((3, 4)))
+def test_reshape_roundtrip_preserves_values(a):
+    out = Tensor(a).reshape(4, 3).reshape(3, 4).data
+    np.testing.assert_allclose(out, a)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_array_strategy((6,)))
+def test_gradient_of_sum_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=20, deadline=None)
+@given(_array_strategy((2, 4)), st.floats(min_value=0.1, max_value=5.0))
+def test_scaling_scales_gradient(a, factor):
+    t = Tensor(a, requires_grad=True)
+    (t * factor).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(a, factor), rtol=1e-9)

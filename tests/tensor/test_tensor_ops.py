@@ -1,0 +1,187 @@
+"""Forward-value tests for the tensor engine's operations."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, concatenate, maximum, minimum, stack, where
+
+
+class TestConstruction:
+    def test_wraps_array(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+
+    def test_integer_input_becomes_float_when_grad(self):
+        t = Tensor([1, 2, 3], requires_grad=True)
+        assert t.dtype.kind == "f"
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_detach_shares_data_but_not_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, t.data)
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar_and_radd(self):
+        out = 1.0 + Tensor([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [2.0, 3.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - 1.0).data, [2.0])
+        np.testing.assert_allclose((5.0 - Tensor([3.0])).data, [2.0])
+
+    def test_mul_broadcast(self):
+        out = Tensor(np.ones((2, 3))) * Tensor([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(out.data, [[1, 2, 3], [1, 2, 3]])
+
+    def test_div_and_rdiv(self):
+        np.testing.assert_allclose((Tensor([4.0]) / 2.0).data, [2.0])
+        np.testing.assert_allclose((8.0 / Tensor([4.0])).data, [2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0, 3.0]) ** 2).data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_broadcast_batch(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(5, 5)))
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 3, 5, 4)))
+        np.testing.assert_allclose((a @ x).data, np.matmul(a.data, x.data))
+
+    def test_comparisons_return_arrays(self):
+        mask = Tensor([1.0, 3.0]) > 2.0
+        assert mask.dtype == bool
+        np.testing.assert_array_equal(mask, [False, True])
+
+
+class TestUnaryAndReductions:
+    def test_exp_log_roundtrip(self):
+        t = Tensor([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(t.exp().log().data, t.data, atol=1e-12)
+
+    def test_sqrt_abs(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+        np.testing.assert_allclose(Tensor([-1.0, 2.0]).abs().data, [1.0, 2.0])
+
+    def test_tanh_sigmoid_relu_values(self):
+        t = Tensor([-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(t.tanh().data, np.tanh(t.data))
+        np.testing.assert_allclose(t.sigmoid().data, 1 / (1 + np.exp(-t.data)))
+        np.testing.assert_allclose(t.relu().data, [0.0, 0.0, 1.0])
+
+    def test_clip(self):
+        np.testing.assert_allclose(
+            Tensor([-2.0, 0.5, 3.0]).clip(0.0, 1.0).data, [0.0, 0.5, 1.0]
+        )
+
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert t.sum().item() == 15.0
+        np.testing.assert_allclose(t.sum(axis=0).data, [3.0, 5.0, 7.0])
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_var(self):
+        t = Tensor([[1.0, 3.0], [2.0, 4.0]])
+        assert t.mean().item() == pytest.approx(2.5)
+        np.testing.assert_allclose(t.var(axis=0).data, np.var(t.data, axis=0))
+
+    def test_max_min(self):
+        t = Tensor([[1.0, 5.0], [7.0, 2.0]])
+        assert t.max().item() == 7.0
+        np.testing.assert_allclose(t.min(axis=1).data, [1.0, 2.0])
+
+    def test_norm(self):
+        t = Tensor([3.0, 4.0])
+        assert t.norm().item() == pytest.approx(5.0, rel=1e-6)
+
+
+class TestShapes:
+    def test_reshape_and_flatten(self):
+        t = Tensor(np.arange(6, dtype=float))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+        assert t.reshape(2, 3).flatten().shape == (6,)
+
+    def test_transpose_default_and_axes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+        assert t.transpose(0, 2, 1).shape == (2, 4, 3)
+        assert t.T.shape == (4, 3, 2)
+
+    def test_swapaxes(self):
+        assert Tensor(np.zeros((2, 3, 4))).swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_expand_squeeze(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.expand_dims(1).shape == (2, 1, 3)
+        assert t.expand_dims(0).squeeze(0).shape == (2, 3)
+
+    def test_pad(self):
+        t = Tensor(np.ones((2, 3)))
+        padded = t.pad(((1, 0), (0, 2)))
+        assert padded.shape == (3, 5)
+        assert padded.data[0].sum() == 0.0
+
+    def test_getitem_slicing(self):
+        t = Tensor(np.arange(24, dtype=float).reshape(2, 3, 4))
+        assert t[0].shape == (3, 4)
+        assert t[:, 1:, :2].shape == (2, 2, 2)
+
+    def test_getitem_fancy_indexing(self):
+        t = Tensor(np.arange(10, dtype=float))
+        np.testing.assert_allclose(t[np.array([0, 5, 9])].data, [0.0, 5.0, 9.0])
+
+
+class TestFreeFunctions:
+    def test_concatenate(self):
+        out = concatenate([Tensor(np.ones((2, 2))), Tensor(np.zeros((3, 2)))], axis=0)
+        assert out.shape == (5, 2)
+
+    def test_stack(self):
+        out = stack([Tensor([1.0, 2.0]), Tensor([3.0, 4.0])], axis=0)
+        assert out.shape == (2, 2)
+
+    def test_where(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_maximum_minimum(self):
+        a, b = Tensor([1.0, 5.0]), Tensor([3.0, 2.0])
+        np.testing.assert_allclose(maximum(a, b).data, [3.0, 5.0])
+        np.testing.assert_allclose(minimum(a, b).data, [1.0, 2.0])

@@ -1,0 +1,123 @@
+"""End-to-end integration tests exercising the public API as a user would."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ContinualTrainer,
+    FinetuneSTStrategy,
+    OneFitAllStrategy,
+    TrainingConfig,
+    URCLConfig,
+    URCLModel,
+    build_streaming_scenario,
+    load_dataset,
+)
+from repro.models.stencoder import STEncoderConfig
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    dataset = load_dataset("metr-la", num_days=10, num_nodes=10, seed=5)
+    return build_streaming_scenario(dataset)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return URCLConfig(
+        encoder=STEncoderConfig(
+            residual_channels=4, dilation_channels=4, skip_channels=8,
+            end_channels=8, dilations=(1, 2), adaptive_embedding_dim=3,
+        ),
+        buffer_capacity=32,
+        replay_sample_size=4,
+        rmir_candidate_pool=8,
+    )
+
+
+def test_package_exports_version_and_api():
+    assert repro.__version__
+    assert callable(repro.load_dataset)
+    assert hasattr(repro, "URCLModel")
+
+
+def test_quickstart_flow(scenario, config):
+    """The README quickstart: load data, build URCL, train continually, inspect."""
+    model = URCLModel(
+        scenario.network,
+        in_channels=scenario.spec.num_channels,
+        input_steps=scenario.spec.input_steps,
+        config=config,
+        rng=0,
+    )
+    training = TrainingConfig(
+        epochs_base=1, epochs_incremental=1, batch_size=8,
+        max_batches_per_epoch=3, eval_max_windows=16,
+    )
+    result = ContinualTrainer(model, training).run(scenario)
+    assert set(result.mae_by_set()) == {"Bset", "I1", "I2", "I3", "I4"}
+    assert all(np.isfinite(v) for v in result.mae_by_set().values())
+    # The replay buffer retains observations from several stream periods.
+    assert len(model.buffer) > 0
+
+
+def test_urcl_improves_over_untrained_model(scenario, config):
+    model = URCLModel(
+        scenario.network,
+        in_channels=scenario.spec.num_channels,
+        input_steps=scenario.spec.input_steps,
+        config=config,
+        rng=1,
+    )
+    from repro.core.evaluation import evaluate_model
+
+    untrained = evaluate_model(model.backbone, scenario.base_set.test, max_windows=32)
+    training = TrainingConfig(
+        epochs_base=3, epochs_incremental=0, batch_size=16,
+        max_batches_per_epoch=8, eval_max_windows=32, learning_rate=3e-3,
+    )
+    trainer = ContinualTrainer(model, training)
+    trainer.train_on_set(scenario.base_set, 0)
+    trained = evaluate_model(model.backbone, scenario.base_set.test, max_windows=32)
+    assert trained.mae < untrained.mae
+
+
+def test_strategies_share_the_same_scenario(scenario, config):
+    from repro.models.graphwavenet import GraphWaveNetBackbone
+
+    training = TrainingConfig(
+        epochs_base=1, epochs_incremental=1, batch_size=8,
+        max_batches_per_epoch=2, eval_max_windows=16,
+    )
+    spec = scenario.spec
+    for strategy in (OneFitAllStrategy(training), FinetuneSTStrategy(training)):
+        model = GraphWaveNetBackbone(
+            scenario.network, in_channels=spec.num_channels, input_steps=spec.input_steps,
+            encoder_config=config.encoder, rng=0,
+        )
+        result = strategy.run(scenario, model)
+        assert len(result.sets) == 5
+
+
+def test_model_state_roundtrip(scenario, config, tmp_path):
+    from repro.utils import load_state_dict, save_state_dict
+
+    model = URCLModel(
+        scenario.network,
+        in_channels=scenario.spec.num_channels,
+        input_steps=scenario.spec.input_steps,
+        config=config,
+        rng=2,
+    )
+    path = save_state_dict(tmp_path / "urcl.npz", model.state_dict())
+    restored = URCLModel(
+        scenario.network,
+        in_channels=scenario.spec.num_channels,
+        input_steps=scenario.spec.input_steps,
+        config=config,
+        rng=3,
+    )
+    restored.load_state_dict(load_state_dict(path))
+    window = scenario.base_set.test[0].inputs[None]
+    np.testing.assert_allclose(model.predict(window), restored.predict(window))

@@ -1,0 +1,109 @@
+"""Tests for the utility helpers (RNG, validation, serialisation, logging)."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.utils import (
+    check_fraction,
+    check_ndim,
+    check_positive,
+    check_probability,
+    check_same_shape,
+    check_shape,
+    configure_logging,
+    get_logger,
+    get_rng,
+    load_json,
+    load_state_dict,
+    save_json,
+    save_state_dict,
+    seed_everything,
+    spawn_rng,
+)
+
+
+class TestRandom:
+    def test_seed_everything_is_reproducible(self):
+        a = seed_everything(42).normal(size=3)
+        b = seed_everything(42).normal(size=3)
+        np.testing.assert_allclose(a, b)
+
+    def test_get_rng_accepts_seed_generator_and_none(self):
+        assert isinstance(get_rng(None), np.random.Generator)
+        assert isinstance(get_rng(7), np.random.Generator)
+        generator = np.random.default_rng(0)
+        assert get_rng(generator) is generator
+
+    def test_spawn_rng_is_independent(self):
+        parent = np.random.default_rng(0)
+        child = spawn_rng(parent)
+        assert child is not parent
+        assert not np.allclose(child.normal(size=4), parent.normal(size=4))
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        check_positive("x", 0.0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability_and_fraction(self):
+        check_probability("p", 0.0)
+        check_fraction("f", 0.5)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.0)
+
+    def test_check_ndim_and_shape(self):
+        check_ndim("a", np.zeros((2, 3)), 2)
+        check_shape("a", np.zeros((2, 3)), (2, None))
+        with pytest.raises(ShapeError):
+            check_ndim("a", np.zeros((2, 3)), 3)
+        with pytest.raises(ShapeError):
+            check_shape("a", np.zeros((2, 3)), (3, 3))
+        with pytest.raises(ShapeError):
+            check_shape("a", np.zeros((2, 3)), (2, 3, 1))
+
+    def test_check_same_shape(self):
+        check_same_shape("a", np.zeros(3), "b", np.zeros(3))
+        with pytest.raises(ShapeError):
+            check_same_shape("a", np.zeros(3), "b", np.zeros(4))
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip(self, tmp_path):
+        state = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        path = save_state_dict(tmp_path / "model.npz", state)
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"w", "b"}
+        np.testing.assert_allclose(loaded["w"], state["w"])
+
+    def test_json_roundtrip_with_numpy_scalars(self, tmp_path):
+        payload = {"mae": np.float64(1.5), "counts": np.array([1, 2, 3]), "name": "urcl"}
+        path = save_json(tmp_path / "out" / "results.json", payload)
+        loaded = load_json(path)
+        assert loaded["mae"] == 1.5
+        assert loaded["counts"] == [1, 2, 3]
+
+    def test_json_rejects_unserialisable(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(tmp_path / "bad.json", {"x": object()})
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        assert get_logger("trainer").name == "repro.trainer"
+        assert get_logger().name == "repro"
+
+    def test_configure_logging_idempotent(self):
+        logger = configure_logging(logging.WARNING)
+        handlers = len(logger.handlers)
+        configure_logging(logging.WARNING)
+        assert len(logger.handlers) == handlers
