@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: ci test bench-smoke bench-hot-path
+
+# Tier-1 gate: full unit suite plus a 10-second smoke of the Fig. 7
+# efficiency benchmark (catches hot-path regressions that unit tests miss).
+ci: test bench-smoke
+
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+bench-smoke:
+	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_fig7_efficiency.py -x -q
+
+# Full hot-path measurement (steps/sec, eval windows/sec, f32/f64 parity);
+# appends to benchmarks/results/BENCH_hot_path.json.
+bench-hot-path:
+	$(PYTHON) benchmarks/bench_hot_path.py

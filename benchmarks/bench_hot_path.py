@@ -1,0 +1,188 @@
+"""Hot-path micro-benchmark: training steps/sec and eval windows/sec.
+
+Measures the numeric hot path end to end on the Fig. 7 efficiency
+configuration (URCL on PEMS04): full training steps (forward, backward,
+gradient clipping, Adam) and batched evaluation, at float64 and float32.
+It also trains the Table 3 smoke configuration at both dtypes and checks
+that MAE/RMSE/MAPE agree within 1e-3, so the speedup never silently trades
+away accuracy.
+
+Results are printed as a table and appended to
+``benchmarks/results/BENCH_hot_path.json`` so the perf trajectory is
+recorded across PRs.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py --steps 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_model
+from repro.core.trainer import ContinualTrainer
+from repro.data.loader import DataLoader
+from repro.experiments.common import make_scenario, make_training, make_urcl
+from repro.nn.optim import clip_grad_norm
+from repro.experiments.reporting import format_table
+from repro.tensor import default_dtype
+from repro.utils.serialization import save_json
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_hot_path.json"
+
+DTYPES = ("float64", "float32")
+
+
+def _collect_batches(dataset, batch_size: int, steps: int, seed: int):
+    """Materialise ``steps`` training batches (cycling the loader if short)."""
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, rng=seed)
+    batches = []
+    iterator = iter(loader)
+    while len(batches) < steps:
+        try:
+            batches.append(next(iterator))
+        except StopIteration:
+            iterator = iter(loader)
+    return batches
+
+
+def bench_training(dtype: str, steps: int, seed: int, dataset: str, scale: str) -> dict:
+    """Steps/sec of the full URCL training step at ``dtype``."""
+    with default_dtype(dtype):
+        scenario = make_scenario(dataset, scale, seed=seed + 7)
+        training = make_training(scale, seed=seed)
+        model = make_urcl(scenario, scale, seed=seed)
+        trainer = ContinualTrainer(model, training)
+        base = scenario.base_set
+        batches = _collect_batches(base.train, training.batch_size, steps, seed)
+
+        def one_step(batch):
+            # Mirrors ContinualTrainer._train_one_epoch exactly, clipping included.
+            step = model.training_step(batch.inputs, batch.targets, set_name=base.name)
+            model.zero_grad()
+            step.total_loss.backward()
+            if training.grad_clip > 0:
+                clip_grad_norm(model.parameters(), training.grad_clip)
+            trainer.optimizer.step()
+            return step
+
+        one_step(batches[0])  # warmup: builds buffers, primes the replay path
+        start = time.perf_counter()
+        for batch in batches:
+            step = one_step(batch)
+        elapsed = time.perf_counter() - start
+
+        eval_start = time.perf_counter()
+        metrics = evaluate_model(
+            model.backbone,
+            base.test,
+            batch_size=training.eval_batch_size,
+            scaler=scenario.scaler,
+            target_channel=scenario.spec.target_channel if scenario.spec else None,
+        )
+        eval_elapsed = time.perf_counter() - eval_start
+        eval_windows = len(base.test)
+
+    return {
+        "steps_per_sec": steps / elapsed,
+        "eval_windows_per_sec": eval_windows / eval_elapsed,
+        "final_loss": step.task_loss,
+        "eval_mae": metrics.mae,
+    }
+
+
+def bench_metric_parity(seed: int, dataset: str) -> dict:
+    """Table 3 smoke run at both dtypes; returns metrics and max |diff|."""
+    metrics_by_dtype = {}
+    for dtype in DTYPES:
+        with default_dtype(dtype):
+            scenario = make_scenario(dataset, "smoke", seed=seed + 7)
+            training = make_training("smoke", seed=seed)
+            model = make_urcl(scenario, "smoke", seed=seed)
+            result = ContinualTrainer(model, training).run(scenario)
+            final = result.sets[-1].metrics
+            metrics_by_dtype[dtype] = {
+                "mae": final.mae,
+                "rmse": final.rmse,
+                "mape": final.mape,
+            }
+    reference, other = (metrics_by_dtype[name] for name in DTYPES)
+    diffs = {
+        key: abs(reference[key] - other[key])
+        for key in reference
+        if np.isfinite(reference[key]) and np.isfinite(other[key])
+    }
+    metrics_by_dtype["max_abs_diff"] = max(diffs.values()) if diffs else 0.0
+    return metrics_by_dtype
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=40, help="training steps per dtype")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dataset", default="pems04", help="Fig. 7 uses PEMS04")
+    parser.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
+    parser.add_argument("--skip-parity", action="store_true", help="skip the metric parity run")
+    args = parser.parse_args(argv)
+
+    record = {
+        "benchmark": "hot_path",
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "steps": args.steps,
+        "seed": args.seed,
+        "timings": {},
+    }
+    for dtype in DTYPES:
+        record["timings"][dtype] = bench_training(
+            dtype, steps=args.steps, seed=args.seed, dataset=args.dataset, scale=args.scale
+        )
+    f64 = record["timings"]["float64"]
+    f32 = record["timings"]["float32"]
+    record["speedup_steps_per_sec"] = f32["steps_per_sec"] / f64["steps_per_sec"]
+    record["speedup_eval_windows_per_sec"] = (
+        f32["eval_windows_per_sec"] / f64["eval_windows_per_sec"]
+    )
+    if not args.skip_parity:
+        record["metric_parity"] = bench_metric_parity(args.seed, args.dataset)
+
+    headers = ["dtype", "train steps/s", "eval windows/s", "final loss", "eval MAE"]
+    rows = [
+        [
+            dtype,
+            values["steps_per_sec"],
+            values["eval_windows_per_sec"],
+            values["final_loss"],
+            values["eval_mae"],
+        ]
+        for dtype, values in record["timings"].items()
+    ]
+    print(format_table(headers, rows, title=f"Hot path — URCL on {args.dataset} ({args.scale})"))
+    print(f"float32 speedup: {record['speedup_steps_per_sec']:.2f}x training, "
+          f"{record['speedup_eval_windows_per_sec']:.2f}x eval")
+    if "metric_parity" in record:
+        diff = record["metric_parity"]["max_abs_diff"]
+        print(f"metric parity (Table 3 smoke): max |f32 - f64| = {diff:.2e}")
+
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    save_json(RESULTS_PATH, history)
+    print(f"recorded to {RESULTS_PATH}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,25 @@ Quickstart::
     result = ContinualTrainer(model, TrainingConfig(epochs_base=2)).run(scenario)
     print(result.mae_by_set())
 
+Precision switch
+----------------
+The tensor engine runs at ``float64`` by default.  Switching the library to
+single precision roughly doubles training throughput (see
+``benchmarks/bench_hot_path.py``) while keeping MAE/RMSE/MAPE within 1e-3
+of the double-precision results::
+
+    from repro.tensor import set_default_dtype, default_dtype
+
+    set_default_dtype("float32")   # everything created from now on is f32
+    model = URCLModel(...)         # parameters, activations, gradients and
+                                   # optimizer state are all float32
+
+    with default_dtype("float32"):  # or scope the switch to one experiment
+        result = ContinualTrainer(model, TrainingConfig()).run(scenario)
+
+Models must be *created* under the dtype they should train with: the switch
+affects tensor creation, so an existing float64 model keeps its dtype.
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison of every table and figure.
 """

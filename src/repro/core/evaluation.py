@@ -6,7 +6,7 @@ import numpy as np
 
 from ..data.dataset import STDataset
 from ..data.loader import DataLoader
-from ..data.scalers import IdentityScaler
+from ..data.scalers import Scaler
 from ..models.base import STModel
 from ..models.baselines.classical import ClassicalForecaster
 from .metrics import PredictionMetrics, compute_metrics
@@ -21,7 +21,7 @@ __all__ = [
 
 
 def _maybe_inverse(
-    values: np.ndarray, scaler: IdentityScaler | None, target_channel: int | None
+    values: np.ndarray, scaler: Scaler | None, target_channel: int | None
 ) -> np.ndarray:
     if scaler is None or target_channel is None:
         return values
@@ -55,7 +55,7 @@ def evaluate_model(
     model: STModel,
     dataset: STDataset,
     batch_size: int = 64,
-    scaler: IdentityScaler | None = None,
+    scaler: Scaler | None = None,
     target_channel: int | None = None,
     max_windows: int | None = None,
 ) -> PredictionMetrics:
@@ -77,7 +77,7 @@ def evaluate_model_on_sets(
     model: STModel,
     datasets: list[STDataset],
     batch_size: int = 64,
-    scaler: IdentityScaler | None = None,
+    scaler: Scaler | None = None,
     target_channel: int | None = None,
     max_windows_per_set: int | None = None,
 ) -> PredictionMetrics:
@@ -108,7 +108,7 @@ def evaluate_classical(
     model: ClassicalForecaster,
     dataset: STDataset,
     target_channel: int = 0,
-    scaler: IdentityScaler | None = None,
+    scaler: Scaler | None = None,
     scaler_channel: int | None = None,
     max_windows: int | None = None,
 ) -> PredictionMetrics:
@@ -128,7 +128,7 @@ def evaluate_classical_on_sets(
     model: ClassicalForecaster,
     datasets: list[STDataset],
     target_channel: int = 0,
-    scaler: IdentityScaler | None = None,
+    scaler: Scaler | None = None,
     scaler_channel: int | None = None,
     max_windows_per_set: int | None = None,
 ) -> PredictionMetrics:

@@ -34,11 +34,17 @@ def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
 
 
 def mape(prediction: np.ndarray, target: np.ndarray, eps: float = 1e-3) -> float:
-    """Mean absolute percentage error (entries with |target| < eps are ignored)."""
+    """Mean absolute percentage error (entries with |target| < eps are ignored).
+
+    When *every* target entry is masked out the metric is undefined and
+    ``nan`` is returned — a perfect ``0.0`` on a degenerate set would
+    silently report the best possible score.  Aggregations over several sets
+    skip NaN entries (see :meth:`ContinualResult.mean_mape`).
+    """
     prediction, target = _validate(prediction, target)
     mask = np.abs(target) > eps
     if not mask.any():
-        return 0.0
+        return float("nan")
     return float(np.mean(np.abs((prediction[mask] - target[mask]) / target[mask])) * 100.0)
 
 

@@ -2,9 +2,23 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from .metrics import PredictionMetrics
+
+
+def _nan_aware_mean(values: list[float]) -> float:
+    """Mean over non-NaN entries; NaN only when *every* entry is NaN.
+
+    Used for MAPE only: there NaN means "metric undefined on a degenerate
+    set" and must not poison the cross-set average.  MAE/RMSE keep plain
+    means — a NaN there signals diverged training and must stay visible.
+    """
+    finite = [value for value in values if not math.isnan(value)]
+    if not finite:
+        return float("nan")
+    return sum(finite) / len(finite)
 
 __all__ = ["SetResult", "ContinualResult"]
 
@@ -61,6 +75,10 @@ class ContinualResult:
 
     def mean_rmse(self) -> float:
         return sum(entry.metrics.rmse for entry in self.sets) / max(len(self.sets), 1)
+
+    def mean_mape(self) -> float:
+        """NaN-aware mean MAPE (sets with undefined MAPE are skipped)."""
+        return _nan_aware_mean([entry.metrics.mape for entry in self.sets])
 
     def loss_curve(self) -> list[float]:
         """Concatenated training-loss history across all sets (Fig. 8)."""

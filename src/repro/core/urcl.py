@@ -31,7 +31,7 @@ from ..models.dcrnn import DCRNNBackbone
 from ..models.geoman import GeoMANBackbone
 from ..models.graphwavenet import GraphWaveNetBackbone
 from ..models.stsimsiam import STSimSiam
-from ..tensor import Tensor
+from ..tensor import Tensor, get_default_dtype
 from ..utils.random import get_rng, spawn_rng
 from .config import URCLConfig
 
@@ -185,7 +185,8 @@ class URCLModel(Module):
         actually used and the number of replayed windows.
         """
         if not self.config.use_replay or self.buffer.is_empty:
-            return np.asarray(inputs, float), np.asarray(targets, float), 1.0, 0
+            dtype = get_default_dtype()
+            return np.asarray(inputs, dtype), np.asarray(targets, dtype), 1.0, 0
         replay_inputs, replay_targets = self.sampler.sample(
             self.buffer,
             inputs,
@@ -234,8 +235,9 @@ class URCLModel(Module):
         The caller is responsible for ``zero_grad`` / ``backward`` /
         optimizer stepping so that the step integrates with any optimizer.
         """
-        inputs = np.asarray(inputs, dtype=float)
-        targets = np.asarray(targets, dtype=float)
+        dtype = get_default_dtype()
+        inputs = np.asarray(inputs, dtype=dtype)
+        targets = np.asarray(targets, dtype=dtype)
         mixed_inputs, mixed_targets, lam, replayed = self.integrate(inputs, targets)
 
         predictions = self.backbone(Tensor(mixed_inputs))

@@ -10,7 +10,7 @@ from .datasets import (
     load_dataset,
 )
 from .loader import Batch, DataLoader
-from .scalers import IdentityScaler, MinMaxScaler, StandardScaler
+from .scalers import IdentityScaler, MinMaxScaler, Scaler, StandardScaler
 from .streaming import (
     StreamingScenario,
     StreamSet,
@@ -29,6 +29,7 @@ __all__ = [
     "load_dataset",
     "Batch",
     "DataLoader",
+    "Scaler",
     "IdentityScaler",
     "MinMaxScaler",
     "StandardScaler",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import DataError
+from ..tensor import get_default_dtype
 
 __all__ = ["STWindow", "STDataset"]
 
@@ -53,7 +54,9 @@ class STDataset:
         target_channels: tuple[int, ...] = (0,),
         stride: int = 1,
     ):
-        series = np.asarray(series, dtype=float)
+        # Stored at the library default dtype so batches feed the tensor
+        # engine without a per-batch cast (see repro.tensor.set_default_dtype).
+        series = np.asarray(series, dtype=get_default_dtype())
         if series.ndim != 3:
             raise DataError(f"series must be (time, nodes, channels), got {series.shape}")
         if input_steps < 1 or output_steps < 1:
@@ -74,6 +77,10 @@ class STDataset:
         self.output_steps = output_steps
         self.target_channels = tuple(target_channels)
         self.stride = stride
+        # Lazily built strided views (zero-copy) over the series; one fancy
+        # gather over them materialises a whole batch.
+        self._input_view: np.ndarray | None = None
+        self._target_view: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -109,6 +116,50 @@ class STDataset:
         """Materialise all windows (used by small evaluation sets)."""
         return [self[i] for i in range(len(self))]
 
+    # ------------------------------------------------------------------ #
+    def _window_views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Strided sliding-window views over the series (built once).
+
+        Returns ``(input_view, target_view)`` where ``input_view[t]`` is the
+        ``M``-step input window starting at time ``t`` (a zero-copy view of
+        ``series``) and ``target_view[t]`` is the ``H``-step target window
+        starting at time ``t`` (a view of a cached target-channel gather).
+        """
+        if self._input_view is None:
+            swv = np.lib.stride_tricks.sliding_window_view(
+                self.series, self.input_steps, axis=0
+            )
+            # (T-M+1, nodes, channels, M) -> (T-M+1, M, nodes, channels)
+            self._input_view = np.moveaxis(swv, -1, 1)
+            channels = self.target_channels
+            if channels and channels == tuple(range(channels[0], channels[-1] + 1)):
+                # Contiguous channels (the common (0,) case): a basic slice
+                # keeps this a zero-copy view of the series.
+                target_series = self.series[:, :, channels[0] : channels[-1] + 1]
+            else:
+                target_series = self.series[:, :, list(channels)]
+            tswv = np.lib.stride_tricks.sliding_window_view(
+                target_series, self.output_steps, axis=0
+            )
+            self._target_view = np.moveaxis(tswv, -1, 1)
+        return self._input_view, self._target_view
+
+    def batch(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gather the windows at ``indices`` into dense batch arrays.
+
+        One vectorised gather over the precomputed strided views replaces a
+        per-window Python loop; shapes are ``(batch, M, nodes, channels)``
+        and ``(batch, H, nodes, target_channels)``.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self)):
+            raise IndexError(
+                f"window indices out of range [0, {len(self)}) in batch request"
+            )
+        starts = indices * self.stride
+        input_view, target_view = self._window_views()
+        return input_view[starts], target_view[starts + self.input_steps]
+
     def arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Return all inputs/targets stacked into dense arrays.
 
@@ -117,9 +168,7 @@ class STDataset:
         """
         if len(self) == 0:
             raise DataError("dataset has no windows")
-        inputs = np.stack([window.inputs for window in self.windows()])
-        targets = np.stack([window.targets for window in self.windows()])
-        return inputs, targets
+        return self.batch(np.arange(len(self)))
 
     # ------------------------------------------------------------------ #
     def slice_steps(self, start: int, stop: int) -> "STDataset":

@@ -42,9 +42,11 @@ class DataLoader:
         Number of windows per batch.
     shuffle:
         Whether to shuffle window order each epoch.  The paper's Algorithm 1
-        selects batches *sequentially* from the stream, so the continual
-        trainer uses ``shuffle=False``; shuffling remains available for
-        static (offline) training of baselines.
+        selects batches sequentially from the stream *periods*; within a
+        period the continual trainer passes
+        ``shuffle=TrainingConfig.shuffle_batches`` (``True`` by default) so
+        that capped epochs (``max_batches_per_epoch``) still see windows from
+        the whole period rather than only its earliest windows.
     drop_last:
         Drop the final smaller batch when the dataset size is not a multiple
         of ``batch_size``.
@@ -78,11 +80,28 @@ class DataLoader:
         order = np.arange(len(self.dataset))
         if self.shuffle:
             self._rng.shuffle(order)
+        # Only STDataset guarantees batch() semantics; duck-typed datasets
+        # (documented __len__/__getitem__ protocol) use per-window gathering
+        # even if they happen to carry an unrelated ``batch`` attribute.  An
+        # STDataset subclass that overrides __getitem__ without overriding
+        # batch() must also fall back, or the fast path would silently skip
+        # the override.
+        dataset_type = type(self.dataset)
+        use_fast_path = isinstance(self.dataset, STDataset) and (
+            dataset_type.__getitem__ is STDataset.__getitem__
+            or dataset_type.batch is not STDataset.batch
+        )
+        gather = self.dataset.batch if use_fast_path else None
         for start in range(0, len(order), self.batch_size):
             indices = order[start : start + self.batch_size]
             if self.drop_last and indices.size < self.batch_size:
                 break
-            windows = [self.dataset[int(i)] for i in indices]
-            inputs = np.stack([w.inputs for w in windows])
-            targets = np.stack([w.targets for w in windows])
+            if gather is not None:
+                # One vectorised gather over the dataset's strided window
+                # views instead of a per-window Python loop.
+                inputs, targets = gather(indices)
+            else:
+                windows = [self.dataset[int(i)] for i in indices]
+                inputs = np.stack([w.inputs for w in windows])
+                targets = np.stack([w.targets for w in windows])
             yield Batch(inputs=inputs, targets=targets, indices=indices)

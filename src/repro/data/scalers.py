@@ -3,6 +3,11 @@
 The paper normalises streaming observations into ``[0, 1]`` before feature
 learning; the scaler is fitted on the base set only (nothing from the future
 leaks into the past) and reused for every incremental set.
+
+All scalers implement the :class:`Scaler` interface.  ``MinMaxScaler`` and
+``StandardScaler`` are true siblings of :class:`IdentityScaler` (none of
+them *is* another: the previous inheritance from ``IdentityScaler`` meant a
+forgotten override silently became a no-op instead of an error).
 """
 
 from __future__ import annotations
@@ -11,10 +16,46 @@ import numpy as np
 
 from ..exceptions import DataError
 
-__all__ = ["MinMaxScaler", "StandardScaler", "IdentityScaler"]
+__all__ = ["Scaler", "MinMaxScaler", "StandardScaler", "IdentityScaler"]
 
 
-class IdentityScaler:
+class Scaler:
+    """Interface for feature scalers.
+
+    ``fit`` learns per-channel statistics (channels live on the last axis),
+    ``transform``/``inverse_transform`` map full observation arrays, and
+    ``inverse_transform_channel`` maps values belonging to a single original
+    channel (predictions usually carry only the target channel while the
+    scaler was fitted on all channels).
+    """
+
+    def fit(self, data: np.ndarray) -> "Scaler":
+        raise NotImplementedError
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    @staticmethod
+    def _validate_fit_input(data: np.ndarray) -> np.ndarray:
+        """Coerce ``data`` to a float array, rejecting degenerate inputs."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim < 1:
+            raise DataError("scaler requires at least a 1-d array")
+        if data.size == 0:
+            raise DataError("cannot fit a scaler on an empty array")
+        return data
+
+
+class IdentityScaler(Scaler):
     """No-op scaler (useful for ablations and tests)."""
 
     def fit(self, data: np.ndarray) -> "IdentityScaler":
@@ -26,26 +67,11 @@ class IdentityScaler:
     def inverse_transform(self, data: np.ndarray) -> np.ndarray:
         return np.asarray(data, dtype=float)
 
-    def fit_transform(self, data: np.ndarray) -> np.ndarray:
-        return self.fit(data).transform(data)
-
     def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
         return np.asarray(data, dtype=float)
 
 
-class _ChannelInverseMixin:
-    """Adds per-channel inverse transforms (targets carry a single channel)."""
-
-    def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
-        """Inverse-transform values that belong to one original channel.
-
-        Used when predictions only cover the target channel while the scaler
-        was fitted on all channels.
-        """
-        raise NotImplementedError
-
-
-class MinMaxScaler(IdentityScaler, _ChannelInverseMixin):
+class MinMaxScaler(Scaler):
     """Per-channel min-max scaling into ``[0, 1]``.
 
     Statistics are computed over all time steps and nodes separately for
@@ -58,9 +84,7 @@ class MinMaxScaler(IdentityScaler, _ChannelInverseMixin):
         self.maximum: np.ndarray | None = None
 
     def fit(self, data: np.ndarray) -> "MinMaxScaler":
-        data = np.asarray(data, dtype=float)
-        if data.ndim < 1:
-            raise DataError("scaler requires at least a 1-d array")
+        data = self._validate_fit_input(data)
         axes = tuple(range(data.ndim - 1))
         self.minimum = data.min(axis=axes)
         self.maximum = data.max(axis=axes)
@@ -89,7 +113,7 @@ class MinMaxScaler(IdentityScaler, _ChannelInverseMixin):
         return data * span + float(self.minimum[channel])
 
 
-class StandardScaler(IdentityScaler, _ChannelInverseMixin):
+class StandardScaler(Scaler):
     """Per-channel z-score scaling."""
 
     def __init__(self, eps: float = 1e-8):
@@ -98,9 +122,7 @@ class StandardScaler(IdentityScaler, _ChannelInverseMixin):
         self.std: np.ndarray | None = None
 
     def fit(self, data: np.ndarray) -> "StandardScaler":
-        data = np.asarray(data, dtype=float)
-        if data.ndim < 1:
-            raise DataError("scaler requires at least a 1-d array")
+        data = self._validate_fit_input(data)
         axes = tuple(range(data.ndim - 1))
         self.mean = data.mean(axis=axes)
         self.std = np.maximum(data.std(axis=axes), self.eps)

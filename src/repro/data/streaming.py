@@ -16,7 +16,7 @@ from ..exceptions import DataError
 from ..graph.sensor_network import SensorNetwork
 from .dataset import STDataset
 from .datasets import DatasetSpec, TrafficDataset
-from .scalers import IdentityScaler, MinMaxScaler
+from .scalers import MinMaxScaler, Scaler
 
 __all__ = ["StreamSet", "StreamingScenario", "build_streaming_scenario", "incremental_set_names"]
 
@@ -61,7 +61,7 @@ class StreamingScenario:
 
     sets: list[StreamSet]
     network: SensorNetwork
-    scaler: IdentityScaler
+    scaler: Scaler
     spec: DatasetSpec | None = None
     raw_series: np.ndarray | None = field(default=None, repr=False)
 
@@ -116,7 +116,7 @@ def build_streaming_scenario(
     base_fraction: float = 0.3,
     num_incremental: int = 4,
     split_fractions: tuple[float, float, float] = (0.7, 0.1, 0.2),
-    scaler: IdentityScaler | None = None,
+    scaler: Scaler | None = None,
 ) -> StreamingScenario:
     """Build the paper's streaming protocol over ``dataset``.
 

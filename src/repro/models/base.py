@@ -7,7 +7,7 @@ import numpy as np
 from ..exceptions import ShapeError
 from ..graph.sensor_network import SensorNetwork
 from ..nn.module import Module
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, get_default_dtype, no_grad
 
 __all__ = ["STModel", "AutoencoderBackbone"]
 
@@ -62,7 +62,7 @@ class STModel(Module):
         self.eval()
         try:
             with no_grad():
-                outputs = self.forward(Tensor(np.asarray(inputs, dtype=float)))
+                outputs = self.forward(Tensor(np.asarray(inputs, dtype=get_default_dtype())))
         finally:
             self.train(was_training)
         return outputs.data

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor import get_default_dtype
 from ..utils.random import get_rng
 
 __all__ = [
@@ -20,23 +21,25 @@ __all__ = [
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape, dtype=float)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape, dtype=float)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def constant(shape: tuple[int, ...], value: float) -> np.ndarray:
-    return np.full(shape, float(value), dtype=float)
+    return np.full(shape, float(value), dtype=get_default_dtype())
 
 
 def uniform(shape: tuple[int, ...], low: float = -0.1, high: float = 0.1, rng=None) -> np.ndarray:
-    return get_rng(rng).uniform(low, high, size=shape)
+    draw = get_rng(rng).uniform(low, high, size=shape)
+    return np.asarray(draw, dtype=get_default_dtype())
 
 
 def normal(shape: tuple[int, ...], mean: float = 0.0, std: float = 0.01, rng=None) -> np.ndarray:
-    return get_rng(rng).normal(mean, std, size=shape)
+    draw = get_rng(rng).normal(mean, std, size=shape)
+    return np.asarray(draw, dtype=get_default_dtype())
 
 
 def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -54,21 +57,24 @@ def xavier_uniform(shape: tuple[int, ...], gain: float = 1.0, rng=None) -> np.nd
     """Glorot uniform initialisation."""
     fan_in, fan_out = _fan_in_out(shape)
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return get_rng(rng).uniform(-limit, limit, size=shape)
+    draw = get_rng(rng).uniform(-limit, limit, size=shape)
+    return np.asarray(draw, dtype=get_default_dtype())
 
 
 def xavier_normal(shape: tuple[int, ...], gain: float = 1.0, rng=None) -> np.ndarray:
     """Glorot normal initialisation."""
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return get_rng(rng).normal(0.0, std, size=shape)
+    draw = get_rng(rng).normal(0.0, std, size=shape)
+    return np.asarray(draw, dtype=get_default_dtype())
 
 
 def kaiming_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
     """He uniform initialisation (ReLU gain)."""
     fan_in, _ = _fan_in_out(shape)
     limit = np.sqrt(6.0 / max(fan_in, 1))
-    return get_rng(rng).uniform(-limit, limit, size=shape)
+    draw = get_rng(rng).uniform(-limit, limit, size=shape)
+    return np.asarray(draw, dtype=get_default_dtype())
 
 
 def orthogonal(shape: tuple[int, ...], gain: float = 1.0, rng=None) -> np.ndarray:
@@ -82,4 +88,4 @@ def orthogonal(shape: tuple[int, ...], gain: float = 1.0, rng=None) -> np.ndarra
     q = q[:rows, :cols] if rows <= cols else q[:rows, :cols]
     if q.shape != (rows, cols):
         q = np.resize(q, (rows, cols))
-    return gain * q.reshape(shape)
+    return np.asarray(gain * q.reshape(shape), dtype=get_default_dtype())

@@ -19,11 +19,13 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     parameters = [p for p in parameters if p.grad is not None]
     if not parameters:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    total = float(
+        np.sqrt(sum(float(np.dot(p.grad.ravel(), p.grad.ravel())) for p in parameters))
+    )
     if max_norm > 0 and total > max_norm:
         scale = max_norm / (total + 1e-12)
         for parameter in parameters:
-            parameter.grad = parameter.grad * scale
+            parameter.grad *= scale
     return total
 
 
@@ -104,24 +106,43 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Preallocated scratch buffers so step() performs no allocations.
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
+        self._decayed: list[np.ndarray] | None = None
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for parameter, m, v in zip(self.parameters, self._m, self._v):
+        step_size = self.lr / bias1
+        if self.weight_decay and self._decayed is None:
+            self._decayed = [np.empty_like(p.data) for p in self.parameters]
+        for index, (parameter, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
             if parameter.grad is None:
                 continue
             grad = parameter.grad
+            scratch = self._scratch[index]
             if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.data
+                decayed = self._decayed[index]
+                np.multiply(parameter.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
+            # m <- beta1 * m + (1 - beta1) * grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=scratch)
+            m += scratch
+            # v <- beta2 * v + (1 - beta2) * grad^2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=scratch)
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            # update = lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            np.divide(m, scratch, out=scratch)
+            scratch *= step_size
+            parameter.data -= scratch
 
     def state_dict(self) -> dict:
         return {

@@ -16,10 +16,13 @@ from .tensor import (
     Tensor,
     as_tensor,
     concatenate,
+    default_dtype,
+    get_default_dtype,
     is_grad_enabled,
     maximum,
     minimum,
     no_grad,
+    set_default_dtype,
     stack,
     where,
 )
@@ -34,6 +37,9 @@ __all__ = [
     "minimum",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
     "functional",
     "check_gradients",
     "numerical_gradient",

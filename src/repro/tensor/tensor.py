@@ -22,6 +22,9 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
     "concatenate",
     "stack",
     "where",
@@ -32,6 +35,40 @@ __all__ = [
 _GRAD_ENABLED = True
 
 DEFAULT_DTYPE = np.float64
+
+_ALLOWED_DTYPES = (np.float32, np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype new tensors are created with (float64 by default)."""
+    return np.dtype(DEFAULT_DTYPE)
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the library-wide tensor dtype to ``float32`` or ``float64``.
+
+    Accepts a dtype object or a string name (``"float32"``/``"float64"``).
+    Every tensor created afterwards — parameters, activations, gradients and
+    optimizer state — uses the new dtype, which is the single switch that
+    moves the whole training hot path to single precision.
+    """
+    global DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in [np.dtype(d) for d in _ALLOWED_DTYPES]:
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype!r}")
+    DEFAULT_DTYPE = resolved.type
+    return resolved
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager that temporarily switches the default dtype."""
+    previous = DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield np.dtype(DEFAULT_DTYPE)
+    finally:
+        set_default_dtype(previous)
 
 
 def is_grad_enabled() -> bool:
@@ -75,6 +112,20 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _is_basic_index(index) -> bool:
+    """Return True when ``index`` only uses basic (non-duplicating) indexing.
+
+    Basic indexing — ints, slices, ``Ellipsis`` and ``None`` — addresses each
+    element of the source at most once, so the gradient scatter can use plain
+    assignment instead of ``np.add.at``.
+    """
+    items = index if isinstance(index, tuple) else (index,)
+    return all(
+        item is None or item is Ellipsis or isinstance(item, (int, np.integer, slice))
+        for item in items
+    )
+
+
 def as_tensor(value, requires_grad: bool = False, dtype=None) -> "Tensor":
     """Coerce ``value`` into a :class:`Tensor` (no copy if already one)."""
     if isinstance(value, Tensor):
@@ -88,11 +139,17 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload.  Integer/bool inputs are kept as-is only when
-        ``requires_grad`` is ``False``; differentiable tensors are stored as
-        ``float64`` by default.
+        Array-like payload.  Integer/bool inputs with an explicit non-float
+        ``dtype`` are kept as-is only when ``requires_grad`` is ``False``;
+        differentiable tensors and floats created without an explicit dtype
+        are stored at the library default dtype (see
+        :func:`set_default_dtype`).
     requires_grad:
-        Whether gradients should be accumulated for this tensor.
+        Whether gradients should be accumulated for this tensor.  A leaf
+        tensor keeps this flag even when constructed inside a
+        :func:`no_grad` block; only *recorded operations* respect the grad
+        switch (mirroring PyTorch, where ``no_grad`` does not strip
+        ``requires_grad`` from freshly created parameters).
     """
 
     __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "name")
@@ -106,8 +163,10 @@ class Tensor:
         if array.dtype.kind not in "fc":
             if requires_grad or dtype is None:
                 array = array.astype(DEFAULT_DTYPE)
+        elif dtype is None and array.dtype.kind == "f" and array.dtype != np.dtype(DEFAULT_DTYPE):
+            array = array.astype(DEFAULT_DTYPE)
         self.data: np.ndarray = array
-        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self.requires_grad: bool = bool(requires_grad)
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -152,10 +211,10 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -170,24 +229,42 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create a result tensor wired into the autograd graph."""
+        """Create a result tensor wired into the autograd graph.
+
+        The computed dtype is preserved (only *leaf* creation consults the
+        default dtype), so a model keeps its precision even when the global
+        default changes afterwards.
+        """
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = cls(data, requires_grad=False)
+        out = cls(data, requires_grad=False, dtype=data.dtype)
         out.requires_grad = requires
         if requires:
             out._parents = tuple(parents)
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+    def _accumulate(self, grad: np.ndarray, fresh: bool = False) -> None:
+        """Add ``grad`` into ``self.grad`` in place (allocating on first use).
+
+        ``fresh=True`` asserts that the caller freshly allocated ``grad`` and
+        holds no other reference to it, which lets the first accumulation
+        steal the buffer instead of copying.  All subsequent accumulations
+        add into ``self.grad`` in place (``np.add(..., out=...)``), so the
+        stored array must never alias another tensor's data or gradient —
+        hence the defensive copy whenever freshness cannot be proven.
+        """
         if not self.requires_grad:
             return
-        grad = np.asarray(grad, dtype=self.data.dtype)
+        g = np.asarray(grad, dtype=self.data.dtype)
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+            if g.base is None and (fresh or g is not grad) and g is not self.data:
+                # Either the caller vouched for ownership or the dtype cast
+                # above already produced a private array.
+                self.grad = g
+            else:
+                self.grad = g.copy()
         else:
-            self.grad = self.grad + grad
+            np.add(self.grad, g, out=self.grad)
 
     def backward(self, grad: np.ndarray | float | None = None) -> None:
         """Run reverse-mode autodiff from this tensor.
@@ -252,7 +329,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(-grad, other.shape))
+            other._accumulate(_unbroadcast(-grad, other.shape), fresh=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -264,8 +341,8 @@ class Tensor:
         data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+            self._accumulate(_unbroadcast(grad * other.data, self.shape), fresh=True)
+            other._accumulate(_unbroadcast(grad * self.data, other.shape), fresh=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -276,9 +353,9 @@ class Tensor:
         data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            self._accumulate(_unbroadcast(grad / other.data, self.shape), fresh=True)
             other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape), fresh=True
             )
 
         return Tensor._make(data, (self, other), backward)
@@ -290,7 +367,7 @@ class Tensor:
         data = -self.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate(-grad, fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -300,7 +377,7 @@ class Tensor:
         data = self.data**exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self.data ** (exponent - 1), fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -326,7 +403,7 @@ class Tensor:
         data = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
+            self._accumulate(grad * data, fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -334,7 +411,7 @@ class Tensor:
         data = np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -342,7 +419,7 @@ class Tensor:
         data = np.sqrt(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
+            self._accumulate(grad * 0.5 / np.maximum(data, 1e-12), fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -350,7 +427,7 @@ class Tensor:
         data = np.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
+            self._accumulate(grad * np.sign(self.data), fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -358,7 +435,7 @@ class Tensor:
         data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data**2))
+            self._accumulate(grad * (1.0 - data**2), fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -366,7 +443,7 @@ class Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
+            self._accumulate(grad * data * (1.0 - data), fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -375,7 +452,7 @@ class Tensor:
         data = self.data * mask
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -388,7 +465,7 @@ class Tensor:
             mask = mask * (self.data <= maximum)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -402,7 +479,7 @@ class Tensor:
             expanded = grad
             if axis is not None and not keepdims:
                 expanded = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+            self._accumulate(np.broadcast_to(expanded, self.shape).copy(), fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -431,7 +508,7 @@ class Tensor:
                 expanded_grad = np.expand_dims(grad, axis)
             mask = self.data == expanded_data
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(expanded_grad * mask / counts)
+            self._accumulate(expanded_grad * mask / counts, fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -511,11 +588,18 @@ class Tensor:
         data = self.data[index]
         original_shape = self.shape
         dtype = self.data.dtype
+        basic = _is_basic_index(index)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros(original_shape, dtype=dtype)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+            if basic:
+                # Basic (slice/int) indexing never selects the same element
+                # twice, so a plain assignment matches ``np.add.at`` while
+                # skipping its slow scatter machinery.
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
+            self._accumulate(full, fresh=True)
 
         return Tensor._make(data, (self,), backward)
 
@@ -530,27 +614,27 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             a_data, b_data = a.data, b.data
             if a_data.ndim == 1 and b_data.ndim == 1:
-                a._accumulate(grad * b_data)
-                b._accumulate(grad * a_data)
+                a._accumulate(grad * b_data, fresh=True)
+                b._accumulate(grad * a_data, fresh=True)
                 return
             if a_data.ndim == 1:
                 # (m,) @ (..., m, p) -> (..., p)
                 grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
-                a._accumulate(_unbroadcast(grad_a, a.shape))
+                a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
                 grad_b = a_data[..., :, None] * grad[..., None, :]
-                b._accumulate(_unbroadcast(grad_b, b.shape))
+                b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
                 return
             if b_data.ndim == 1:
                 # (..., n, m) @ (m,) -> (..., n)
                 grad_a = grad[..., :, None] * b_data
-                a._accumulate(_unbroadcast(grad_a, a.shape))
+                a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
                 grad_b = (a_data * grad[..., :, None]).sum(axis=tuple(range(a_data.ndim - 1)))
-                b._accumulate(_unbroadcast(grad_b, b.shape))
+                b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
                 return
             grad_a = grad @ np.swapaxes(b_data, -1, -2)
             grad_b = np.swapaxes(a_data, -1, -2) @ grad
-            a._accumulate(_unbroadcast(grad_a, a.shape))
-            b._accumulate(_unbroadcast(grad_b, b.shape))
+            a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
+            b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -601,8 +685,8 @@ def where(condition: np.ndarray, a, b) -> Tensor:
     data = np.where(condition, a.data, b.data)
 
     def backward(grad: np.ndarray) -> None:
-        a._accumulate(_unbroadcast(grad * condition, a.shape))
-        b._accumulate(_unbroadcast(grad * ~condition, b.shape))
+        a._accumulate(_unbroadcast(grad * condition, a.shape), fresh=True)
+        b._accumulate(_unbroadcast(grad * ~condition, b.shape), fresh=True)
 
     return Tensor._make(data, (a, b), backward)
 

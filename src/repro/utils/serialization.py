@@ -34,12 +34,33 @@ def _json_default(value: Any):
     raise TypeError(f"cannot serialise {type(value)!r} to JSON")
 
 
+def _sanitize(value: Any) -> Any:
+    """Replace non-finite floats with ``None`` so the output is strict JSON.
+
+    ``json.dump`` would otherwise emit the bare literals ``NaN``/``Infinity``
+    (e.g. an undefined MAPE on a degenerate set), which Python reads back but
+    strict parsers (jq, ``JSON.parse``) reject.
+    """
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return _sanitize(value.tolist())
+    if isinstance(value, (float, np.floating)) and not np.isfinite(value):
+        return None
+    return value
+
+
 def save_json(path: str | Path, payload: Any) -> Path:
-    """Serialise ``payload`` (possibly containing NumPy scalars) as JSON."""
+    """Serialise ``payload`` (possibly containing NumPy scalars) as JSON.
+
+    Non-finite floats become ``null`` (see :func:`_sanitize`).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, default=_json_default)
+        json.dump(_sanitize(payload), handle, indent=2, default=_json_default, allow_nan=False)
     return path
 
 

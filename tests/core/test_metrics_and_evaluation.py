@@ -36,8 +36,10 @@ class TestMetrics:
         value = mape(np.array([1.0, 5.0]), np.array([2.0, 0.0]))
         assert value == pytest.approx(50.0)
 
-    def test_mape_all_zero_targets(self):
-        assert mape(np.array([1.0]), np.array([0.0])) == 0.0
+    def test_mape_all_zero_targets_is_nan(self):
+        # MAPE is undefined when every target is masked out; returning 0.0
+        # would silently report a perfect score on a degenerate set.
+        assert np.isnan(mape(np.array([1.0]), np.array([0.0])))
 
     def test_perfect_prediction_is_zero(self, rng):
         values = rng.normal(size=(5, 4))

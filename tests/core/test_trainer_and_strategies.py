@@ -90,6 +90,33 @@ class TestContinualTrainer:
         ContinualTrainer(urcl, tiny_training_config).run(tiny_scenario)
         assert len(urcl.buffer.occupancy_by_set()) >= 2
 
+    @pytest.mark.parametrize("shuffle_batches", [True, False])
+    def test_trainer_honours_configured_shuffle(
+        self, urcl, tiny_scenario, tiny_training_config, monkeypatch, shuffle_batches
+    ):
+        # Pins the actual behavior: the trainer forwards
+        # ``TrainingConfig.shuffle_batches`` to the DataLoader (it does NOT
+        # hard-code shuffle=False, whatever older docs claimed).
+        from dataclasses import replace
+
+        import repro.core.trainer as trainer_module
+
+        seen_shuffle = []
+        real_loader = trainer_module.DataLoader
+
+        def recording_loader(*args, **kwargs):
+            seen_shuffle.append(kwargs.get("shuffle"))
+            return real_loader(*args, **kwargs)
+
+        monkeypatch.setattr(trainer_module, "DataLoader", recording_loader)
+        training = replace(tiny_training_config, shuffle_batches=shuffle_batches)
+        trainer = ContinualTrainer(urcl, training)
+        trainer._train_one_epoch(tiny_scenario.base_set)
+        assert seen_shuffle == [shuffle_batches]
+
+    def test_default_config_shuffles_within_period(self):
+        assert TrainingConfig().shuffle_batches is True
+
     def test_cumulative_vs_current_protocol(self, tiny_scenario, tiny_urcl_config):
         from dataclasses import replace
 
@@ -144,5 +171,20 @@ class TestStrategies:
         assert result.mae_by_set() == {"Bset": 1.0, "I1": 3.0}
         assert result.mean_mae() == pytest.approx(2.0)
         assert result.mean_rmse() == pytest.approx(3.0)
+        assert result.mean_mape() == pytest.approx(4.0)
         assert result.mean_train_seconds_per_epoch() == pytest.approx(1.5)
         assert result.as_dict()["method"] == "m"
+
+    def test_mean_mape_skips_nan_sets(self):
+        # A degenerate set (all targets masked, MAPE undefined) must not
+        # poison the cross-set aggregate.
+        result = ContinualResult(method="m", dataset="d")
+        result.add(SetResult(name="Bset", metrics=PredictionMetrics(1.0, 2.0, float("nan"), 4)))
+        result.add(SetResult(name="I1", metrics=PredictionMetrics(3.0, 4.0, 10.0, 4)))
+        assert result.mean_mape() == pytest.approx(10.0)
+        assert result.mean_mae() == pytest.approx(2.0)
+
+    def test_mean_mape_all_nan_is_nan(self):
+        result = ContinualResult(method="m", dataset="d")
+        result.add(SetResult(name="Bset", metrics=PredictionMetrics(1.0, 2.0, float("nan"), 4)))
+        assert np.isnan(result.mean_mape())

@@ -78,6 +78,38 @@ class TestSTDataset:
         sliced = dataset.slice_steps(0, 30)
         assert sliced.num_steps == 30
 
+    def test_batch_matches_per_window_gather(self, dataset):
+        indices = np.array([0, 5, 3, len(dataset) - 1])
+        inputs, targets = dataset.batch(indices)
+        expected_inputs = np.stack([dataset[int(i)].inputs for i in indices])
+        expected_targets = np.stack([dataset[int(i)].targets for i in indices])
+        np.testing.assert_array_equal(inputs, expected_inputs)
+        np.testing.assert_array_equal(targets, expected_targets)
+
+    def test_batch_respects_stride(self, small_series):
+        dataset = STDataset(small_series, input_steps=12, output_steps=2, stride=3)
+        indices = np.arange(len(dataset))
+        inputs, targets = dataset.batch(indices)
+        for position, index in enumerate(indices):
+            window = dataset[int(index)]
+            np.testing.assert_array_equal(inputs[position], window.inputs)
+            np.testing.assert_array_equal(targets[position], window.targets)
+
+    def test_batch_multi_channel_targets(self, small_series):
+        dataset = STDataset(small_series, input_steps=12, target_channels=(1, 0))
+        _, targets = dataset.batch(np.array([2]))
+        np.testing.assert_array_equal(targets[0], dataset[2].targets)
+
+    def test_batch_rejects_out_of_range(self, dataset):
+        with pytest.raises(IndexError):
+            dataset.batch(np.array([len(dataset)]))
+
+    def test_arrays_match_windows(self, dataset):
+        inputs, targets = dataset.arrays()
+        windows = dataset.windows()
+        np.testing.assert_array_equal(inputs, np.stack([w.inputs for w in windows]))
+        np.testing.assert_array_equal(targets, np.stack([w.targets for w in windows]))
+
 
 class TestDataLoader:
     def test_batch_shapes(self, dataset):
@@ -123,3 +155,61 @@ class TestDataLoader:
         first = next(iter(DataLoader(dataset, batch_size=8, shuffle=True, rng=5)))
         second = next(iter(DataLoader(dataset, batch_size=8, shuffle=True, rng=5)))
         np.testing.assert_array_equal(first.indices, second.indices)
+
+    def test_batches_match_window_contents(self, dataset):
+        # The vectorised gather must produce exactly the per-window arrays.
+        for batch in DataLoader(dataset, batch_size=8, shuffle=True, rng=3):
+            for position, index in enumerate(batch.indices):
+                window = dataset[int(index)]
+                np.testing.assert_array_equal(batch.inputs[position], window.inputs)
+                np.testing.assert_array_equal(batch.targets[position], window.targets)
+
+    def test_batches_are_writable_copies(self, dataset):
+        batch = next(iter(DataLoader(dataset, batch_size=4)))
+        assert batch.inputs.flags.writeable
+        batch.inputs[...] = 0.0
+        np.testing.assert_array_equal(dataset[0].inputs, dataset.series[0:12])
+
+    def test_duck_typed_dataset_falls_back_to_windows(self, dataset):
+        class Wrapper:
+            def __len__(self):
+                return len(dataset)
+
+            def __getitem__(self, index):
+                return dataset[index]
+
+        batches = list(DataLoader(Wrapper(), batch_size=8))
+        reference = list(DataLoader(dataset, batch_size=8))
+        assert len(batches) == len(reference)
+        np.testing.assert_array_equal(batches[0].inputs, reference[0].inputs)
+
+    def test_non_callable_batch_attribute_falls_back(self, dataset):
+        class Wrapper:
+            batch = 32  # plausible field name on a user dataset; not a method
+
+            def __len__(self):
+                return len(dataset)
+
+            def __getitem__(self, index):
+                return dataset[index]
+
+        batch = next(iter(DataLoader(Wrapper(), batch_size=4)))
+        np.testing.assert_array_equal(batch.inputs, dataset.batch(np.arange(4))[0])
+
+    def test_subclass_getitem_override_is_honoured(self, small_series):
+        # An STDataset subclass overriding __getitem__ (e.g. augmentation)
+        # must not be bypassed by the strided fast path.
+        from repro.data.dataset import STWindow
+
+        class Shifted(STDataset):
+            def __getitem__(self, index):
+                window = super().__getitem__(index)
+                return STWindow(
+                    inputs=window.inputs + 100.0,
+                    targets=window.targets,
+                    start_index=window.start_index,
+                )
+
+        shifted = Shifted(small_series, input_steps=12)
+        batch = next(iter(DataLoader(shifted, batch_size=4)))
+        np.testing.assert_array_equal(batch.inputs[0], shifted[0].inputs)

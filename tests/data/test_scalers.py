@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.data import IdentityScaler, MinMaxScaler, StandardScaler
+from repro.data import IdentityScaler, MinMaxScaler, Scaler, StandardScaler
 from repro.exceptions import DataError
 
 
@@ -68,6 +68,34 @@ class TestStandardScaler:
     def test_unfitted_raises(self):
         with pytest.raises(DataError):
             StandardScaler().inverse_transform(np.zeros((2, 2)))
+
+
+class TestScalerHierarchy:
+    def test_all_scalers_are_scalers(self):
+        for cls in (IdentityScaler, MinMaxScaler, StandardScaler):
+            assert issubclass(cls, Scaler)
+
+    def test_concrete_scalers_are_not_identity(self):
+        # MinMax/Standard scaling is-not-a no-op: inheriting from
+        # IdentityScaler would silently turn a missing override into one.
+        assert not isinstance(MinMaxScaler(), IdentityScaler)
+        assert not isinstance(StandardScaler(), IdentityScaler)
+
+    def test_base_scaler_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Scaler().fit(np.ones((2, 2)))
+        with pytest.raises(NotImplementedError):
+            Scaler().transform(np.ones((2, 2)))
+
+    @pytest.mark.parametrize("scaler_cls", [MinMaxScaler, StandardScaler])
+    def test_fit_empty_array_raises_data_error(self, scaler_cls):
+        with pytest.raises(DataError, match="empty"):
+            scaler_cls().fit(np.empty((0, 3, 2)))
+
+    @pytest.mark.parametrize("scaler_cls", [MinMaxScaler, StandardScaler])
+    def test_fit_scalar_raises_data_error(self, scaler_cls):
+        with pytest.raises(DataError):
+            scaler_cls().fit(np.float64(3.0))
 
 
 class TestIdentityScaler:

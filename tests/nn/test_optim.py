@@ -85,6 +85,61 @@ class TestOptimizers:
         np.testing.assert_allclose(fresh._m[0], optimizer._m[0])
 
 
+def _reference_adam_step(data, grad, m, v, step_count, lr=1e-3, betas=(0.9, 0.999),
+                         eps=1e-8, weight_decay=0.0):
+    """Textbook (allocating) Adam update used to pin the in-place version."""
+    beta1, beta2 = betas
+    if weight_decay:
+        grad = grad + weight_decay * data
+    m = beta1 * m + (1 - beta1) * grad
+    v = beta2 * v + (1 - beta2) * grad * grad
+    m_hat = m / (1 - beta1**step_count)
+    v_hat = v / (1 - beta2**step_count)
+    return data - lr * m_hat / (np.sqrt(v_hat) + eps), m, v
+
+
+class TestAdamInPlace:
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.1])
+    def test_matches_reference_implementation(self, weight_decay):
+        rng = np.random.default_rng(0)
+        parameter = Parameter(rng.normal(size=(4, 3)))
+        optimizer = nn.Adam([parameter], lr=0.01, weight_decay=weight_decay)
+        data, m, v = parameter.data.copy(), np.zeros((4, 3)), np.zeros((4, 3))
+        for step in range(1, 6):
+            grad = rng.normal(size=(4, 3))
+            parameter.grad = grad.copy()
+            optimizer.step()
+            data, m, v = _reference_adam_step(
+                data, grad, m, v, step, lr=0.01, weight_decay=weight_decay
+            )
+            np.testing.assert_allclose(parameter.data, data, rtol=1e-12, atol=1e-12)
+            np.testing.assert_allclose(optimizer._m[0], m, rtol=1e-12, atol=1e-12)
+            np.testing.assert_allclose(optimizer._v[0], v, rtol=1e-12, atol=1e-12)
+
+    def test_step_does_not_reallocate_state(self):
+        parameter = Parameter(np.zeros(3))
+        optimizer = nn.Adam([parameter], lr=0.01)
+        m_buffer, v_buffer = optimizer._m[0], optimizer._v[0]
+        parameter.grad = np.ones(3)
+        optimizer.step()
+        optimizer.step()
+        assert optimizer._m[0] is m_buffer
+        assert optimizer._v[0] is v_buffer
+
+    def test_moment_buffers_follow_param_dtype(self):
+        from repro.tensor import default_dtype
+
+        with default_dtype("float32"):
+            parameter = Parameter(np.zeros(3))
+            optimizer = nn.Adam([parameter], lr=0.01)
+        assert parameter.data.dtype == np.float32
+        parameter.grad = np.ones(3, dtype=np.float32)
+        optimizer.step()
+        assert optimizer._m[0].dtype == np.float32
+        assert optimizer._scratch[0].dtype == np.float32
+        assert parameter.data.dtype == np.float32
+
+
 class TestGradClipping:
     def test_clip_reduces_norm(self):
         parameter = Parameter(np.zeros(10))

@@ -1,0 +1,230 @@
+"""Numeric gradient checks for the refactored hot-path ops.
+
+Covers tuple-axis reductions, both ``__getitem__`` backward paths (the fast
+basic-slice scatter and the ``np.add.at`` fancy-index scatter), the in-place
+gradient accumulation protocol (aliasing regressions), the default-dtype
+switch and the ``no_grad`` leaf-tensor semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.tensor import (
+    Tensor,
+    check_gradients,
+    default_dtype,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+)
+
+
+def _t(shape, seed=0, scale=1.0):
+    data = np.random.default_rng(seed).normal(size=shape) * scale
+    return Tensor(data, requires_grad=True)
+
+
+class TestTupleAxisReductions:
+    def test_sum_tuple_axis(self):
+        a = _t((3, 4, 2), seed=1)
+        assert check_gradients(lambda x: x.sum(axis=(0, 2)).sum(), [a])
+
+    def test_sum_tuple_axis_keepdims(self):
+        a = _t((2, 3, 4), seed=2)
+        assert check_gradients(lambda x: (x.sum(axis=(1, 2), keepdims=True) ** 2).sum(), [a])
+
+    def test_mean_tuple_axis(self):
+        a = _t((3, 4, 2), seed=3)
+        assert check_gradients(lambda x: (x.mean(axis=(0, 1)) ** 2).sum(), [a])
+
+    def test_max_tuple_axis(self):
+        # Distinct values keep the argmax stable under the finite-difference probes.
+        data = np.random.default_rng(4).permutation(24).reshape(3, 4, 2) * 1.0
+        a = Tensor(data, requires_grad=True)
+        assert check_gradients(lambda x: x.max(axis=(0, 2)).sum(), [a])
+
+    def test_max_tuple_axis_splits_ties(self):
+        a = Tensor(np.ones((2, 2, 2)), requires_grad=True)
+        a.max(axis=(0, 2)).sum().backward()
+        # Gradient mass of each maximum is split over the tied entries.
+        np.testing.assert_allclose(a.grad, np.full((2, 2, 2), 0.25))
+
+
+class TestGetitemBackward:
+    def test_fancy_index_with_duplicates(self):
+        # Duplicate rows must accumulate (np.add.at), not overwrite.
+        a = _t((4, 3), seed=5)
+        index = np.array([0, 2, 0, 1])
+        assert check_gradients(lambda x: (x[index] ** 2).sum(), [a])
+
+    def test_fancy_index_duplicate_grad_values(self):
+        a = Tensor(np.arange(3.0), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_basic_slice_fast_path(self):
+        a = _t((5, 4), seed=6)
+        assert check_gradients(lambda x: (x[1:4] * x[1:4]).sum(), [a])
+
+    def test_basic_int_and_slice(self):
+        a = _t((4, 5, 2), seed=7)
+        assert check_gradients(lambda x: (x[2, 1:3] ** 2).sum(), [a])
+
+    def test_basic_slice_with_step(self):
+        a = _t((6,), seed=8)
+        a[::2].sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+
+    def test_boolean_mask_uses_scatter(self):
+        a = _t((5,), seed=9)
+        mask = np.array([True, False, True, False, True])
+        assert check_gradients(lambda x: (x[mask] ** 2).sum(), [a])
+
+
+class TestInPlaceAccumulationAliasing:
+    """The in-place accumulation must never mutate arrays it does not own."""
+
+    def test_same_tensor_used_twice(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (a + a).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 2.0])
+
+    def test_passthrough_add_does_not_alias_grads(self):
+        # x + 0 passes the upstream gradient straight through; x.grad must
+        # still be a private buffer, not a view of y.grad.
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = x + np.zeros(2)
+        y.backward(np.ones(2))
+        assert not np.shares_memory(x.grad, y.grad)
+        np.add(x.grad, 1.0, out=x.grad)
+        np.testing.assert_allclose(y.grad, [1.0, 1.0])
+
+    def test_two_parents_of_passthrough_add(self):
+        # Both parents of an add receive the identical upstream array; an
+        # in-place second accumulation into one must not corrupt the other.
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        z = x + y
+        (z.sum() + x.sum()).backward()  # x accumulates twice, y once
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+        np.testing.assert_allclose(y.grad, [1.0, 1.0])
+
+    def test_seed_gradient_not_mutated(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        seed = np.ones(2)
+        (x + x).backward(seed)
+        np.testing.assert_allclose(seed, [1.0, 1.0])
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_backward_grad_does_not_alias_data(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        x.backward(x.data)
+        assert not np.shares_memory(x.grad, x.data)
+        np.testing.assert_allclose(x.grad, x.data)
+
+    def test_matches_reference_on_shared_subgraph(self):
+        # Deep sharing: the encoder-style reuse pattern of the URCL model.
+        a = _t((3, 3), seed=10)
+        b = _t((3, 3), seed=11)
+
+        def func(a, b):
+            shared = a @ b
+            left = (shared * a).sum()
+            right = (shared.tanh() ** 2).sum()
+            return left + right
+
+        assert check_gradients(func, [a, b])
+
+    def test_repeated_accumulation_is_in_place(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        loss = (a + a).sum() + a.sum() + (a * 2.0).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [5.0, 5.0, 5.0])
+
+
+class TestNoGradLeafSemantics:
+    def test_leaf_keeps_requires_grad_inside_no_grad(self):
+        with no_grad():
+            t = Tensor(np.ones(3), requires_grad=True)
+            p = Parameter(np.ones(3))
+        assert t.requires_grad
+        assert p.requires_grad
+
+    def test_parameter_created_in_no_grad_trains(self):
+        with no_grad():
+            p = Parameter(np.zeros(2))
+        loss = (p * 3.0).sum()
+        loss.backward()
+        np.testing.assert_allclose(p.grad, [3.0, 3.0])
+
+    def test_ops_still_detached_inside_no_grad(self):
+        p = Parameter(np.ones(2))
+        with no_grad():
+            out = p * 2.0
+        assert not out.requires_grad
+        assert out._parents == ()
+
+
+class TestDefaultDtype:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_context_manager_scopes_switch(self):
+        with default_dtype("float32"):
+            t = Tensor(np.ones(3))
+            p = Parameter(np.zeros((2, 2)))
+            assert t.dtype == np.float32
+            assert p.dtype == np.float32
+        assert get_default_dtype() == np.float64
+        assert Tensor(np.ones(1)).dtype == np.float64
+
+    def test_float32_graph_stays_float32(self):
+        with default_dtype("float32"):
+            a = Tensor(np.random.default_rng(0).normal(size=(3, 3)), requires_grad=True)
+            b = Tensor(np.random.default_rng(1).normal(size=(3, 3)), requires_grad=True)
+            loss = ((a @ b).tanh() ** 2).sum()
+            loss.backward()
+            assert loss.dtype == np.float32
+            assert a.grad.dtype == np.float32
+            assert b.grad.dtype == np.float32
+
+    def test_ops_preserve_model_dtype_across_default_changes(self):
+        # Only leaf creation consults the default: a model built at one
+        # precision keeps it even when the global default changes afterwards.
+        with default_dtype("float32"):
+            a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out32 = a @ a  # default is float64 again here
+        assert out32.dtype == np.float32
+        b = Tensor(np.ones((2, 2)), requires_grad=True)
+        with default_dtype("float32"):
+            out64 = b @ b
+        assert out64.dtype == np.float64
+
+    def test_detach_shares_data_and_dtype(self):
+        with default_dtype("float32"):
+            a = Tensor(np.ones(3), requires_grad=True)
+        detached = a.detach()
+        assert detached.dtype == np.float32
+        assert np.shares_memory(detached.data, a.data)
+        assert not detached.requires_grad
+
+    def test_float32_grads_match_float64(self):
+        data_a = np.random.default_rng(2).normal(size=(4, 4))
+        data_b = np.random.default_rng(3).normal(size=(4, 4))
+
+        def run():
+            a = Tensor(data_a, requires_grad=True)
+            b = Tensor(data_b, requires_grad=True)
+            ((a @ b).sigmoid() * a).sum().backward()
+            return a.grad, b.grad
+
+        grad64 = run()
+        with default_dtype("float32"):
+            grad32 = run()
+        for g64, g32 in zip(grad64, grad32):
+            np.testing.assert_allclose(g64, g32, atol=1e-5)

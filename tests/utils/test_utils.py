@@ -96,6 +96,17 @@ class TestSerialization:
         with pytest.raises(TypeError):
             save_json(tmp_path / "bad.json", {"x": object()})
 
+    def test_json_non_finite_floats_become_null(self, tmp_path):
+        # An undefined MAPE (NaN) must not produce the bare ``NaN`` literal,
+        # which strict JSON parsers reject.
+        payload = {"mape": float("nan"), "series": [1.0, float("inf"), np.float64("nan")]}
+        path = save_json(tmp_path / "nan.json", payload)
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        loaded = load_json(path)
+        assert loaded["mape"] is None
+        assert loaded["series"] == [1.0, None, None]
+
 
 class TestLogging:
     def test_get_logger_namespaced(self):
