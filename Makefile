@@ -1,11 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: ci test bench-smoke bench-hot-path
+.PHONY: ci test bench-smoke bench-hot-path bench-spatial bench-spatial-smoke
 
-# Tier-1 gate: full unit suite plus a 10-second smoke of the Fig. 7
-# efficiency benchmark (catches hot-path regressions that unit tests miss).
-ci: test bench-smoke
+# Tier-1 gate: full unit suite plus ~10-second smokes of the Fig. 7
+# efficiency benchmark and the spatial kernel (catch hot-path regressions
+# that unit tests miss; both record their JSON trajectory per PR).
+ci: test bench-smoke bench-spatial-smoke
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -17,3 +18,11 @@ bench-smoke:
 # appends to benchmarks/results/BENCH_hot_path.json.
 bench-hot-path:
 	$(PYTHON) benchmarks/bench_hot_path.py
+
+# Spatial-kernel sweep (CSR vs dense across node counts and densities);
+# appends to benchmarks/results/BENCH_spatial.json.
+bench-spatial:
+	$(PYTHON) benchmarks/bench_spatial.py
+
+bench-spatial-smoke:
+	$(PYTHON) benchmarks/bench_spatial.py --scale smoke

@@ -1,0 +1,203 @@
+"""Spatial-kernel benchmark: CSR diffusion convolution vs the dense path.
+
+Sweeps node counts and graph densities, timing a full
+``DiffusionGraphConv`` forward + backward (the spatial-mixing hot path of
+every model in the zoo) with supports forced dense versus the auto
+sparse/dense kernel.  Also measures the content-keyed support cache on the
+URCL adjacency-override path and records everything to
+``benchmarks/results/BENCH_spatial.json`` so the perf trajectory is
+tracked per PR.
+
+Correctness is asserted inline: dense and auto outputs must agree to
+float32-level tolerance on every configuration.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_spatial.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_spatial.py --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph import sparse as graph_sparse
+from repro.models.gcn import DiffusionGraphConv
+from repro.tensor import Tensor
+from repro.experiments.reporting import format_table
+from repro.utils.serialization import save_json
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_spatial.json"
+
+# (node counts, densities, batch, time steps, channels, repetitions)
+SWEEPS = {
+    "smoke": ((96, 512), (0.05,), 2, 4, 8, 2),
+    "bench": ((200, 500, 1000, 2000), (0.01, 0.05, 0.2, 0.5), 4, 6, 16, 3),
+}
+
+
+def make_adjacency(num_nodes: int, density: float, rng: np.random.Generator) -> np.ndarray:
+    """Random weighted directed graph with roughly ``density`` non-zeros."""
+    mask = rng.random((num_nodes, num_nodes)) < density
+    np.fill_diagonal(mask, False)
+    return np.where(mask, rng.random((num_nodes, num_nodes)), 0.0)
+
+
+def time_forward_backward(conv: DiffusionGraphConv, x_data: np.ndarray, reps: int) -> tuple[float, np.ndarray]:
+    """Median seconds for one forward+backward, plus the forward output."""
+    timings = []
+    output = None
+    for _ in range(reps + 1):  # first iteration is warmup
+        x = Tensor(x_data, requires_grad=True)
+        conv.zero_grad()
+        start = time.perf_counter()
+        out = conv(x)
+        out.sum().backward()
+        timings.append(time.perf_counter() - start)
+        output = out.data
+    return float(np.median(timings[1:])), output
+
+
+def bench_config(num_nodes: int, graph_density: float, batch: int, steps: int,
+                 channels: int, reps: int, seed: int) -> dict:
+    rng = np.random.default_rng(seed)
+    adjacency = make_adjacency(num_nodes, graph_density, rng)
+    x_data = rng.normal(size=(batch, steps, num_nodes, channels))
+
+    graph_sparse.clear_support_cache()
+    with graph_sparse.spatial_mode("dense"):
+        conv_dense = DiffusionGraphConv(channels, channels, adjacency=adjacency, rng=seed)
+        dense_seconds, dense_out = time_forward_backward(conv_dense, x_data, reps)
+    with graph_sparse.spatial_mode("auto"):
+        conv_auto = DiffusionGraphConv(channels, channels, adjacency=adjacency, rng=seed)
+        auto_seconds, auto_out = time_forward_backward(conv_auto, x_data, reps)
+        support_modes = [
+            "csr" if graph_sparse.sp.issparse(s) else "dense"
+            for s in conv_auto._static_supports
+        ]
+
+    max_abs_diff = float(np.max(np.abs(dense_out - auto_out)))
+    scale = float(np.max(np.abs(dense_out))) or 1.0
+    tolerance = 1e-5 * scale  # float32-level agreement
+    if max_abs_diff > tolerance:
+        raise AssertionError(
+            f"dense/auto mismatch at N={num_nodes} d={graph_density}: "
+            f"{max_abs_diff:.3e} > {tolerance:.3e}"
+        )
+    return {
+        "num_nodes": num_nodes,
+        "graph_density": graph_density,
+        "support_densities": [round(graph_sparse.density(s), 4) for s in conv_auto._static_supports],
+        "support_modes": support_modes,
+        "dense_seconds": dense_seconds,
+        "auto_seconds": auto_seconds,
+        "speedup": dense_seconds / auto_seconds,
+        "max_abs_diff": max_abs_diff,
+    }
+
+
+def bench_support_cache(num_nodes: int, seed: int) -> dict:
+    """Cost of supports_for on a repeated adjacency override: miss vs hit."""
+    rng = np.random.default_rng(seed)
+    adjacency = make_adjacency(num_nodes, 0.05, rng)
+    conv = DiffusionGraphConv(4, 4, adjacency=adjacency, rng=seed)
+    override = adjacency.copy()  # URCL passes network.adjacency.copy() per period
+
+    graph_sparse.clear_support_cache()
+    start = time.perf_counter()
+    conv.supports_for(override)
+    miss_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(10):
+        conv.supports_for(override.copy())  # fresh array, same content
+    hit_seconds = (time.perf_counter() - start) / 10
+
+    stats = graph_sparse.support_cache_stats()
+    return {
+        "num_nodes": num_nodes,
+        "miss_seconds": miss_seconds,
+        "hit_seconds": hit_seconds,
+        "speedup": miss_seconds / hit_seconds if hit_seconds > 0 else float("inf"),
+        "cache": stats,
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=sorted(SWEEPS))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    node_counts, densities, batch, steps, channels, reps = SWEEPS[args.scale]
+    record = {
+        "benchmark": "spatial",
+        "scale": args.scale,
+        "seed": args.seed,
+        "batch": batch,
+        "time_steps": steps,
+        "channels": channels,
+        "configs": [],
+    }
+    for num_nodes in node_counts:
+        for graph_density in densities:
+            record["configs"].append(
+                bench_config(num_nodes, graph_density, batch, steps, channels, reps, args.seed)
+            )
+    record["support_cache"] = bench_support_cache(max(node_counts), args.seed)
+
+    headers = ["N", "density", "modes", "dense s", "auto s", "speedup", "max|diff|"]
+    rows = [
+        [
+            c["num_nodes"],
+            c["graph_density"],
+            "/".join(c["support_modes"]),
+            c["dense_seconds"],
+            c["auto_seconds"],
+            c["speedup"],
+            c["max_abs_diff"],
+        ]
+        for c in record["configs"]
+    ]
+    print(format_table(headers, rows, title=f"Spatial mixing — dense vs auto ({args.scale})"))
+    cache = record["support_cache"]
+    print(
+        f"support cache (N={cache['num_nodes']}): miss {cache['miss_seconds']*1e3:.1f} ms, "
+        f"hit {cache['hit_seconds']*1e3:.2f} ms ({cache['speedup']:.0f}x)"
+    )
+
+    sparse_wins = [
+        c["speedup"] for c in record["configs"]
+        if c["num_nodes"] >= 500 and "csr" in c["support_modes"]
+    ]
+    if sparse_wins:
+        record["best_sparse_speedup"] = max(sparse_wins)
+        print(f"best sparse speedup at N>=500: {record['best_sparse_speedup']:.2f}x")
+    fallbacks = [
+        c["speedup"] for c in record["configs"] if "csr" not in c["support_modes"]
+    ]
+    if fallbacks:
+        record["worst_fallback_speedup"] = min(fallbacks)
+        print(f"worst dense-fallback ratio: {record['worst_fallback_speedup']:.2f}x")
+
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    save_json(RESULTS_PATH, history)
+    print(f"recorded to {RESULTS_PATH}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

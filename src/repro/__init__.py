@@ -37,8 +37,17 @@ of the double-precision results::
 Models must be *created* under the dtype they should train with: the switch
 affects tensor creation, so an existing float64 model keeps its dtype.
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured comparison of every table and figure.
+Sparse spatial engine
+---------------------
+Spatial mixing runs on a sparse-native kernel: diffusion supports are built
+as ``scipy.sparse`` CSR matrices (:mod:`repro.graph.sparse`), multiplied
+against activations through the differentiable :func:`repro.tensor.spmm`
+op, and memoised in a content-keyed cache so repeated adjacencies never
+rebuild the power series.  Supports auto-densify above a configurable
+density threshold (``repro.graph.sparse.set_density_threshold``) because
+dense BLAS wins on small or dense graphs; ``set_spatial_mode`` can force
+either path.  See ``benchmarks/bench_spatial.py`` for the measured
+crossover.
 """
 
 from . import augmentation, core, data, experiments, graph, models, nn, replay, tensor, utils

@@ -1,5 +1,11 @@
-"""Sensor-network substrate: graph structures, adjacency algebra, generators."""
+"""Sensor-network substrate: graph structures, adjacency algebra, generators.
 
+Dense adjacency algebra lives in :mod:`repro.graph.adjacency`; the
+CSR-native counterpart with auto-densify and the content-keyed support
+cache lives in :mod:`repro.graph.sparse`.
+"""
+
+from . import sparse
 from .adjacency import (
     add_self_loops,
     backward_transition,
@@ -8,6 +14,14 @@ from .adjacency import (
     power_series,
     row_normalize,
     symmetric_normalize,
+)
+from .sparse import (
+    cached_diffusion_supports,
+    clear_support_cache,
+    set_density_threshold,
+    set_spatial_mode,
+    spatial_mode,
+    support_cache_stats,
 )
 from .generators import (
     community_network,
@@ -20,6 +34,13 @@ from .sensor_network import SensorNetwork
 
 __all__ = [
     "SensorNetwork",
+    "sparse",
+    "cached_diffusion_supports",
+    "clear_support_cache",
+    "set_density_threshold",
+    "set_spatial_mode",
+    "spatial_mode",
+    "support_cache_stats",
     "add_self_loops",
     "backward_transition",
     "diffusion_supports",

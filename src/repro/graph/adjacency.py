@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import GraphError
+from ..tensor import get_default_dtype
 
 __all__ = [
     "add_self_loops",
@@ -23,7 +24,9 @@ __all__ = [
 
 
 def _check_square(adjacency: np.ndarray) -> np.ndarray:
-    adjacency = np.asarray(adjacency, dtype=float)
+    # Build supports at the library default dtype: a float64 support would
+    # silently upcast every activation it multiplies in a float32 run.
+    adjacency = np.asarray(adjacency, dtype=get_default_dtype())
     if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
         raise GraphError(f"adjacency must be square, got {adjacency.shape}")
     return adjacency
@@ -32,7 +35,7 @@ def _check_square(adjacency: np.ndarray) -> np.ndarray:
 def add_self_loops(adjacency: np.ndarray, weight: float = 1.0) -> np.ndarray:
     """Return :math:`\\tilde A = A + w I` (Eq. 19)."""
     adjacency = _check_square(adjacency)
-    return adjacency + weight * np.eye(adjacency.shape[0])
+    return adjacency + weight * np.eye(adjacency.shape[0], dtype=adjacency.dtype)
 
 
 def row_normalize(adjacency: np.ndarray) -> np.ndarray:
@@ -66,9 +69,13 @@ def power_series(matrix: np.ndarray, order: int) -> list[np.ndarray]:
     matrix = _check_square(matrix)
     if order < 0:
         raise ValueError("order must be >= 0")
-    powers = [np.eye(matrix.shape[0])]
-    for _ in range(order):
-        powers.append(powers[-1] @ matrix)
+    powers = [np.eye(matrix.shape[0], dtype=matrix.dtype)]
+    if order >= 1:
+        # Start the recurrence from P itself instead of burning a dense
+        # N x N matmul on I @ P.
+        powers.append(matrix.copy())
+        for _ in range(order - 1):
+            powers.append(powers[-1] @ matrix)
     return powers
 
 

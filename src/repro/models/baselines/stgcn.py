@@ -4,13 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...graph.adjacency import symmetric_normalize
+from scipy import sparse as sp
+
+from ...graph.sparse import as_support, symmetric_normalize
 from ...graph.sensor_network import SensorNetwork
 from ...nn.conv import GatedTemporalConv
 from ...nn.linear import Linear
 from ...nn.module import Module, Parameter
 from ...nn import init
-from ...tensor import Tensor
+from ...tensor import Tensor, concatenate
 from ...tensor import functional as F
 from ...utils.random import get_rng
 from ..base import STModel
@@ -28,26 +30,39 @@ class ChebGraphConv(Module):
             raise ValueError("order must be >= 1")
         rng = get_rng(rng)
         self.order = order
-        normalized = symmetric_normalize(adjacency)
+        self.out_channels = out_channels
+        normalized = symmetric_normalize(as_support(adjacency))
         # Scaled Laplacian approximation: L~ = I - D^-1/2 A D^-1/2.
-        laplacian = np.eye(adjacency.shape[0]) - normalized
-        self._chebyshev = self._chebyshev_basis(laplacian, order)
+        size = adjacency.shape[0]
+        if sp.issparse(normalized):
+            laplacian = (
+                sp.eye_array(size, dtype=normalized.dtype, format="csr") - normalized
+            ).tocsr()
+        else:
+            laplacian = np.eye(size, dtype=normalized.dtype) - normalized
+        self._chebyshev = self._chebyshev_basis(as_support(laplacian), order)
         self.weight = Parameter(init.xavier_uniform((order, in_channels, out_channels), rng=rng))
         self.bias = Parameter(init.zeros((out_channels,)))
 
     @staticmethod
-    def _chebyshev_basis(laplacian: np.ndarray, order: int) -> list[np.ndarray]:
-        basis = [np.eye(laplacian.shape[0]), laplacian]
+    def _chebyshev_basis(laplacian, order: int) -> list:
+        eye = sp.eye_array(laplacian.shape[0], dtype=laplacian.dtype, format="csr")
+        # T_0 = I is applied implicitly (the mix is x itself), so only
+        # T_1..T_{order-1} are stored.  Storage is re-examined every step of
+        # the recurrence so the chain switches to dense BLAS the moment a
+        # member crosses the density threshold.
+        basis = [as_support(eye), laplacian]
         for _ in range(2, order):
-            basis.append(2.0 * laplacian @ basis[-1] - basis[-2])
-        return basis[:order]
+            basis.append(as_support(2.0 * (laplacian @ basis[-1]) - basis[-2]))
+        return basis[1:order]
 
     def forward(self, x: Tensor) -> Tensor:
-        out = None
-        for index, basis in enumerate(self._chebyshev):
-            term = (Tensor(basis) @ x) @ self.weight[index]
-            out = term if out is None else out + term
-        return out + self.bias
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        # T_0 mixes with the identity, i.e. passes x through unchanged.
+        mixed = [x] + [F.spatial_mix(member, x) for member in self._chebyshev]
+        stacked = mixed[0] if len(mixed) == 1 else concatenate(mixed, axis=-1)
+        fused_weight = self.weight.reshape(-1, self.out_channels)
+        return stacked @ fused_weight + self.bias
 
 
 class STGCN(STModel):

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph.adjacency import diffusion_supports
-from ..tensor import Tensor
+from ..graph.sparse import cached_diffusion_supports
+from ..tensor import Tensor, concatenate
 from ..tensor import functional as F
 from ..utils.random import get_rng
 from ..nn import init
@@ -89,15 +89,22 @@ class DiffusionGraphConv(Module):
         )
         self.bias = Parameter(init.zeros((out_channels,)))
 
-    def _build_supports(self, adjacency: np.ndarray | None) -> list[np.ndarray]:
+    def _build_supports(self, adjacency: np.ndarray | None) -> list:
         if adjacency is None:
             return []
-        supports = diffusion_supports(adjacency, self.diffusion_order, directed=self.directed)
+        supports = cached_diffusion_supports(
+            adjacency, self.diffusion_order, directed=self.directed
+        )
         # Drop the identity support: the residual connection plays that role.
-        return [support for support in supports[1:]]
+        return list(supports[1:])
 
-    def supports_for(self, adjacency: np.ndarray | None) -> list[np.ndarray]:
-        """Return diffusion supports for an (optionally overridden) adjacency."""
+    def supports_for(self, adjacency: np.ndarray | None) -> list:
+        """Return diffusion supports for an (optionally overridden) adjacency.
+
+        Overrides go through the content-keyed support cache, so the power
+        series is only rebuilt when the adjacency *values* actually change
+        (augmented graph views repeat heavily across training steps).
+        """
         if adjacency is None:
             return self._static_supports
         return self._build_supports(adjacency)
@@ -107,16 +114,12 @@ class DiffusionGraphConv(Module):
         if x.ndim != 4:
             raise ValueError(f"DiffusionGraphConv expects 4-d input, got {x.shape}")
         supports = self.supports_for(adjacency)
-        out = None
-        index = 0
-        for support in supports:
-            mixed = Tensor(support) @ x
-            term = mixed @ self.weight[index]
-            out = term if out is None else out + term
-            index += 1
+        mixed = [F.spatial_mix(support, x) for support in supports]
         if self.adaptive is not None:
-            adaptive_matrix = self.adaptive()
-            mixed = adaptive_matrix @ x
-            term = mixed @ self.weight[index]
-            out = term if out is None else out + term
-        return out + self.bias
+            mixed.append(self.adaptive() @ x)
+        # Fused per-support weights: concatenating the S mixed features along
+        # the channel axis and applying one (S*C_in, C_out) matmul is the sum
+        # of the per-support products, without S autograd slices + matmuls.
+        stacked = mixed[0] if len(mixed) == 1 else concatenate(mixed, axis=-1)
+        fused_weight = self.weight.reshape(-1, self.out_channels)
+        return stacked @ fused_weight + self.bias

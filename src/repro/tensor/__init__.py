@@ -23,6 +23,7 @@ from .tensor import (
     minimum,
     no_grad,
     set_default_dtype,
+    spmm,
     stack,
     where,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "spmm",
     "no_grad",
     "is_grad_enabled",
     "get_default_dtype",

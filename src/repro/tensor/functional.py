@@ -8,10 +8,13 @@ cosine similarity (the building block of the GraphCL / STSimSiam losses).
 from __future__ import annotations
 
 import numpy as np
+from scipy import sparse as _scipy_sparse
 
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, maximum, stack, where
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, maximum, spmm, stack, where
 
 __all__ = [
+    "spmm",
+    "spatial_mix",
     "relu",
     "leaky_relu",
     "sigmoid",
@@ -27,6 +30,18 @@ __all__ = [
     "one_hot",
     "linear_interpolate",
 ]
+
+
+def spatial_mix(support, x: Tensor) -> Tensor:
+    """Mix node features with a support held in whatever storage it arrived in.
+
+    CSR supports go through the fused :func:`spmm` kernel; dense supports
+    (plain arrays or differentiable tensors such as the adaptive adjacency)
+    use the batched dense matmul.  ``x`` is ``(..., nodes, channels)``.
+    """
+    if _scipy_sparse.issparse(support):
+        return spmm(support, x)
+    return as_tensor(support) @ as_tensor(x)
 
 
 def relu(x: Tensor) -> Tensor:

@@ -16,6 +16,7 @@ import contextlib
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+from scipy import sparse as _sparse
 
 __all__ = [
     "Tensor",
@@ -30,6 +31,7 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "spmm",
 ]
 
 _GRAD_ENABLED = True
@@ -648,6 +650,53 @@ class Tensor:
 # ---------------------------------------------------------------------- #
 # Free functions over tensors
 # ---------------------------------------------------------------------- #
+def _spmm_leading(matrix, array: np.ndarray) -> np.ndarray:
+    """Apply a sparse ``(N, N)`` matrix to the ``-2`` axis of ``array``.
+
+    ``array`` has shape ``(..., N, C)``; all leading axes are flattened into
+    the column dimension so the whole batch goes through a single CSR x
+    dense product, then restored.
+    """
+    if array.ndim == 1:
+        return matrix @ array
+    if array.ndim == 2:
+        return matrix @ array
+    moved = np.moveaxis(array, -2, 0)  # (N, ..., C), a view
+    flat = moved.reshape(moved.shape[0], -1)  # copies iff non-contiguous
+    product = matrix @ flat
+    out = np.moveaxis(product.reshape(moved.shape), 0, -2)
+    # Materialise an owned, contiguous buffer so callers may treat the
+    # result as fresh (the in-place gradient-accumulation protocol).
+    return np.ascontiguousarray(out)
+
+
+def spmm(matrix, x) -> Tensor:
+    """Differentiable CSR-matrix x dense-Tensor product over the node axis.
+
+    ``matrix`` is a constant ``scipy.sparse`` matrix of shape ``(N, N)``
+    (no gradient is computed for it); ``x`` is a tensor whose second-to-last
+    axis has size ``N`` — leading axes are batched.  The backward pass
+    multiplies by the transposed CSR matrix.
+    """
+    if not _sparse.issparse(matrix):
+        raise TypeError(f"spmm expects a scipy.sparse matrix, got {type(matrix).__name__}")
+    x = as_tensor(x)
+    if x.ndim < 1 or x.shape[max(x.ndim - 2, 0)] != matrix.shape[1]:
+        raise ValueError(
+            f"spmm shape mismatch: matrix {matrix.shape} vs input {x.shape}"
+        )
+    if matrix.dtype != x.data.dtype:
+        matrix = matrix.astype(x.data.dtype)
+    data = _spmm_leading(matrix, x.data)
+    transposed = matrix.T
+
+    def backward(grad: np.ndarray) -> None:
+        # scipy products always allocate, so the buffer is fresh.
+        x._accumulate(_spmm_leading(transposed, grad), fresh=True)
+
+    return Tensor._make(data, (x,), backward)
+
+
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable)."""
     tensors = [as_tensor(t) for t in tensors]

@@ -1,0 +1,97 @@
+"""Tests for the differentiable CSR spmm op (forward, backward, aliasing)."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.tensor import Tensor, check_gradients, default_dtype, spmm
+from repro.tensor import functional as F
+
+
+@pytest.fixture
+def csr_matrix(rng):
+    dense = np.where(rng.random((6, 6)) < 0.4, rng.normal(size=(6, 6)), 0.0)
+    return sp.csr_array(dense)
+
+
+class TestForward:
+    def test_matches_dense_2d(self, csr_matrix, rng):
+        x = rng.normal(size=(6, 3))
+        out = spmm(csr_matrix, Tensor(x))
+        np.testing.assert_allclose(out.data, csr_matrix.toarray() @ x)
+
+    def test_matches_dense_batched(self, csr_matrix, rng):
+        x = rng.normal(size=(2, 5, 6, 3))
+        out = spmm(csr_matrix, Tensor(x))
+        np.testing.assert_allclose(out.data, csr_matrix.toarray() @ x, atol=1e-12)
+
+    def test_matches_dense_1d(self, csr_matrix, rng):
+        x = rng.normal(size=6)
+        out = spmm(csr_matrix, Tensor(x))
+        np.testing.assert_allclose(out.data, csr_matrix.toarray() @ x)
+
+    def test_rejects_dense_matrix(self, rng):
+        with pytest.raises(TypeError):
+            spmm(np.eye(4), Tensor(rng.normal(size=(4, 2))))
+
+    def test_rejects_shape_mismatch(self, csr_matrix, rng):
+        with pytest.raises(ValueError):
+            spmm(csr_matrix, Tensor(rng.normal(size=(2, 5, 3))))
+
+    def test_preserves_float32(self, csr_matrix, rng):
+        with default_dtype("float32"):
+            x = Tensor(rng.normal(size=(2, 6, 3)).astype(np.float32), requires_grad=True)
+            out = spmm(csr_matrix, x)
+            assert out.dtype == np.float32
+            out.sum().backward()
+            assert x.grad.dtype == np.float32
+
+
+class TestBackward:
+    def test_gradient_matches_numerical(self, csr_matrix, rng):
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        check_gradients(lambda t: (spmm(csr_matrix, t) ** 2).sum(), [x])
+
+    def test_gradient_matches_numerical_batched(self, csr_matrix, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 2)), requires_grad=True)
+        check_gradients(lambda t: (spmm(csr_matrix, t) ** 2).sum(), [x])
+
+    def test_transpose_backward_explicit(self, csr_matrix, rng):
+        x = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        out = spmm(csr_matrix, x)
+        upstream = rng.normal(size=out.shape)
+        out.backward(upstream)
+        np.testing.assert_allclose(x.grad, csr_matrix.toarray().T @ upstream, atol=1e-12)
+
+    def test_accumulates_across_reuse(self, csr_matrix, rng):
+        # The same tensor feeds two spmm ops: in-place accumulation must sum
+        # both contributions without corrupting either op's buffer.
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        (spmm(csr_matrix, x).sum() + spmm(csr_matrix, x).sum() * 2.0).backward()
+        expected = 3.0 * (csr_matrix.toarray().T @ np.ones((6, 3)))
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)
+
+    def test_grad_buffer_does_not_alias_output(self, csr_matrix, rng):
+        # fresh=True lets the first accumulation steal the backward buffer;
+        # the stolen buffer must be private (mutating the gradient afterwards
+        # must not touch the op output or the matrix).
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        out = spmm(csr_matrix, x)
+        before = out.data.copy()
+        out.sum().backward()
+        x.grad += 1000.0
+        np.testing.assert_allclose(out.data, before)
+
+
+class TestSpatialMix:
+    def test_dispatches_sparse_and_dense(self, csr_matrix, rng):
+        x = Tensor(rng.normal(size=(2, 6, 3)))
+        sparse_out = F.spatial_mix(csr_matrix, x)
+        dense_out = F.spatial_mix(csr_matrix.toarray(), x)
+        np.testing.assert_allclose(sparse_out.data, dense_out.data, atol=1e-12)
+
+    def test_dense_support_is_differentiable(self, rng):
+        support = Tensor(rng.normal(size=(6, 6)), requires_grad=True)
+        x = Tensor(rng.normal(size=(6, 3)))
+        F.spatial_mix(support, x).sum().backward()
+        assert support.grad is not None
