@@ -1,15 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: ci test bench-smoke bench-hot-path bench-spatial bench-spatial-smoke
+.PHONY: ci test bench-smoke bench-hot-path bench-spatial bench-spatial-smoke examples-smoke
 
-# Tier-1 gate: full unit suite plus ~10-second smokes of the Fig. 7
-# efficiency benchmark and the spatial kernel (catch hot-path regressions
-# that unit tests miss; both record their JSON trajectory per PR).
-ci: test bench-smoke bench-spatial-smoke
+# Tier-1 gate: full unit suite, ~10-second smokes of the Fig. 7 efficiency
+# benchmark and the spatial kernel (catch hot-path regressions that unit
+# tests miss; both record their JSON trajectory per PR), plus the two
+# runnable examples (quickstart + online forecasting) as end-to-end smokes
+# of the public API surface.
+ci: test bench-smoke bench-spatial-smoke examples-smoke
 
 test:
 	$(PYTHON) -m pytest tests -x -q
+
+# End-to-end smokes of the documented workflows: continual training via the
+# quickstart and the predict->update->save/load serving loop.
+examples-smoke:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/online_forecasting.py
 
 bench-smoke:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_fig7_efficiency.py -x -q

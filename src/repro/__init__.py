@@ -1,22 +1,41 @@
 """URCL — Unified Replay-based Continuous Learning for Spatio-Temporal
 Prediction on Streaming Data (ICDE 2024 reproduction).
 
-Quickstart::
+Quickstart: the :class:`~repro.serve.Forecaster` facade wraps a model, its
+fitted scaler and the sensor graph behind raw-data verbs::
 
-    from repro import (
-        load_dataset, build_streaming_scenario,
-        URCLModel, URCLConfig, TrainingConfig, ContinualTrainer,
-    )
+    from repro import Forecaster, load_dataset, build_streaming_scenario
 
     dataset = load_dataset("pems08", num_days=8, num_nodes=24)
-    scenario = build_streaming_scenario(dataset)
-    model = URCLModel(
-        scenario.network,
-        in_channels=dataset.spec.num_channels,
-        input_steps=dataset.spec.input_steps,
-    )
-    result = ContinualTrainer(model, TrainingConfig(epochs_base=2)).run(scenario)
+    scenario = build_streaming_scenario(dataset)   # Bset + I1..I4 (Fig. 5)
+
+    forecaster = Forecaster.from_scenario(scenario)
+    result = forecaster.fit(scenario)              # continual training (Alg. 1)
     print(result.mae_by_set())
+
+    y = forecaster.predict(raw_window)             # un-scaled in, un-scaled out
+    forecaster.update(new_inputs, new_targets)     # replay-augmented online step
+    forecaster.save("artifacts/model")             # durable checkpoint bundle
+    same = Forecaster.load("artifacts/model")      # bit-identical predict()
+
+Model registry
+--------------
+Every model in the zoo registers under a string key and round-trips through
+a declarative config — the layer checkpoints are built on::
+
+    from repro import build_model, available_models
+
+    model = build_model("dcrnn", {"in_channels": 2, "input_steps": 12},
+                        network=scenario.network, rng=0)
+    clone = build_model("dcrnn", model.to_config(), network=scenario.network)
+
+Checkpoint / resume
+-------------------
+``ContinualTrainer.run(..., checkpoint_dir=...)`` persists the complete
+training state (model, Adam moments, replay buffer, every RNG stream, the
+library dtype) after every stream period; ``ContinualTrainer.resume(path,
+scenario)`` continues a killed run *bit-exactly*.  The CLI exposes the whole
+loop: ``python -m repro train / resume / predict``.
 
 Precision switch
 ----------------
@@ -50,7 +69,7 @@ either path.  See ``benchmarks/bench_spatial.py`` for the measured
 crossover.
 """
 
-from . import augmentation, core, data, experiments, graph, models, nn, replay, tensor, utils
+from . import augmentation, core, data, experiments, graph, models, nn, replay, serve, tensor, utils
 from .core import (
     ContinualResult,
     ContinualTrainer,
@@ -63,6 +82,8 @@ from .core import (
 )
 from .data import build_streaming_scenario, list_datasets, load_dataset
 from .graph import SensorNetwork
+from .models import available_models, build_model
+from .serve import Forecaster
 
 __version__ = "1.0.0"
 
@@ -75,8 +96,12 @@ __all__ = [
     "models",
     "nn",
     "replay",
+    "serve",
     "tensor",
     "utils",
+    "Forecaster",
+    "available_models",
+    "build_model",
     "ContinualResult",
     "ContinualTrainer",
     "FinetuneSTStrategy",

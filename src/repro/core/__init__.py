@@ -1,6 +1,7 @@
 """URCL core: configuration, the unified model, the continual trainer, the
 baseline training strategies, metrics and evaluation."""
 
+from . import checkpoint
 from .config import TrainingConfig, URCLConfig
 from .evaluation import collect_predictions, evaluate_classical, evaluate_model
 from .metrics import PredictionMetrics, compute_metrics, mae, mape, rmse
@@ -17,6 +18,7 @@ from .trainer import ContinualTrainer
 from .urcl import StepOutput, URCLModel, build_backbone
 
 __all__ = [
+    "checkpoint",
     "TrainingConfig",
     "URCLConfig",
     "collect_predictions",

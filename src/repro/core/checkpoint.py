@@ -1,0 +1,247 @@
+"""Packing live training state into :class:`repro.utils.checkpoint.Checkpoint`.
+
+The bundle layout is shared by the two producers — the continual trainer
+(``ContinualTrainer.save_checkpoint``) and the serving facade
+(``Forecaster.save``) — so either side can open the other's artifacts:
+
+=============  =====================================================
+meta key       contents
+=============  =====================================================
+``dtype``      library default dtype active when the state was saved
+``model``      ``{"name": registry key, "config": to_config()}``
+``optimizer``  optimizer class name + scalar hyper-parameters
+``scaler``     scaler class name + scalar params (arrays in ``scaler/``)
+``network``    sensor-network metadata (arrays in ``network/``)
+``buffer``     replay-buffer bookkeeping (arrays in ``buffer/``)
+``rng``        ``{root: {path: bit-generator state}}``
+=============  =====================================================
+
+Every helper below is a pure function over a :class:`Checkpoint`; nothing
+here touches the filesystem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.scalers import Scaler, build_scaler
+from ..exceptions import ConfigurationError
+from ..graph.sensor_network import SensorNetwork
+from ..models.registry import build_model, model_name_of
+from ..nn import optim as optim_module
+from ..tensor import get_default_dtype, set_default_dtype
+from ..utils.checkpoint import Checkpoint
+from ..utils.random import collect_rng_states, restore_rng_states
+
+__all__ = [
+    "pack_dtype",
+    "apply_dtype",
+    "pack_model",
+    "unpack_model",
+    "pack_optimizer",
+    "unpack_optimizer",
+    "make_optimizer",
+    "pack_scaler",
+    "unpack_scaler",
+    "pack_network",
+    "unpack_network",
+    "pack_buffer",
+    "unpack_buffer",
+    "pack_rng",
+    "unpack_rng",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Library dtype
+# ---------------------------------------------------------------------- #
+def pack_dtype(checkpoint: Checkpoint) -> None:
+    checkpoint.meta["dtype"] = np.dtype(get_default_dtype()).name
+
+
+def apply_dtype(checkpoint: Checkpoint) -> None:
+    """Switch the library to the checkpoint's dtype (call before rebuilding)."""
+    dtype = checkpoint.meta.get("dtype")
+    if dtype is not None:
+        set_default_dtype(dtype)
+
+
+# ---------------------------------------------------------------------- #
+# Model (architecture config + parameters)
+# ---------------------------------------------------------------------- #
+def pack_model(checkpoint: Checkpoint, model) -> None:
+    checkpoint.meta["model"] = {
+        "name": model_name_of(model),
+        "config": model.to_config(),
+    }
+    checkpoint.add_arrays("model", model.state_dict())
+
+
+def unpack_model(checkpoint: Checkpoint, network: SensorNetwork | None = None, rng=0):
+    """Rebuild the saved architecture and load its parameters.
+
+    ``rng`` only seeds construction-time draws, which the subsequent
+    ``load_state_dict`` overwrites — any value yields identical models.
+    """
+    entry = checkpoint.meta.get("model")
+    if entry is None:
+        raise ConfigurationError("checkpoint has no model section")
+    model = build_model(entry["name"], entry.get("config"), network=network, rng=rng)
+    state = checkpoint.arrays_in("model")
+    if state:
+        model.load_state_dict(state)
+    elif getattr(model, "parameters", None) is not None and model.parameters():
+        # A parametric model without its arrays would serve random weights.
+        raise ConfigurationError(
+            "checkpoint metadata describes a model but its parameter arrays "
+            "are missing (arrays.npz lost or partially copied?)"
+        )
+    return model
+
+
+# ---------------------------------------------------------------------- #
+# Optimizer
+# ---------------------------------------------------------------------- #
+def pack_optimizer(checkpoint: Checkpoint, optimizer) -> None:
+    """Split ``optimizer.state_dict()`` into scalar meta + slot arrays."""
+    scalars: dict = {}
+    for key, value in optimizer.state_dict().items():
+        if isinstance(value, list):
+            checkpoint.add_arrays(
+                "optim", {f"{key}/{index}": slot for index, slot in enumerate(value)}
+            )
+        elif isinstance(value, tuple):
+            scalars[key] = list(value)
+        else:
+            scalars[key] = value
+    checkpoint.meta["optimizer"] = {"type": type(optimizer).__name__, "state": scalars}
+
+
+def unpack_optimizer(checkpoint: Checkpoint, optimizer) -> None:
+    """Restore slot variables and hyper-parameters into ``optimizer``."""
+    entry = checkpoint.meta.get("optimizer")
+    if entry is None:
+        return
+    expected = entry.get("type")
+    if expected is not None and expected != type(optimizer).__name__:
+        raise ConfigurationError(
+            f"checkpoint stores {expected} state but the trainer uses "
+            f"{type(optimizer).__name__}"
+        )
+    state: dict = dict(entry.get("state", {}))
+    slots: dict[str, dict[int, np.ndarray]] = {}
+    for key, value in checkpoint.arrays_in("optim").items():
+        name, _, index = key.rpartition("/")
+        slots.setdefault(name, {})[int(index)] = value
+    for name, indexed in slots.items():
+        state[name] = [indexed[index] for index in sorted(indexed)]
+    optimizer.load_state_dict(state)
+
+
+def make_optimizer(name: str, parameters, **kwargs):
+    """Instantiate an optimizer class from :mod:`repro.nn.optim` by name."""
+    cls = getattr(optim_module, name, None)
+    if cls is None or not isinstance(cls, type) or not issubclass(cls, optim_module.Optimizer):
+        raise ConfigurationError(f"unknown optimizer {name!r}")
+    return cls(parameters, **kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Scaler
+# ---------------------------------------------------------------------- #
+def pack_scaler(checkpoint: Checkpoint, scaler: Scaler) -> None:
+    scalars: dict = {}
+    arrays: dict[str, np.ndarray] = {}
+    none_keys: list[str] = []
+    for key, value in scaler.get_params().items():
+        if value is None:
+            none_keys.append(key)
+        elif isinstance(value, np.ndarray):
+            arrays[key] = value
+        else:
+            scalars[key] = value
+    checkpoint.meta["scaler"] = {
+        "type": type(scaler).__name__,
+        "scalars": scalars,
+        "none_keys": none_keys,
+    }
+    checkpoint.add_arrays("scaler", arrays)
+
+
+def unpack_scaler(checkpoint: Checkpoint) -> Scaler | None:
+    entry = checkpoint.meta.get("scaler")
+    if entry is None:
+        return None
+    params: dict = dict(entry.get("scalars", {}))
+    params.update({key: None for key in entry.get("none_keys", [])})
+    params.update(checkpoint.arrays_in("scaler"))
+    return build_scaler(entry["type"], params)
+
+
+# ---------------------------------------------------------------------- #
+# Sensor network
+# ---------------------------------------------------------------------- #
+def pack_network(checkpoint: Checkpoint, network: SensorNetwork) -> None:
+    checkpoint.meta["network"] = {"name": network.name, "directed": network.directed}
+    arrays = {"adjacency": network.adjacency}
+    if network.coordinates is not None:
+        arrays["coordinates"] = network.coordinates
+    checkpoint.add_arrays("network", arrays)
+
+
+def unpack_network(checkpoint: Checkpoint) -> SensorNetwork | None:
+    entry = checkpoint.meta.get("network")
+    if entry is None:
+        return None
+    arrays = checkpoint.arrays_in("network")
+    if "adjacency" not in arrays:
+        raise ConfigurationError("checkpoint network section is missing the adjacency")
+    return SensorNetwork(
+        adjacency=arrays["adjacency"],
+        coordinates=arrays.get("coordinates"),
+        name=entry.get("name", "sensor-network"),
+        directed=bool(entry.get("directed", False)),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Replay buffer
+# ---------------------------------------------------------------------- #
+def pack_buffer(checkpoint: Checkpoint, buffer) -> None:
+    state = buffer.state_dict()
+    arrays = {}
+    for key in ("inputs", "targets"):
+        value = state.pop(key)
+        if value is not None:
+            arrays[key] = value
+    checkpoint.meta["buffer"] = state
+    checkpoint.add_arrays("buffer", arrays)
+
+
+def unpack_buffer(checkpoint: Checkpoint, buffer) -> None:
+    entry = checkpoint.meta.get("buffer")
+    if entry is None:
+        return
+    state = dict(entry)
+    arrays = checkpoint.arrays_in("buffer")
+    state["inputs"] = arrays.get("inputs")
+    state["targets"] = arrays.get("targets")
+    buffer.load_state_dict(state)
+
+
+# ---------------------------------------------------------------------- #
+# RNG streams
+# ---------------------------------------------------------------------- #
+def pack_rng(checkpoint: Checkpoint, roots: dict) -> None:
+    """Snapshot every generator reachable from each named root object."""
+    checkpoint.meta["rng"] = {
+        name: collect_rng_states(root) for name, root in roots.items()
+    }
+
+
+def unpack_rng(checkpoint: Checkpoint, roots: dict, strict: bool = True) -> None:
+    saved = checkpoint.meta.get("rng", {})
+    for name, root in roots.items():
+        states = saved.get(name)
+        if states:
+            restore_rng_states(root, states, strict=strict)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from ..exceptions import ConfigurationError
 from ..models.stencoder import STEncoderConfig
@@ -71,6 +71,23 @@ class URCLConfig:
         if self.temperature <= 0:
             raise ConfigurationError("temperature must be positive")
 
+    # Serialisation ---------------------------------------------------- #
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (nested encoder config included)."""
+        config = asdict(self)
+        config["encoder"] = self.encoder.to_dict()
+        return config
+
+    @classmethod
+    def from_dict(cls, config: "dict | URCLConfig") -> "URCLConfig":
+        """Rebuild from :meth:`to_dict` output."""
+        if isinstance(config, cls):
+            return config
+        config = dict(config)
+        if "encoder" in config and config["encoder"] is not None:
+            config["encoder"] = STEncoderConfig.from_dict(config["encoder"])
+        return cls(**config)
+
     # Ablation helpers ------------------------------------------------- #
     def without(self, component: str) -> "URCLConfig":
         """Return a copy with one component disabled.
@@ -135,3 +152,13 @@ class TrainingConfig:
     def epochs_for(self, set_index: int) -> int:
         """Epoch budget for the ``set_index``-th stream period (0 = base set)."""
         return self.epochs_base if set_index == 0 else self.epochs_incremental
+
+    # Serialisation ---------------------------------------------------- #
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, config: "dict | TrainingConfig") -> "TrainingConfig":
+        if isinstance(config, cls):
+            return config
+        return cls(**dict(config))

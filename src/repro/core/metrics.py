@@ -65,6 +65,20 @@ class PredictionMetrics:
             "num_samples": self.num_samples,
         }
 
+    @classmethod
+    def from_dict(cls, values: dict) -> "PredictionMetrics":
+        """Rebuild from :meth:`as_dict` output (JSON ``null`` becomes NaN)."""
+
+        def _float(value) -> float:
+            return float("nan") if value is None else float(value)
+
+        return cls(
+            mae=_float(values["mae"]),
+            rmse=_float(values["rmse"]),
+            mape=_float(values["mape"]),
+            num_samples=int(values.get("num_samples", 0)),
+        )
+
     def __str__(self) -> str:
         return f"MAE={self.mae:.3f} RMSE={self.rmse:.3f} MAPE={self.mape:.2f}%"
 

@@ -49,6 +49,33 @@ class SetResult:
             "inference_seconds_per_window": self.inference_seconds_per_window,
         }
 
+    def to_state(self) -> dict:
+        """Lossless form (unlike :meth:`as_dict`, keeps the loss history)."""
+        return {
+            "name": self.name,
+            "metrics": self.metrics.as_dict(),
+            "epochs": self.epochs,
+            "train_seconds": self.train_seconds,
+            "loss_history": list(self.loss_history),
+            "inference_seconds_per_window": self.inference_seconds_per_window,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SetResult":
+        return cls(
+            name=state["name"],
+            metrics=PredictionMetrics.from_dict(state["metrics"]),
+            epochs=int(state.get("epochs", 0)),
+            train_seconds=float(state.get("train_seconds", 0.0)),
+            # JSON has no NaN: non-finite losses (a diverged epoch) are stored
+            # as null and must come back as NaN, not crash the resume.
+            loss_history=[
+                float("nan") if value is None else float(value)
+                for value in state.get("loss_history", [])
+            ],
+            inference_seconds_per_window=float(state.get("inference_seconds_per_window", 0.0)),
+        )
+
 
 @dataclass
 class ContinualResult:
@@ -106,3 +133,19 @@ class ContinualResult:
             "dataset": self.dataset,
             "sets": [entry.as_dict() for entry in self.sets],
         }
+
+    def to_state(self) -> dict:
+        """Lossless form used by trainer checkpoints (resumable progress)."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "sets": [entry.to_state() for entry in self.sets],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ContinualResult":
+        return cls(
+            method=state["method"],
+            dataset=state["dataset"],
+            sets=[SetResult.from_state(entry) for entry in state.get("sets", [])],
+        )

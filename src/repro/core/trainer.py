@@ -1,16 +1,19 @@
-"""Continual training loop for URCL (Algorithm 1)."""
+"""Continual training loop for URCL (Algorithm 1) with durable checkpoints."""
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import numpy as np
 
 from ..data.loader import DataLoader
 from ..data.streaming import StreamingScenario, StreamSet
-from ..nn.optim import Adam, clip_grad_norm
+from ..nn.optim import Adam, Optimizer, clip_grad_norm
+from ..utils.checkpoint import Checkpoint
 from ..utils.logging import get_logger
 from ..utils.random import get_rng
+from . import checkpoint as ckpt
 from .config import TrainingConfig
 from .evaluation import evaluate_model_on_sets
 from .results import ContinualResult, SetResult
@@ -28,17 +31,33 @@ class ContinualTrainer:
     model is *continually* updated, never re-initialised), selects batches
     sequentially as prescribed by Algorithm 1 and records the loss history,
     training time and inference latency needed to reproduce Figs. 7 and 8.
+
+    Long streaming runs are durable: :meth:`run` can write a checkpoint
+    after every stream period, and :meth:`resume` rebuilds a trainer from
+    such a checkpoint so a killed run continues *bit-exactly* — parameters,
+    optimizer moments, replay buffer and every RNG stream are restored, so
+    the continued run produces the same :class:`ContinualResult` as an
+    uninterrupted one.
     """
 
-    def __init__(self, model: URCLModel, training: TrainingConfig | None = None, rng=None):
+    def __init__(
+        self,
+        model: URCLModel,
+        training: TrainingConfig | None = None,
+        rng=None,
+        optimizer: Optimizer | None = None,
+    ):
         self.model = model
         self.training = training or TrainingConfig()
-        self.optimizer = Adam(
+        self.optimizer = optimizer or Adam(
             model.parameters(),
             lr=self.training.learning_rate,
             weight_decay=self.training.weight_decay,
         )
         self._rng = get_rng(rng if rng is not None else self.training.seed)
+        # Progress state (advanced by run(), persisted by save_checkpoint()).
+        self._completed_sets = 0
+        self._partial_result: ContinualResult | None = None
 
     # ------------------------------------------------------------------ #
     def _train_one_epoch(self, stream_set: StreamSet) -> list[float]:
@@ -108,11 +127,42 @@ class ContinualTrainer:
         return metrics, elapsed / max(windows, 1)
 
     # ------------------------------------------------------------------ #
-    def run(self, scenario: StreamingScenario, method_name: str = "URCL") -> ContinualResult:
-        """Process every stream period in order (Fig. 5 protocol)."""
+    def run(
+        self,
+        scenario: StreamingScenario,
+        method_name: str = "URCL",
+        checkpoint_dir: str | Path | None = None,
+        max_sets: int | None = None,
+        scenario_info: dict | None = None,
+    ) -> ContinualResult:
+        """Process every stream period in order (Fig. 5 protocol).
+
+        Parameters
+        ----------
+        checkpoint_dir:
+            When given, the full trainer state is saved here after *every*
+            stream period, so the run survives being killed at any set
+            boundary (:meth:`resume` continues it).
+        max_sets:
+            Stop after this many total stream periods (counting ones
+            completed before a resume); ``None`` processes the whole
+            scenario.  The returned result is partial in that case and the
+            next :meth:`run` call picks up where this one stopped.
+        scenario_info:
+            Optional JSON-serialisable description of how to rebuild the
+            scenario (dataset name, scale, seed); stored verbatim in the
+            checkpoint for CLI-driven resumes.
+        """
         dataset_name = scenario.spec.name if scenario.spec else "custom"
-        result = ContinualResult(method=method_name, dataset=dataset_name)
-        for set_index, stream_set in enumerate(scenario.sets):
+        if self._partial_result is not None:
+            result = self._partial_result
+            method_name = result.method
+        else:
+            result = ContinualResult(method=method_name, dataset=dataset_name)
+            self._partial_result = result
+        last_set = len(scenario.sets) if max_sets is None else min(max_sets, len(scenario.sets))
+        for set_index in range(self._completed_sets, last_set):
+            stream_set = scenario.sets[set_index]
             history, seconds, epochs = self.train_on_set(stream_set, set_index)
             metrics, inference = self.evaluate_after_set(scenario, set_index)
             _LOGGER.info(
@@ -128,4 +178,85 @@ class ContinualTrainer:
                     inference_seconds_per_window=inference,
                 )
             )
+            self._completed_sets = set_index + 1
+            if checkpoint_dir is not None:
+                self.save_checkpoint(checkpoint_dir, scenario=scenario, scenario_info=scenario_info)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    @property
+    def completed_sets(self) -> int:
+        """Number of stream periods fully processed so far."""
+        return self._completed_sets
+
+    def save_checkpoint(
+        self,
+        path: str | Path,
+        scenario: StreamingScenario | None = None,
+        scenario_info: dict | None = None,
+    ) -> Path:
+        """Persist the complete training state to ``path``.
+
+        The bundle contains the model config + parameters, Adam moments and
+        step count, replay-buffer contents, every RNG stream, the library
+        dtype, the training config and the per-set results so far.  When
+        ``scenario`` is given its scaler, network and target channel are
+        included too, which makes the checkpoint directly loadable by
+        :class:`repro.serve.Forecaster`.
+        """
+        checkpoint = Checkpoint(meta={"kind": "trainer"})
+        ckpt.pack_dtype(checkpoint)
+        ckpt.pack_model(checkpoint, self.model)
+        ckpt.pack_optimizer(checkpoint, self.optimizer)
+        ckpt.pack_rng(checkpoint, {"trainer": self._rng, "model": self.model})
+        if getattr(self.model, "buffer", None) is not None:
+            ckpt.pack_buffer(checkpoint, self.model.buffer)
+        checkpoint.meta["training"] = self.training.to_dict()
+        checkpoint.meta["progress"] = {
+            "completed_sets": self._completed_sets,
+            "result": None if self._partial_result is None else self._partial_result.to_state(),
+        }
+        if scenario is not None:
+            ckpt.pack_scaler(checkpoint, scenario.scaler)
+            ckpt.pack_network(checkpoint, scenario.network)
+            if scenario.spec is not None:
+                checkpoint.meta["target_channel"] = scenario.spec.target_channel
+        else:
+            ckpt.pack_network(checkpoint, self.model.network)
+        if scenario_info is not None:
+            checkpoint.meta["scenario"] = scenario_info
+        return checkpoint.save(path)
+
+    @classmethod
+    def resume(
+        cls,
+        path: "str | Path | Checkpoint",
+        scenario: StreamingScenario | None = None,
+    ) -> "ContinualTrainer":
+        """Rebuild a trainer from :meth:`save_checkpoint` output.
+
+        Restores the library dtype first (parameters keep their exact
+        bits), rebuilds the model through the registry, then loads the
+        optimizer slots, replay buffer, RNG streams and progress.  Calling
+        :meth:`run` afterwards continues the stream bit-exactly where the
+        checkpointed run stopped.  An already loaded :class:`Checkpoint`
+        is accepted to avoid re-reading the bundle.
+        """
+        checkpoint = path if isinstance(path, Checkpoint) else Checkpoint.load(path)
+        ckpt.apply_dtype(checkpoint)
+        network = scenario.network if scenario is not None else ckpt.unpack_network(checkpoint)
+        model = ckpt.unpack_model(checkpoint, network=network, rng=0)
+        training = TrainingConfig.from_dict(checkpoint.meta.get("training", {}))
+        trainer = cls(model, training)
+        ckpt.unpack_optimizer(checkpoint, trainer.optimizer)
+        if getattr(model, "buffer", None) is not None:
+            ckpt.unpack_buffer(checkpoint, model.buffer)
+        ckpt.unpack_rng(checkpoint, {"trainer": trainer._rng, "model": model})
+        progress = checkpoint.meta.get("progress", {})
+        trainer._completed_sets = int(progress.get("completed_sets", 0))
+        result_state = progress.get("result")
+        if result_state is not None:
+            trainer._partial_result = ContinualResult.from_state(result_state)
+        return trainer

@@ -27,9 +27,7 @@ from ..replay.buffer import ReplayBuffer
 from ..replay.mixup import STMixup
 from ..replay.sampling import RandomSampler, RMIRSampler
 from ..models.base import AutoencoderBackbone
-from ..models.dcrnn import DCRNNBackbone
-from ..models.geoman import GeoMANBackbone
-from ..models.graphwavenet import GraphWaveNetBackbone
+from ..models.registry import build_model, register
 from ..models.stsimsiam import STSimSiam
 from ..tensor import Tensor, get_default_dtype
 from ..utils.random import get_rng, spawn_rng
@@ -48,44 +46,33 @@ def build_backbone(
     config: URCLConfig,
     rng=None,
 ) -> AutoencoderBackbone:
-    """Instantiate one of the supported autoencoder backbones by name."""
+    """Instantiate one of the supported autoencoder backbones by name.
+
+    Construction is routed through the model registry: the URCL-level
+    hyper-parameters are translated into the backbone's declarative config
+    and handed to :func:`repro.models.build_model`.
+    """
     rng = get_rng(rng)
+    shapes = {
+        "in_channels": in_channels,
+        "input_steps": input_steps,
+        "output_steps": output_steps,
+        "out_channels": out_channels,
+    }
     if name == "graphwavenet":
-        return GraphWaveNetBackbone(
-            network,
-            in_channels=in_channels,
-            input_steps=input_steps,
-            output_steps=output_steps,
-            out_channels=out_channels,
-            encoder_config=config.encoder,
-            decoder_hidden=config.decoder_hidden,
-            rng=rng,
-        )
-    if name == "dcrnn":
-        return DCRNNBackbone(
-            network,
-            in_channels=in_channels,
-            input_steps=input_steps,
-            output_steps=output_steps,
-            out_channels=out_channels,
-            hidden_dim=config.backbone_hidden,
-            latent_dim=config.backbone_latent,
-            decoder_hidden=config.decoder_hidden,
-            rng=rng,
-        )
-    if name == "geoman":
-        return GeoMANBackbone(
-            network,
-            in_channels=in_channels,
-            input_steps=input_steps,
-            output_steps=output_steps,
-            out_channels=out_channels,
-            hidden_dim=config.backbone_hidden,
-            latent_dim=config.backbone_latent,
-            decoder_hidden=config.decoder_hidden,
-            rng=rng,
-        )
-    raise ConfigurationError(f"unknown backbone {name!r}")
+        extra = {
+            "encoder_config": config.encoder,
+            "decoder_hidden": config.decoder_hidden,
+        }
+    elif name in ("dcrnn", "geoman"):
+        extra = {
+            "hidden_dim": config.backbone_hidden,
+            "latent_dim": config.backbone_latent,
+            "decoder_hidden": config.decoder_hidden,
+        }
+    else:
+        raise ConfigurationError(f"unknown backbone {name!r}")
+    return build_model(name, {**shapes, **extra}, network=network, rng=rng)
 
 
 @dataclass
@@ -99,6 +86,7 @@ class StepOutput:
     replay_samples: int
 
 
+@register("urcl")
 class URCLModel(Module):
     """Unified replay-based continual learner for spatio-temporal prediction.
 
@@ -161,6 +149,30 @@ class URCLModel(Module):
         else:
             self.sampler = RandomSampler(rng=spawn_rng(rng))
         self.augmentations = AugmentationPipeline(rng=spawn_rng(rng))
+
+    # ------------------------------------------------------------------ #
+    # Declarative construction (model registry)
+    # ------------------------------------------------------------------ #
+    def to_config(self) -> dict:
+        """Declarative description: observation shapes + framework config."""
+        return {
+            "in_channels": self.in_channels,
+            "input_steps": self.input_steps,
+            "output_steps": self.output_steps,
+            "out_channels": self.out_channels,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_config(cls, config: dict, network: SensorNetwork | None = None, rng=None) -> "URCLModel":
+        """Rebuild the full framework from a :meth:`to_config` dict."""
+        if network is None:
+            raise ConfigurationError("URCLModel.from_config requires a sensor network")
+        config = dict(config)
+        urcl_config = config.pop("config", None)
+        if urcl_config is not None:
+            urcl_config = URCLConfig.from_dict(urcl_config)
+        return cls(network, config=urcl_config, rng=rng, **config)
 
     # ------------------------------------------------------------------ #
     # Prediction path

@@ -10,7 +10,7 @@ from .datasets import (
     load_dataset,
 )
 from .loader import Batch, DataLoader
-from .scalers import IdentityScaler, MinMaxScaler, Scaler, StandardScaler
+from .scalers import SCALERS, IdentityScaler, MinMaxScaler, Scaler, StandardScaler, build_scaler
 from .streaming import (
     StreamingScenario,
     StreamSet,
@@ -33,6 +33,8 @@ __all__ = [
     "IdentityScaler",
     "MinMaxScaler",
     "StandardScaler",
+    "SCALERS",
+    "build_scaler",
     "StreamingScenario",
     "StreamSet",
     "build_streaming_scenario",

@@ -16,7 +16,14 @@ import numpy as np
 
 from ..exceptions import DataError
 
-__all__ = ["Scaler", "MinMaxScaler", "StandardScaler", "IdentityScaler"]
+__all__ = [
+    "Scaler",
+    "MinMaxScaler",
+    "StandardScaler",
+    "IdentityScaler",
+    "SCALERS",
+    "build_scaler",
+]
 
 
 class Scaler:
@@ -41,8 +48,30 @@ class Scaler:
     def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
         raise NotImplementedError
 
+    def transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        """Scale values belonging to a single original channel.
+
+        The forward counterpart of :meth:`inverse_transform_channel` —
+        needed when incoming targets carry only the target channel (online
+        updates) while the scaler was fitted on all channels.
+        """
+        raise NotImplementedError
+
     def fit_transform(self, data: np.ndarray) -> np.ndarray:
         return self.fit(data).transform(data)
+
+    def get_params(self) -> dict:
+        """Return the fitted state (plus hyper-parameters) as plain arrays.
+
+        The mapping round-trips through :meth:`set_params`, which is what
+        checkpoints use to persist a fitted scaler; unfitted statistics are
+        represented as ``None``.
+        """
+        raise NotImplementedError
+
+    def set_params(self, params: dict) -> "Scaler":
+        """Restore state previously captured by :meth:`get_params`."""
+        raise NotImplementedError
 
     @staticmethod
     def _validate_fit_input(data: np.ndarray) -> np.ndarray:
@@ -69,6 +98,15 @@ class IdentityScaler(Scaler):
 
     def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
         return np.asarray(data, dtype=float)
+
+    def transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        return np.asarray(data, dtype=float)
+
+    def get_params(self) -> dict:
+        return {}
+
+    def set_params(self, params: dict) -> "IdentityScaler":
+        return self
 
 
 class MinMaxScaler(Scaler):
@@ -112,6 +150,28 @@ class MinMaxScaler(Scaler):
         span = max(float(self.maximum[channel] - self.minimum[channel]), self.eps)
         return data * span + float(self.minimum[channel])
 
+    def transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        self._check_fitted()
+        data = np.asarray(data, dtype=float)
+        span = max(float(self.maximum[channel] - self.minimum[channel]), self.eps)
+        return (data - float(self.minimum[channel])) / span
+
+    def get_params(self) -> dict:
+        return {
+            "eps": self.eps,
+            "minimum": None if self.minimum is None else np.asarray(self.minimum).copy(),
+            "maximum": None if self.maximum is None else np.asarray(self.maximum).copy(),
+        }
+
+    def set_params(self, params: dict) -> "MinMaxScaler":
+        if "eps" in params:
+            self.eps = float(params["eps"])
+        minimum = params.get("minimum")
+        maximum = params.get("maximum")
+        self.minimum = None if minimum is None else np.asarray(minimum, dtype=float)
+        self.maximum = None if maximum is None else np.asarray(maximum, dtype=float)
+        return self
+
 
 class StandardScaler(Scaler):
     """Per-channel z-score scaling."""
@@ -143,3 +203,44 @@ class StandardScaler(Scaler):
     def inverse_transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
         self._check_fitted()
         return np.asarray(data, dtype=float) * float(self.std[channel]) + float(self.mean[channel])
+
+    def transform_channel(self, data: np.ndarray, channel: int) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(data, dtype=float) - float(self.mean[channel])) / float(self.std[channel])
+
+    def get_params(self) -> dict:
+        return {
+            "eps": self.eps,
+            "mean": None if self.mean is None else np.asarray(self.mean).copy(),
+            "std": None if self.std is None else np.asarray(self.std).copy(),
+        }
+
+    def set_params(self, params: dict) -> "StandardScaler":
+        if "eps" in params:
+            self.eps = float(params["eps"])
+        mean = params.get("mean")
+        std = params.get("std")
+        self.mean = None if mean is None else np.asarray(mean, dtype=float)
+        self.std = None if std is None else np.asarray(std, dtype=float)
+        return self
+
+
+SCALERS: dict[str, type[Scaler]] = {
+    "IdentityScaler": IdentityScaler,
+    "MinMaxScaler": MinMaxScaler,
+    "StandardScaler": StandardScaler,
+}
+
+
+def build_scaler(name: str, params: dict | None = None) -> Scaler:
+    """Instantiate a scaler by class name and restore its fitted state.
+
+    The inverse of ``(type(scaler).__name__, scaler.get_params())`` — the
+    pair a checkpoint stores.
+    """
+    if name not in SCALERS:
+        raise DataError(f"unknown scaler {name!r}; available: {sorted(SCALERS)}")
+    scaler = SCALERS[name]()
+    if params:
+        scaler.set_params(params)
+    return scaler

@@ -1,20 +1,26 @@
-"""Factories for the baseline models used by the experiment runners."""
+"""Factories for the baseline models used by the experiment runners.
+
+Construction goes through the config-driven model registry
+(:mod:`repro.models.registry`): a baseline is just a registered name plus
+the scenario-derived shape config, so the same path that builds models for
+experiments also rebuilds them from checkpoints.
+"""
 
 from __future__ import annotations
 
-from ..core.config import URCLConfig
 from ..data.streaming import StreamingScenario
 from ..exceptions import ConfigurationError
-from ..models.baselines import AGCRN, ARIMAForecaster, MTGNN, STGCN, STGODE
-from ..models.baselines.classical import ClassicalForecaster, HistoricalAverageForecaster
-from ..models.dcrnn import DCRNNBackbone
 from ..models.base import STModel
-from ..models.graphwavenet import GraphWaveNetBackbone
+from ..models.baselines.classical import ClassicalForecaster
+from ..models.registry import build_model, resolve_model_name
 
 __all__ = ["DEEP_BASELINES", "CLASSICAL_BASELINES", "make_deep_baseline", "make_classical_baseline"]
 
 DEEP_BASELINES = ("DCRNN", "STGCN", "MTGNN", "AGCRN", "STGODE", "GraphWaveNet")
 CLASSICAL_BASELINES = ("ARIMA", "HistoricalAverage")
+
+_DEEP_KEYS = tuple(name.lower() for name in DEEP_BASELINES)
+_CLASSICAL_KEYS = tuple(name.lower() for name in CLASSICAL_BASELINES)
 
 
 def _shapes(scenario: StreamingScenario) -> dict:
@@ -31,33 +37,28 @@ def _shapes(scenario: StreamingScenario) -> dict:
 
 def make_deep_baseline(name: str, scenario: StreamingScenario, seed: int = 0) -> STModel:
     """Instantiate a deep baseline for ``scenario`` (width-reduced defaults)."""
-    shapes = _shapes(scenario)
-    network = scenario.network
-    key = name.lower()
-    if key == "dcrnn":
-        return DCRNNBackbone(network, rng=seed, **shapes)
-    if key == "stgcn":
-        return STGCN(network, rng=seed, **shapes)
-    if key == "mtgnn":
-        return MTGNN(network, rng=seed, **shapes)
-    if key == "agcrn":
-        return AGCRN(network, rng=seed, **shapes)
-    if key == "stgode":
-        return STGODE(network, rng=seed, **shapes)
-    if key == "graphwavenet":
-        return GraphWaveNetBackbone(network, rng=seed, **shapes)
-    raise ConfigurationError(f"unknown deep baseline {name!r}; available: {DEEP_BASELINES}")
+    try:
+        key = resolve_model_name(name)
+    except ConfigurationError:
+        key = None
+    if key not in _DEEP_KEYS:
+        raise ConfigurationError(f"unknown deep baseline {name!r}; available: {DEEP_BASELINES}")
+    return build_model(key, _shapes(scenario), network=scenario.network, rng=seed)
 
 
 def make_classical_baseline(name: str, scenario: StreamingScenario) -> ClassicalForecaster:
     """Instantiate a classical baseline for ``scenario``."""
     spec = scenario.spec
     output_steps = spec.output_steps if spec else 1
-    key = name.lower()
+    try:
+        key = resolve_model_name(name)
+    except ConfigurationError:
+        key = None
+    if key not in _CLASSICAL_KEYS:
+        raise ConfigurationError(
+            f"unknown classical baseline {name!r}; available: {CLASSICAL_BASELINES}"
+        )
+    config = {"output_steps": output_steps}
     if key == "arima":
-        return ARIMAForecaster(order_p=6, output_steps=output_steps)
-    if key in ("historicalaverage", "ha"):
-        return HistoricalAverageForecaster(output_steps=output_steps)
-    raise ConfigurationError(
-        f"unknown classical baseline {name!r}; available: {CLASSICAL_BASELINES}"
-    )
+        config["order_p"] = 6
+    return build_model(key, config)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import weakref
 from collections import OrderedDict
 
 import numpy as np
@@ -279,20 +280,64 @@ def _support_nbytes(support) -> int:
     return int(support.nbytes)
 
 
-def _content_key(adjacency, order: int, directed: bool) -> tuple:
-    """Hash the adjacency *content* plus every knob that shapes the supports."""
+# Identity fast path: repeated lookups of the *same array object* skip the
+# SHA-1 over ~N^2 bytes.  Entries are keyed by id() and validated through a
+# weak reference (a dead array's id can be recycled by a new allocation) plus
+# the shape/dtype, which in-place content mutation cannot change undetected
+# for the caller patterns this serves (steady-state training loops reusing a
+# prebuilt adjacency).  Callers that DO mutate an adjacency in place must
+# call :func:`clear_support_cache` afterwards.
+_IDENTITY_MAX_ENTRIES = 128
+
+_identity_digests: "OrderedDict[int, tuple]" = OrderedDict()
+_identity_hits = 0
+
+
+def _content_digest(adjacency) -> str:
+    """SHA-1 of the adjacency content (CSR triplet for sparse inputs)."""
     if sp.issparse(adjacency):
         csr = adjacency.tocsr()
         digest = hashlib.sha1()
         digest.update(np.ascontiguousarray(csr.indptr).tobytes())
         digest.update(np.ascontiguousarray(csr.indices).tobytes())
         digest.update(np.ascontiguousarray(csr.data).tobytes())
-        content = digest.hexdigest()
-    else:
-        array = np.ascontiguousarray(np.asarray(adjacency))
-        content = hashlib.sha1(array.tobytes()).hexdigest()
+        return digest.hexdigest()
+    array = np.ascontiguousarray(np.asarray(adjacency))
+    return hashlib.sha1(array.tobytes()).hexdigest()
+
+
+def _cached_digest(adjacency) -> str:
+    """Content digest with an ``id()``-keyed fast path for reused objects."""
+    global _identity_hits
+    token = id(adjacency)
+    shape = tuple(adjacency.shape)
+    dtype = np.dtype(adjacency.dtype).str
+    entry = _identity_digests.get(token)
+    if entry is not None:
+        ref, cached_shape, cached_dtype, digest = entry
+        if ref() is adjacency and cached_shape == shape and cached_dtype == dtype:
+            _identity_hits += 1
+            _identity_digests.move_to_end(token)
+            return digest
+        # Stale slot: the id was recycled or the array changed layout.
+        _identity_digests.pop(token, None)
+    digest = _content_digest(adjacency)
+    try:
+        ref = weakref.ref(adjacency, lambda _, token=token: _identity_digests.pop(token, None))
+    except TypeError:
+        # Some array-likes (e.g. plain lists coerced upstream) refuse weak
+        # references; they simply never take the fast path.
+        return digest
+    _identity_digests[token] = (ref, shape, dtype, digest)
+    while len(_identity_digests) > _IDENTITY_MAX_ENTRIES:
+        _identity_digests.popitem(last=False)
+    return digest
+
+
+def _content_key(adjacency, order: int, directed: bool) -> tuple:
+    """Hash the adjacency *content* plus every knob that shapes the supports."""
     return (
-        content,
+        _cached_digest(adjacency),
         tuple(adjacency.shape),
         int(order),
         bool(directed),
@@ -309,6 +354,12 @@ def cached_diffusion_supports(adjacency, order: int, directed: bool = False) -> 
     callers that defensively ``copy()`` the adjacency per call (URCL's
     augmentation pipeline) stop paying the full power-series rebuild.
     Returns an immutable tuple; callers must not modify the entries.
+
+    Repeated lookups of the *same object* (matching ``id()``, unchanged
+    shape/dtype) skip even the content hash, which means in-place mutation
+    of a previously looked-up adjacency is NOT detected — mutate-and-reuse
+    callers must call :func:`clear_support_cache` after editing edge
+    weights in place (or pass a fresh array, which re-keys by content).
     """
     global _cache_hits, _cache_misses, _cache_bytes
     key = _content_key(adjacency, order, directed)
@@ -330,19 +381,27 @@ def cached_diffusion_supports(adjacency, order: int, directed: bool = False) -> 
 
 
 def clear_support_cache() -> None:
-    """Empty the support cache and reset the hit/miss counters."""
-    global _cache_hits, _cache_misses, _cache_bytes
+    """Empty the support cache (and identity fast path) and reset counters."""
+    global _cache_hits, _cache_misses, _cache_bytes, _identity_hits
     _support_cache.clear()
+    _identity_digests.clear()
     _cache_bytes = 0
     _cache_hits = 0
     _cache_misses = 0
+    _identity_hits = 0
 
 
 def support_cache_stats() -> dict:
-    """Return ``{"hits": ..., "misses": ..., "entries": ..., "bytes": ...}``."""
+    """Cache counters: content hits/misses, entries, bytes, identity hits.
+
+    ``identity_hits`` counts lookups that skipped the content SHA-1 because
+    the exact same adjacency object (unchanged shape/dtype) was seen again.
+    """
     return {
         "hits": _cache_hits,
         "misses": _cache_misses,
         "entries": len(_support_cache),
         "bytes": _cache_bytes,
+        "identity_hits": _identity_hits,
+        "identity_entries": len(_identity_digests),
     }

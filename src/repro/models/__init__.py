@@ -7,12 +7,26 @@ from .dcrnn import DCRNNBackbone, DCRNNEncoder
 from .gcn import AdaptiveAdjacency, DiffusionGraphConv
 from .geoman import GeoMANBackbone, GeoMANEncoder
 from .graphwavenet import GraphWaveNetBackbone
+from .registry import (
+    available_models,
+    build_model,
+    get_model_class,
+    model_name_of,
+    register,
+    resolve_model_name,
+)
 from .stdecoder import STDecoder
 from .stencoder import STEncoder, STEncoderConfig
 from .stsimsiam import SimSiamOutputs, STSimSiam
 
 __all__ = [
     "baselines",
+    "available_models",
+    "build_model",
+    "get_model_class",
+    "model_name_of",
+    "register",
+    "resolve_model_name",
     "AutoencoderBackbone",
     "STModel",
     "DCRNNBackbone",

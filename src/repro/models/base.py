@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import ShapeError
+from ..exceptions import ConfigurationError, ShapeError
 from ..graph.sensor_network import SensorNetwork
 from ..nn.module import Module
 from ..tensor import Tensor, get_default_dtype, no_grad
@@ -50,6 +50,42 @@ class STModel(Module):
 
     def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Declarative construction (model registry)
+    # ------------------------------------------------------------------ #
+    def extra_config(self) -> dict:
+        """Sub-class hook: architecture hyper-parameters beyond the shapes.
+
+        Keys must match the constructor keyword arguments so the default
+        :meth:`from_config` can rebuild the model with ``cls(network,
+        **config)``.
+        """
+        return {}
+
+    def to_config(self) -> dict:
+        """Declarative architecture description (JSON-serialisable).
+
+        ``build_model(name, model.to_config(), network)`` reconstructs an
+        identical architecture; the config deliberately excludes parameter
+        values (those travel via ``state_dict``) and the network (graphs
+        are shared, heavyweight objects passed explicitly).
+        """
+        config = {
+            "in_channels": self.in_channels,
+            "input_steps": self.input_steps,
+            "output_steps": self.output_steps,
+            "out_channels": self.out_channels,
+        }
+        config.update(self.extra_config())
+        return config
+
+    @classmethod
+    def from_config(cls, config: dict, network: SensorNetwork | None = None, rng=None) -> "STModel":
+        """Build a model from a :meth:`to_config` dict and a sensor network."""
+        if network is None:
+            raise ConfigurationError(f"{cls.__name__}.from_config requires a sensor network")
+        return cls(network, rng=rng, **config)
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         """Numpy-in / numpy-out inference.

@@ -17,6 +17,7 @@ from ...tensor import functional as F
 from ...utils.random import get_rng
 from ..base import STModel
 from ..gcn import AdaptiveAdjacency, DiffusionGraphConv
+from ..registry import register
 
 __all__ = ["AGCRNCell", "AGCRN"]
 
@@ -50,6 +51,7 @@ class AGCRNCell(Module):
         return update * hidden + candidate * (1.0 - update)
 
 
+@register("agcrn")
 class AGCRN(STModel):
     """Adaptive graph convolutional recurrent network."""
 
@@ -67,9 +69,13 @@ class AGCRN(STModel):
         super().__init__(network, in_channels, input_steps, output_steps, out_channels)
         rng = get_rng(rng)
         self.hidden_dim = hidden_dim
+        self.embedding_dim = embedding_dim
         self.cell = AGCRNCell(network.num_nodes, in_channels, hidden_dim,
                               embedding_dim=embedding_dim, rng=rng)
         self.head = Linear(hidden_dim, output_steps * out_channels, rng=rng)
+
+    def extra_config(self) -> dict:
+        return {"hidden_dim": self.hidden_dim, "embedding_dim": self.embedding_dim}
 
     def forward(self, x: Tensor) -> Tensor:
         x = self.check_input(x)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...exceptions import DataError
+from ..registry import register
 
 __all__ = ["ClassicalForecaster", "HistoricalAverageForecaster", "ARIMAForecaster"]
 
@@ -31,7 +32,22 @@ class ClassicalForecaster:
         """
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Declarative construction (model registry)
+    # ------------------------------------------------------------------ #
+    def to_config(self) -> dict:
+        """Constructor hyper-parameters (closed-form models carry no graph)."""
+        raise NotImplementedError
 
+    @classmethod
+    def from_config(cls, config: dict, network=None, rng=None) -> "ClassicalForecaster":
+        """Build from a config dict; ``network``/``rng`` are accepted for
+        registry-interface parity and ignored (classical models are
+        per-node and deterministic)."""
+        return cls(**config)
+
+
+@register("historicalaverage", aliases=("ha",))
 class HistoricalAverageForecaster(ClassicalForecaster):
     """Predict the mean of the input window (strong naive reference)."""
 
@@ -46,7 +62,11 @@ class HistoricalAverageForecaster(ClassicalForecaster):
         mean = inputs.mean(axis=1, keepdims=True)
         return np.repeat(mean, self.output_steps, axis=1)
 
+    def to_config(self) -> dict:
+        return {"output_steps": self.output_steps}
 
+
+@register("arima")
 class ARIMAForecaster(ClassicalForecaster):
     """Per-node AR(I)MA model fitted by conditional least squares.
 
@@ -75,6 +95,14 @@ class ARIMAForecaster(ClassicalForecaster):
         self.ridge = ridge
         self.output_steps = output_steps
         self.coefficients: np.ndarray | None = None  # (nodes, order_p + 1)
+
+    def to_config(self) -> dict:
+        return {
+            "order_p": self.order_p,
+            "difference": self.difference,
+            "ridge": self.ridge,
+            "output_steps": self.output_steps,
+        }
 
     # ------------------------------------------------------------------ #
     def _design(self, series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

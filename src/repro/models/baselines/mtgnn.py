@@ -16,10 +16,12 @@ from ...tensor import functional as F
 from ...utils.random import get_rng
 from ..base import STModel
 from ..gcn import AdaptiveAdjacency, DiffusionGraphConv
+from ..registry import register
 
 __all__ = ["MTGNN"]
 
 
+@register("mtgnn")
 class MTGNN(STModel):
     """Multivariate time-series GNN with a learned (uni-directional) graph."""
 
@@ -37,6 +39,9 @@ class MTGNN(STModel):
     ):
         super().__init__(network, in_channels, input_steps, output_steps, out_channels)
         rng = get_rng(rng)
+        self.hidden_dim = hidden_dim
+        self.embedding_dim = embedding_dim
+        self.dilations = tuple(dilations)
         self.graph_learner = AdaptiveAdjacency(network.num_nodes, embedding_dim, rng=rng)
         self.input_proj = Linear(in_channels, hidden_dim, rng=rng)
         temporal = []
@@ -53,6 +58,20 @@ class MTGNN(STModel):
         self.temporal_layers = ModuleList(temporal)
         self.spatial_layers = ModuleList(spatial)
         self.head = Linear(hidden_dim, output_steps * out_channels, rng=rng)
+
+    def extra_config(self) -> dict:
+        return {
+            "hidden_dim": self.hidden_dim,
+            "embedding_dim": self.embedding_dim,
+            "dilations": list(self.dilations),
+        }
+
+    @classmethod
+    def from_config(cls, config, network=None, rng=None) -> "MTGNN":
+        config = dict(config)
+        if "dilations" in config:
+            config["dilations"] = tuple(int(d) for d in config["dilations"])
+        return super().from_config(config, network=network, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
         x = self.check_input(x)

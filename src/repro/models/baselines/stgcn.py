@@ -16,6 +16,7 @@ from ...tensor import Tensor, concatenate
 from ...tensor import functional as F
 from ...utils.random import get_rng
 from ..base import STModel
+from ..registry import register
 
 __all__ = ["ChebGraphConv", "STGCN"]
 
@@ -65,6 +66,7 @@ class ChebGraphConv(Module):
         return stacked @ fused_weight + self.bias
 
 
+@register("stgcn")
 class STGCN(STModel):
     """Sandwich blocks of temporal convolution - graph convolution - temporal convolution."""
 
@@ -81,6 +83,8 @@ class STGCN(STModel):
     ):
         super().__init__(network, in_channels, input_steps, output_steps, out_channels)
         rng = get_rng(rng)
+        self.hidden_dim = hidden_dim
+        self.cheb_order = cheb_order
         self.temporal_in = GatedTemporalConv(in_channels, hidden_dim, kernel_size=2,
                                              dilation=1, causal_padding=True, rng=rng)
         self.graph_conv = ChebGraphConv(hidden_dim, hidden_dim, network.adjacency,
@@ -88,6 +92,9 @@ class STGCN(STModel):
         self.temporal_out = GatedTemporalConv(hidden_dim, hidden_dim, kernel_size=2,
                                               dilation=2, causal_padding=True, rng=rng)
         self.head = Linear(hidden_dim, output_steps * out_channels, rng=rng)
+
+    def extra_config(self) -> dict:
+        return {"hidden_dim": self.hidden_dim, "cheb_order": self.cheb_order}
 
     def forward(self, x: Tensor) -> Tensor:
         x = self.check_input(x)

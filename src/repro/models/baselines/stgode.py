@@ -16,6 +16,7 @@ from ...tensor import functional as F
 from ...utils.random import get_rng
 from ..base import STModel
 from ..gcn import DiffusionGraphConv
+from ..registry import register
 
 __all__ = ["GraphODEBlock", "STGODE"]
 
@@ -42,6 +43,7 @@ class GraphODEBlock(Module):
         return state
 
 
+@register("stgode")
 class STGODE(STModel):
     """Spatial-temporal graph ODE network."""
 
@@ -58,12 +60,20 @@ class STGODE(STModel):
     ):
         super().__init__(network, in_channels, input_steps, output_steps, out_channels)
         rng = get_rng(rng)
+        self.hidden_dim = hidden_dim
+        self.integration_steps = integration_steps
         self.input_proj = Linear(in_channels, hidden_dim, rng=rng)
         self.ode_block = GraphODEBlock(hidden_dim, network.adjacency,
                                        integration_steps=integration_steps, rng=rng)
         self.temporal = GatedTemporalConv(hidden_dim, hidden_dim, kernel_size=2,
                                           dilation=2, causal_padding=True, rng=rng)
         self.head = Linear(hidden_dim, output_steps * out_channels, rng=rng)
+
+    def extra_config(self) -> dict:
+        return {
+            "hidden_dim": self.hidden_dim,
+            "integration_steps": self.integration_steps,
+        }
 
     def forward(self, x: Tensor) -> Tensor:
         x = self.check_input(x)

@@ -20,6 +20,7 @@ from ..tensor import Tensor
 from ..utils.random import get_rng
 from .base import AutoencoderBackbone
 from .gcn import DiffusionGraphConv
+from .registry import register
 from .stdecoder import STDecoder
 
 __all__ = ["DCRNNEncoder", "DCRNNBackbone"]
@@ -63,6 +64,7 @@ class DCRNNEncoder(Module):
     encode = forward
 
 
+@register("dcrnn")
 class DCRNNBackbone(AutoencoderBackbone):
     """DCRNN reorganised into the URCL autoencoder interface."""
 
@@ -90,7 +92,9 @@ class DCRNNBackbone(AutoencoderBackbone):
             network, in_channels=in_channels, hidden_dim=hidden_dim,
             latent_dim=latent_dim, rng=rng,
         )
+        self.hidden_dim = hidden_dim
         self.latent_dim = latent_dim
+        self.decoder_hidden = decoder_hidden
         self.decoder = STDecoder(
             latent_dim=latent_dim,
             output_steps=output_steps,
@@ -104,3 +108,10 @@ class DCRNNBackbone(AutoencoderBackbone):
 
     def decode(self, latent: Tensor) -> Tensor:
         return self.decoder(latent)
+
+    def extra_config(self) -> dict:
+        return {
+            "hidden_dim": self.hidden_dim,
+            "latent_dim": self.latent_dim,
+            "decoder_hidden": self.decoder_hidden,
+        }

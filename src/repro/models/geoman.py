@@ -19,6 +19,7 @@ from ..tensor import Tensor
 from ..tensor import functional as F
 from ..utils.random import get_rng
 from .base import AutoencoderBackbone
+from .registry import register
 from .stdecoder import STDecoder
 
 __all__ = ["GeoMANEncoder", "GeoMANBackbone"]
@@ -59,6 +60,7 @@ class GeoMANEncoder(Module):
     encode = forward
 
 
+@register("geoman")
 class GeoMANBackbone(AutoencoderBackbone):
     """GeoMAN reorganised into the URCL autoencoder interface."""
 
@@ -86,7 +88,9 @@ class GeoMANBackbone(AutoencoderBackbone):
             network, in_channels=in_channels, hidden_dim=hidden_dim,
             latent_dim=latent_dim, rng=rng,
         )
+        self.hidden_dim = hidden_dim
         self.latent_dim = latent_dim
+        self.decoder_hidden = decoder_hidden
         self.decoder = STDecoder(
             latent_dim=latent_dim,
             output_steps=output_steps,
@@ -100,3 +104,10 @@ class GeoMANBackbone(AutoencoderBackbone):
 
     def decode(self, latent: Tensor) -> Tensor:
         return self.decoder(latent)
+
+    def extra_config(self) -> dict:
+        return {
+            "hidden_dim": self.hidden_dim,
+            "latent_dim": self.latent_dim,
+            "decoder_hidden": self.decoder_hidden,
+        }

@@ -13,12 +13,14 @@ from ..graph.sensor_network import SensorNetwork
 from ..tensor import Tensor
 from ..utils.random import get_rng
 from .base import AutoencoderBackbone
+from .registry import register
 from .stdecoder import STDecoder
 from .stencoder import STEncoder, STEncoderConfig
 
 __all__ = ["GraphWaveNetBackbone"]
 
 
+@register("graphwavenet", aliases=("gwnet",))
 class GraphWaveNetBackbone(AutoencoderBackbone):
     """GraphWaveNet in autoencoder form: dilated gated TCN + diffusion GCN
     encoder, stacked-MLP decoder.
@@ -63,6 +65,7 @@ class GraphWaveNetBackbone(AutoencoderBackbone):
             config=encoder_config, rng=rng,
         )
         self.latent_dim = self.encoder.latent_dim
+        self.decoder_hidden = decoder_hidden
         self.decoder = STDecoder(
             latent_dim=self.latent_dim,
             output_steps=output_steps,
@@ -76,3 +79,16 @@ class GraphWaveNetBackbone(AutoencoderBackbone):
 
     def decode(self, latent: Tensor) -> Tensor:
         return self.decoder(latent)
+
+    def extra_config(self) -> dict:
+        return {
+            "encoder_config": self.encoder.config.to_dict(),
+            "decoder_hidden": self.decoder_hidden,
+        }
+
+    @classmethod
+    def from_config(cls, config, network=None, rng=None) -> "GraphWaveNetBackbone":
+        config = dict(config)
+        if config.get("encoder_config") is not None:
+            config["encoder_config"] = STEncoderConfig.from_dict(config["encoder_config"])
+        return super().from_config(config, network=network, rng=rng)

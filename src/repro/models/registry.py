@@ -1,0 +1,109 @@
+"""Config-driven model registry.
+
+Every model in the zoo registers under a string key via the
+:func:`register` decorator and implements ``to_config()`` /
+``from_config()``; :func:`build_model` then reconstructs any registered
+architecture from ``(name, config, network)`` alone.  This is the
+declarative construction layer the serving facade and the checkpoint
+subsystem build on: a checkpoint stores ``(name, to_config())`` and
+restores the exact architecture with :func:`build_model` before loading
+parameters into it.
+
+Configs are plain JSON-serialisable dicts (tuples may appear and are
+normalised to lists on the way through JSON; ``from_config``
+implementations coerce them back where needed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..exceptions import ConfigurationError
+from ..graph.sensor_network import SensorNetwork
+
+__all__ = [
+    "register",
+    "resolve_model_name",
+    "available_models",
+    "get_model_class",
+    "build_model",
+    "model_name_of",
+]
+
+_REGISTRY: dict[str, type] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register(name: str, aliases: Iterable[str] = ()) -> Callable[[type], type]:
+    """Class decorator registering a model under ``name`` (lower-cased).
+
+    The class must provide a ``from_config(config, network=None, rng=None)``
+    classmethod and a ``to_config()`` method.  ``aliases`` add alternative
+    lookup keys (e.g. ``"ha"`` for the historical-average baseline).
+    """
+
+    def decorator(cls: type) -> type:
+        key = name.lower()
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"model name {key!r} already registered to {existing.__name__}"
+            )
+        _REGISTRY[key] = cls
+        cls.registry_name = key
+        for alias in aliases:
+            alias_key = alias.lower()
+            if _ALIASES.get(alias_key, key) != key or alias_key in _REGISTRY:
+                raise ConfigurationError(f"model alias {alias_key!r} already in use")
+            _ALIASES[alias_key] = key
+        return cls
+
+    return decorator
+
+
+def resolve_model_name(name: str) -> str:
+    """Resolve a (case-insensitive) name or alias to its canonical key."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {available_models()}"
+        )
+    return key
+
+
+def available_models() -> tuple[str, ...]:
+    """Canonical keys of every registered model, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_model_class(name: str) -> type:
+    """Return the class registered under ``name`` (or an alias of it)."""
+    return _REGISTRY[resolve_model_name(name)]
+
+
+def build_model(
+    name: str,
+    config: dict | None = None,
+    network: SensorNetwork | None = None,
+    rng=None,
+):
+    """Instantiate a registered model from its declarative config.
+
+    ``build_model(name, model.to_config(), network)`` reproduces an
+    architecture identical to ``model`` (same parameter names and shapes);
+    loading ``model.state_dict()`` into it then makes the two predict
+    bit-for-bit alike.
+    """
+    cls = get_model_class(name)
+    return cls.from_config(dict(config or {}), network=network, rng=rng)
+
+
+def model_name_of(model) -> str:
+    """Reverse lookup: the canonical registry key of a model instance."""
+    name = getattr(type(model), "registry_name", None)
+    if name is None or _REGISTRY.get(name) is not type(model):
+        raise ConfigurationError(
+            f"{type(model).__name__} is not a registered model class"
+        )
+    return name

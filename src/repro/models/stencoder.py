@@ -9,7 +9,7 @@ the STDecoder and by the STSimSiam projection heads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -62,6 +62,22 @@ class STEncoderConfig:
     def receptive_field(self) -> int:
         """Input steps consumed by the dilated stack."""
         return 1 + sum(dilation * (self.kernel_size - 1) for dilation in self.dilations)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``dilations`` becomes a list)."""
+        config = asdict(self)
+        config["dilations"] = list(self.dilations)
+        return config
+
+    @classmethod
+    def from_dict(cls, config: "dict | STEncoderConfig") -> "STEncoderConfig":
+        """Rebuild from :meth:`to_dict` output (tuples restored)."""
+        if isinstance(config, cls):
+            return config
+        config = dict(config)
+        if "dilations" in config:
+            config["dilations"] = tuple(int(d) for d in config["dilations"])
+        return cls(**config)
 
 
 class STEncoder(Module):

@@ -87,6 +87,27 @@ class SGD(Optimizer):
                 update = grad
             parameter.data -= self.lr * update
 
+    def state_dict(self) -> dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": [velocity.copy() for velocity in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state.get("momentum", self.momentum))
+        self.weight_decay = float(state.get("weight_decay", self.weight_decay))
+        if "velocity" in state:
+            velocity = [np.asarray(entry).copy() for entry in state["velocity"]]
+            if len(velocity) != len(self.parameters):
+                raise ValueError(
+                    f"velocity count mismatch: expected {len(self.parameters)}, "
+                    f"got {len(velocity)}"
+                )
+            self._velocity = velocity
+
 
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba, 2015)."""
@@ -147,6 +168,9 @@ class Adam(Optimizer):
     def state_dict(self) -> dict:
         return {
             "lr": self.lr,
+            "betas": (self.beta1, self.beta2),
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
             "step_count": self._step_count,
             "m": [m.copy() for m in self._m],
             "v": [v.copy() for v in self._v],
@@ -154,7 +178,17 @@ class Adam(Optimizer):
 
     def load_state_dict(self, state: dict) -> None:
         super().load_state_dict(state)
+        if "betas" in state:
+            self.beta1, self.beta2 = (float(beta) for beta in state["betas"])
+        self.eps = float(state.get("eps", self.eps))
+        self.weight_decay = float(state.get("weight_decay", self.weight_decay))
         self._step_count = int(state.get("step_count", 0))
+        for key in ("m", "v"):
+            if key in state and len(state[key]) != len(self.parameters):
+                raise ValueError(
+                    f"{key} count mismatch: expected {len(self.parameters)}, "
+                    f"got {len(state[key])}"
+                )
         if "m" in state:
             self._m = [np.asarray(m).copy() for m in state["m"]]
         if "v" in state:

@@ -132,3 +132,62 @@ class ReplayBuffer:
         for entry in self._entries:
             histogram[entry.set_name] = histogram.get(entry.set_name, 0) + 1
         return histogram
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Full buffer state: contents, bookkeeping and the RNG stream.
+
+        ``inputs``/``targets`` are stacked into dense arrays (every stored
+        window has the same shape in a given scenario); an empty buffer
+        stores ``None``.  Loading via :meth:`load_state_dict` restores the
+        buffer bit-exactly, including the sampling stream.
+        """
+        if self._entries:
+            inputs, targets = self.as_arrays()
+        else:
+            inputs, targets = None, None
+        return {
+            "capacity": self.capacity,
+            "total_added": self._total_added,
+            "inputs": inputs,
+            "targets": targets,
+            "set_names": [entry.set_name for entry in self._entries],
+            "steps": [entry.step for entry in self._entries],
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore contents and RNG stream captured by :meth:`state_dict`."""
+        capacity = int(state.get("capacity", self.capacity))
+        if capacity < 1:
+            raise BufferError_(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries = deque(maxlen=capacity)
+        inputs = state.get("inputs")
+        targets = state.get("targets")
+        if inputs is not None and targets is not None:
+            inputs = np.asarray(inputs, dtype=float)
+            targets = np.asarray(targets, dtype=float)
+            if inputs.shape[0] != targets.shape[0]:
+                raise BufferError_("buffer state inputs/targets length mismatch")
+            set_names = list(state.get("set_names") or [""] * inputs.shape[0])
+            steps = list(state.get("steps") or [-1] * inputs.shape[0])
+            if len(set_names) != inputs.shape[0] or len(steps) != inputs.shape[0]:
+                raise BufferError_("buffer state metadata length mismatch")
+            for window_inputs, window_targets, set_name, step in zip(
+                inputs, targets, set_names, steps
+            ):
+                self._entries.append(
+                    BufferEntry(
+                        inputs=window_inputs.copy(),
+                        targets=window_targets.copy(),
+                        set_name=str(set_name),
+                        step=int(step),
+                    )
+                )
+        self._total_added = int(state.get("total_added", len(self._entries)))
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            self._rng.bit_generator.state = rng_state

@@ -1,0 +1,18 @@
+"""Serving layer: the :class:`Forecaster` facade for online use.
+
+``repro.serve`` wraps a trained model, its fitted scaler and the sensor
+network behind one object with a raw-data interface::
+
+    from repro.serve import Forecaster
+
+    forecaster = Forecaster.from_scenario(scenario)
+    forecaster.fit(scenario)                 # continual training (Fig. 5)
+    y = forecaster.predict(raw_window)       # un-scaled in, un-scaled out
+    forecaster.update(new_inputs, targets)   # replay-augmented online step
+    forecaster.save("artifacts/model")       # durable checkpoint bundle
+    same = Forecaster.load("artifacts/model")
+"""
+
+from .forecaster import Forecaster
+
+__all__ = ["Forecaster"]

@@ -1,7 +1,16 @@
 """Cross-cutting utilities: RNG management, logging, validation, serialisation."""
 
+from .checkpoint import CHECKPOINT_FORMAT_VERSION, Checkpoint, is_checkpoint_dir
 from .logging import configure_logging, get_logger
-from .random import DEFAULT_SEED, get_rng, seed_everything, spawn_rng
+from .random import (
+    DEFAULT_SEED,
+    collect_rng_states,
+    get_rng,
+    named_generators,
+    restore_rng_states,
+    seed_everything,
+    spawn_rng,
+)
 from .serialization import load_json, load_state_dict, save_json, save_state_dict
 from .validation import (
     check_fraction,
@@ -13,12 +22,18 @@ from .validation import (
 )
 
 __all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "Checkpoint",
+    "is_checkpoint_dir",
     "configure_logging",
     "get_logger",
     "DEFAULT_SEED",
     "get_rng",
     "seed_everything",
     "spawn_rng",
+    "named_generators",
+    "collect_rng_states",
+    "restore_rng_states",
     "load_json",
     "load_state_dict",
     "save_json",

@@ -1,0 +1,129 @@
+"""Durable checkpoint bundles.
+
+A :class:`Checkpoint` is a ``(meta, arrays)`` pair persisted as a
+directory containing
+
+* ``checkpoint.json`` — every JSON-serialisable piece of state (model
+  config, optimizer hyper-parameters, RNG bit-generator states, training
+  progress, the library dtype, ...);
+* ``arrays.npz`` — every numpy array (model parameters, optimizer slot
+  variables, replay-buffer contents, scaler statistics, the adjacency),
+  stored losslessly at its native dtype so save→load round-trips are
+  bit-exact.
+
+Array keys are namespaced with ``/`` (e.g. ``model/encoder.input_proj.W``)
+so one flat archive can hold several subsystems.  This module is pure IO;
+the packing/unpacking of live training objects lives in
+:mod:`repro.core.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .serialization import load_json, save_json
+
+__all__ = ["CHECKPOINT_FORMAT_VERSION", "Checkpoint", "is_checkpoint_dir"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_META_FILE = "checkpoint.json"
+_ARRAYS_FILE = "arrays.npz"
+
+
+def is_checkpoint_dir(path) -> bool:
+    """True when ``path`` looks like a saved checkpoint directory."""
+    return (Path(path) / _META_FILE).is_file()
+
+
+class Checkpoint:
+    """An on-disk state bundle: JSON metadata plus named numpy arrays."""
+
+    def __init__(self, meta: dict | None = None, arrays: dict[str, np.ndarray] | None = None):
+        self.meta = dict(meta or {})
+        self.arrays: dict[str, np.ndarray] = dict(arrays or {})
+        self.meta.setdefault("format_version", CHECKPOINT_FORMAT_VERSION)
+
+    # ------------------------------------------------------------------ #
+    def add_arrays(self, namespace: str, arrays: dict[str, np.ndarray]) -> None:
+        """Store ``arrays`` under ``namespace/`` keys."""
+        for key, value in arrays.items():
+            self.arrays[f"{namespace}/{key}"] = np.asarray(value)
+
+    def arrays_in(self, namespace: str) -> dict[str, np.ndarray]:
+        """Return the arrays stored under ``namespace/`` (prefix stripped)."""
+        prefix = f"{namespace}/"
+        return {
+            key[len(prefix):]: value
+            for key, value in self.arrays.items()
+            if key.startswith(prefix)
+        }
+
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> Path:
+        """Write the bundle to ``path`` (created if needed); returns it.
+
+        Writes are atomic per file: both members are staged under temporary
+        names in the target directory and moved into place with
+        ``os.replace``, so a kill mid-save (the ``np.savez`` window grows
+        with model size and recurs every stream period) never truncates the
+        previous good checkpoint.  A fresh ``bundle_id`` ties the JSON and
+        the archive together; :meth:`load` rejects a mixed pair, which can
+        only arise from a kill in the microscopic window between the two
+        renames.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        # Sweep staging files orphaned by earlier killed saves (each save
+        # stages under a fresh id, so crashes would otherwise accumulate
+        # multi-MB garbage next to the live checkpoint forever).
+        for stale in path.glob("*.tmp-*"):
+            stale.unlink(missing_ok=True)
+        bundle_id = uuid.uuid4().hex
+        self.meta["bundle_id"] = bundle_id
+        arrays_path = path / _ARRAYS_FILE
+        if self.arrays:
+            # np.savez appends ".npz" to names lacking it, so stage with the
+            # suffix last.
+            staged_arrays = path / f"arrays.tmp-{bundle_id}.npz"
+            np.savez(staged_arrays, __bundle_id__=np.array(bundle_id), **self.arrays)
+            os.replace(staged_arrays, arrays_path)
+        elif arrays_path.exists():
+            arrays_path.unlink()
+        staged_meta = path / f"{_META_FILE}.tmp-{bundle_id}"
+        save_json(staged_meta, self.meta)
+        os.replace(staged_meta, path / _META_FILE)
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        """Read a bundle previously written by :meth:`save`."""
+        path = Path(path)
+        meta_path = path / _META_FILE
+        if not meta_path.is_file():
+            raise ConfigurationError(f"no checkpoint found at {path}")
+        meta = load_json(meta_path)
+        version = meta.get("format_version")
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint format version {version!r} "
+                f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+            )
+        arrays: dict[str, np.ndarray] = {}
+        arrays_path = path / _ARRAYS_FILE
+        if arrays_path.is_file():
+            with np.load(arrays_path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+        stored_id = arrays.pop("__bundle_id__", None)
+        expected_id = meta.get("bundle_id")
+        if stored_id is not None and expected_id is not None and str(stored_id) != expected_id:
+            raise ConfigurationError(
+                f"checkpoint at {path} is inconsistent (metadata and arrays come "
+                "from different saves — likely an interrupted write)"
+            )
+        return cls(meta=meta, arrays=arrays)

@@ -9,9 +9,19 @@ re-seeded via :func:`seed_everything` to make whole experiments repeatable.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
-__all__ = ["seed_everything", "get_rng", "spawn_rng", "DEFAULT_SEED"]
+__all__ = [
+    "seed_everything",
+    "get_rng",
+    "spawn_rng",
+    "named_generators",
+    "collect_rng_states",
+    "restore_rng_states",
+    "DEFAULT_SEED",
+]
 
 DEFAULT_SEED = 0
 
@@ -47,3 +57,80 @@ def spawn_rng(rng: np.random.Generator | int | None = None) -> np.random.Generat
     parent = get_rng(rng)
     seed = int(parent.integers(0, 2**63 - 1))
     return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------- #
+# Generator discovery (checkpoint/resume support)
+# ---------------------------------------------------------------------- #
+def named_generators(
+    obj, prefix: str = "", _seen: set[int] | None = None, _root: bool = True
+) -> Iterator[tuple[str, np.random.Generator]]:
+    """Yield ``(path, generator)`` for every generator reachable from ``obj``.
+
+    The walk recurses through library objects (anything whose class is
+    defined under ``repro``), lists, tuples and dicts, de-duplicating by
+    object identity — components that *share* a generator (e.g. every
+    dropout layer of one model, or the augmentation pool and its pipeline)
+    contribute a single entry.  The traversal order is the attribute
+    insertion order, which is deterministic for a given construction path,
+    so the same object graph always yields the same paths.  This is what
+    lets a checkpoint capture and restore every random stream of a model
+    without each component having to know about serialisation.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return
+    _seen.add(id(obj))
+    if isinstance(obj, np.random.Generator):
+        yield prefix.rstrip("."), obj
+        return
+    if isinstance(obj, (list, tuple)):
+        for index, item in enumerate(obj):
+            yield from named_generators(item, f"{prefix}{index}.", _seen, _root=False)
+        return
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if isinstance(key, str):
+                yield from named_generators(value, f"{prefix}{key}.", _seen, _root=False)
+        return
+    module = type(obj).__module__ or ""
+    if not _root and not (module == "repro" or module.startswith("repro.")):
+        return
+    for name, value in getattr(obj, "__dict__", {}).items():
+        yield from named_generators(value, f"{prefix}{name}.", _seen, _root=False)
+
+
+def collect_rng_states(obj) -> dict[str, dict]:
+    """Snapshot the bit-generator state of every generator inside ``obj``.
+
+    Returns a JSON-serialisable ``{path: state}`` mapping (the states are
+    the plain dicts exposed by ``Generator.bit_generator.state``).
+    """
+    return {path: generator.bit_generator.state for path, generator in named_generators(obj)}
+
+
+def restore_rng_states(obj, states: dict[str, dict], strict: bool = True) -> None:
+    """Restore generator states previously captured by :func:`collect_rng_states`.
+
+    With ``strict`` (default), every saved path must resolve to a generator
+    in ``obj`` and vice versa — a mismatch means the object graph changed
+    shape since the snapshot and a bit-exact resume is impossible.
+    """
+    found: set[str] = set()
+    live: set[str] = set()
+    for path, generator in named_generators(obj):
+        live.add(path)
+        state = states.get(path)
+        if state is None:
+            continue
+        generator.bit_generator.state = state
+        found.add(path)
+    if strict:
+        missing = set(states) - found
+        extra = live - set(states)
+        if missing or extra:
+            raise KeyError(
+                "RNG stream mismatch between snapshot and object graph: "
+                f"saved-but-absent={sorted(missing)}, live-but-unsaved={sorted(extra)}"
+            )

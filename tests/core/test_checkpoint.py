@@ -1,0 +1,193 @@
+"""Checkpoint/resume: a killed continual run must continue bit-exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import ContinualTrainer
+from repro.core.urcl import URCLModel
+from repro.exceptions import ConfigurationError
+from repro.utils.checkpoint import Checkpoint, is_checkpoint_dir
+
+
+@pytest.fixture
+def make_trainer(tiny_scenario, tiny_urcl_config, tiny_training_config):
+    """Factory producing identically seeded (model, trainer) pairs."""
+
+    def _make():
+        spec = tiny_scenario.spec
+        model = URCLModel(
+            tiny_scenario.network,
+            in_channels=spec.num_channels,
+            input_steps=spec.input_steps,
+            output_steps=spec.output_steps,
+            config=tiny_urcl_config,
+            rng=0,
+        )
+        return ContinualTrainer(model, tiny_training_config)
+
+    return _make
+
+
+def _assert_results_identical(first, second):
+    assert [entry.name for entry in first.sets] == [entry.name for entry in second.sets]
+    for a, b in zip(first.sets, second.sets):
+        assert a.loss_history == b.loss_history, a.name
+        assert a.epochs == b.epochs
+        assert (a.metrics.mae, a.metrics.rmse) == (b.metrics.mae, b.metrics.rmse), a.name
+        mape_pair = (a.metrics.mape, b.metrics.mape)
+        assert mape_pair[0] == mape_pair[1] or all(np.isnan(m) for m in mape_pair)
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("kill_after", [1, 3])
+    def test_killed_run_resumes_bit_exactly(self, tmp_path, make_trainer, tiny_scenario, kill_after):
+        uninterrupted = make_trainer().run(tiny_scenario)
+
+        interrupted = make_trainer()
+        partial = interrupted.run(
+            tiny_scenario, max_sets=kill_after, checkpoint_dir=tmp_path / "ckpt"
+        )
+        assert len(partial.sets) == kill_after
+        assert interrupted.completed_sets == kill_after
+        assert is_checkpoint_dir(tmp_path / "ckpt")
+
+        # "New process": everything rebuilt from disk.
+        resumed = ContinualTrainer.resume(tmp_path / "ckpt", tiny_scenario)
+        assert resumed.completed_sets == kill_after
+        result = resumed.run(tiny_scenario)
+
+        _assert_results_identical(uninterrupted, result)
+        # Parameters of the resumed model equal an uninterrupted run's.
+        fresh = make_trainer()
+        fresh_result = fresh.run(tiny_scenario)
+        _assert_results_identical(fresh_result, result)
+        resumed_state = resumed.model.state_dict()
+        for key, value in fresh.model.state_dict().items():
+            assert np.array_equal(value, resumed_state[key]), key
+
+    def test_buffer_and_optimizer_survive_round_trip(self, tmp_path, make_trainer, tiny_scenario):
+        trainer = make_trainer()
+        trainer.run(tiny_scenario, max_sets=2, checkpoint_dir=tmp_path / "ckpt")
+        resumed = ContinualTrainer.resume(tmp_path / "ckpt", tiny_scenario)
+
+        buffer, resumed_buffer = trainer.model.buffer, resumed.model.buffer
+        assert len(buffer) == len(resumed_buffer)
+        assert buffer.total_added == resumed_buffer.total_added
+        assert buffer.occupancy_by_set() == resumed_buffer.occupancy_by_set()
+        inputs, targets = buffer.as_arrays()
+        resumed_inputs, resumed_targets = resumed_buffer.as_arrays()
+        assert np.array_equal(inputs, resumed_inputs)
+        assert np.array_equal(targets, resumed_targets)
+
+        state, resumed_state = trainer.optimizer.state_dict(), resumed.optimizer.state_dict()
+        assert state["step_count"] == resumed_state["step_count"]
+        for m_a, m_b in zip(state["m"], resumed_state["m"]):
+            assert np.array_equal(m_a, m_b)
+        for v_a, v_b in zip(state["v"], resumed_state["v"]):
+            assert np.array_equal(v_a, v_b)
+
+    def test_resume_without_scenario_uses_stored_network(self, tmp_path, make_trainer, tiny_scenario):
+        trainer = make_trainer()
+        trainer.run(tiny_scenario, max_sets=1, checkpoint_dir=tmp_path / "ckpt")
+        resumed = ContinualTrainer.resume(tmp_path / "ckpt")
+        assert np.array_equal(resumed.model.network.adjacency, tiny_scenario.network.adjacency)
+        x = np.random.default_rng(5).normal(
+            size=(2, tiny_scenario.spec.input_steps, tiny_scenario.network.num_nodes,
+                  tiny_scenario.spec.num_channels)
+        )
+        assert np.array_equal(trainer.model.predict(x), resumed.model.predict(x))
+
+    def test_checkpoint_records_dtype(self, tmp_path, make_trainer, tiny_scenario):
+        trainer = make_trainer()
+        trainer.run(tiny_scenario, max_sets=1, checkpoint_dir=tmp_path / "ckpt")
+        meta = Checkpoint.load(tmp_path / "ckpt").meta
+        assert meta["dtype"] == "float64"
+        assert meta["kind"] == "trainer"
+        assert meta["progress"]["completed_sets"] == 1
+
+
+class TestCheckpointIO:
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Checkpoint.load(tmp_path / "nope")
+
+    def test_version_guard(self, tmp_path):
+        checkpoint = Checkpoint(meta={"format_version": 999})
+        checkpoint.save(tmp_path / "ckpt")
+        with pytest.raises(ConfigurationError):
+            Checkpoint.load(tmp_path / "ckpt")
+
+    def test_missing_model_arrays_raise_instead_of_serving_random_weights(
+        self, tmp_path, make_trainer, tiny_scenario
+    ):
+        trainer = make_trainer()
+        trainer.run(tiny_scenario, max_sets=1, checkpoint_dir=tmp_path / "ckpt")
+        # Simulate a partial copy that lost the array archive.
+        (tmp_path / "ckpt" / "arrays.npz").unlink()
+        with pytest.raises(ConfigurationError):
+            ContinualTrainer.resume(tmp_path / "ckpt", tiny_scenario)
+
+    def test_stale_staging_files_are_swept(self, tmp_path, rng):
+        checkpoint = Checkpoint(meta={})
+        checkpoint.add_arrays("model", {"w": rng.normal(size=(3,))})
+        target = tmp_path / "ckpt"
+        target.mkdir()
+        (target / "arrays.tmp-deadbeef.npz").write_bytes(b"orphan")
+        (target / "checkpoint.json.tmp-deadbeef").write_text("{}")
+        checkpoint.save(target)
+        names = {p.name for p in target.iterdir()}
+        assert names == {"checkpoint.json", "arrays.npz"}
+
+    def test_save_is_atomic_and_leaves_no_staging_files(self, tmp_path, rng):
+        checkpoint = Checkpoint(meta={"kind": "test"})
+        checkpoint.add_arrays("model", {"w": rng.normal(size=(3,))})
+        checkpoint.save(tmp_path / "ckpt")
+        checkpoint.save(tmp_path / "ckpt")  # overwrite in place
+        names = {p.name for p in (tmp_path / "ckpt").iterdir()}
+        assert names == {"checkpoint.json", "arrays.npz"}
+        assert Checkpoint.load(tmp_path / "ckpt").meta["kind"] == "test"
+
+    def test_mixed_bundle_halves_are_rejected(self, tmp_path, rng):
+        # Simulate a kill between the two renames: metadata from one save,
+        # arrays from another.
+        first = Checkpoint(meta={})
+        first.add_arrays("model", {"w": rng.normal(size=(3,))})
+        first.save(tmp_path / "a")
+        second = Checkpoint(meta={})
+        second.add_arrays("model", {"w": rng.normal(size=(3,))})
+        second.save(tmp_path / "b")
+        (tmp_path / "a" / "arrays.npz").write_bytes(
+            (tmp_path / "b" / "arrays.npz").read_bytes()
+        )
+        with pytest.raises(ConfigurationError):
+            Checkpoint.load(tmp_path / "a")
+
+    def test_nan_loss_history_survives_the_json_round_trip(self, tmp_path):
+        from repro.core.metrics import PredictionMetrics
+        from repro.core.results import ContinualResult, SetResult
+
+        result = ContinualResult(method="URCL", dataset="d")
+        result.add(SetResult(
+            name="Bset",
+            metrics=PredictionMetrics(mae=1.0, rmse=2.0, mape=float("nan"), num_samples=4),
+            loss_history=[0.5, float("nan"), 0.25],
+        ))
+        checkpoint = Checkpoint(meta={"progress": {"result": result.to_state()}})
+        checkpoint.save(tmp_path / "ckpt")
+        loaded = Checkpoint.load(tmp_path / "ckpt")
+        restored = ContinualResult.from_state(loaded.meta["progress"]["result"])
+        history = restored.sets[0].loss_history
+        assert history[0] == 0.5 and history[2] == 0.25 and np.isnan(history[1])
+        assert np.isnan(restored.sets[0].metrics.mape)
+
+    def test_array_namespaces_round_trip(self, tmp_path, rng):
+        checkpoint = Checkpoint(meta={"hello": "world"})
+        checkpoint.add_arrays("model", {"w": rng.normal(size=(3, 4))})
+        checkpoint.add_arrays("optim", {"m/0": rng.normal(size=(3, 4))})
+        checkpoint.save(tmp_path / "ckpt")
+        loaded = Checkpoint.load(tmp_path / "ckpt")
+        assert loaded.meta["hello"] == "world"
+        assert set(loaded.arrays_in("model")) == {"w"}
+        assert set(loaded.arrays_in("optim")) == {"m/0"}
+        assert np.array_equal(loaded.arrays["model/w"], checkpoint.arrays["model/w"])

@@ -45,3 +45,95 @@ class TestMain:
 
         with pytest.raises(ConfigurationError):
             main(["table42", "--scale", "smoke"])
+
+
+class TestServeParser:
+    def test_train_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(["train", "--checkpoint-dir", "d"])
+        assert args.command == "train"
+        assert args.dataset == "pems08" and args.scale == "smoke"
+        assert args.sets is None and args.dtype is None
+
+    def test_predict_options(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(
+            ["predict", "--checkpoint-dir", "d", "--num-windows", "3", "--output", "p.json"]
+        )
+        assert args.num_windows == 3 and args.output == "p.json"
+
+    def test_dtype_flag_on_legacy_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["table1", "--dtype", "float32"])
+        assert args.dtype == "float32"
+
+
+class TestServeWorkflow:
+    """train -> resume -> predict end to end on the smoke scale."""
+
+    def test_train_resume_predict(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["train", "--dataset", "pems08", "--scale", "smoke",
+                     "--checkpoint-dir", str(ckpt), "--sets", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bset" in out and "continue with" in out
+        assert (ckpt / "checkpoint.json").is_file()
+
+        assert main(["resume", "--checkpoint-dir", str(ckpt), "--sets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "I1" in out
+
+        preds = tmp_path / "preds.json"
+        assert main(["predict", "--checkpoint-dir", str(ckpt),
+                     "--num-windows", "3", "--output", str(preds)]) == 0
+        out = capsys.readouterr().out
+        assert "predicted 3 window(s)" in out
+        payload = json.loads(preds.read_text())
+        assert payload["shape"][0] == 3
+        assert len(payload["predictions"]) == 3
+
+    def test_resume_without_scenario_info_fails_cleanly(self, tmp_path, capsys):
+        from repro.utils.checkpoint import Checkpoint
+
+        Checkpoint(meta={"kind": "trainer"}).save(tmp_path / "bare")
+        assert main(["resume", "--checkpoint-dir", str(tmp_path / "bare")]) == 1
+        assert "scenario" in capsys.readouterr().err
+
+    def test_predict_with_input_file(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.config import TrainingConfig, URCLConfig
+        from repro.core.urcl import URCLModel
+        from repro.data import load_dataset
+        from repro.data.streaming import build_streaming_scenario
+        from repro.models.stencoder import STEncoderConfig
+        from repro.serve import Forecaster
+
+        dataset = load_dataset("pems08", num_days=4, num_nodes=10, seed=3)
+        scenario = build_streaming_scenario(dataset)
+        spec = scenario.spec
+        config = URCLConfig(
+            encoder=STEncoderConfig(
+                residual_channels=4, dilation_channels=4, skip_channels=8,
+                end_channels=8, dilations=(1, 2), adaptive_embedding_dim=3,
+            ),
+            buffer_capacity=16,
+            replay_sample_size=2,
+        )
+        model = URCLModel(
+            scenario.network, in_channels=spec.num_channels,
+            input_steps=spec.input_steps, output_steps=spec.output_steps,
+            config=config, rng=0,
+        )
+        forecaster = Forecaster(model, scaler=scenario.scaler,
+                                target_channel=spec.target_channel,
+                                training=TrainingConfig())
+        forecaster.save(tmp_path / "bundle")
+        windows = scenario.raw_series[None, : spec.input_steps]
+        np.save(tmp_path / "windows.npy", windows)
+        assert main(["predict", "--checkpoint-dir", str(tmp_path / "bundle"),
+                     "--input", str(tmp_path / "windows.npy")]) == 0
+        assert "predicted 1 window(s)" in capsys.readouterr().out

@@ -134,3 +134,59 @@ def test_standard_roundtrip_property(data):
     np.testing.assert_allclose(
         scaler.inverse_transform(scaler.transform(data)), data, rtol=1e-6, atol=1e-6
     )
+
+
+class TestScalerParams:
+    """get_params/set_params round-trips (the checkpoint transport)."""
+
+    @pytest.mark.parametrize("scaler_cls", [MinMaxScaler, StandardScaler])
+    def test_fitted_params_round_trip(self, scaler_cls):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 3.0, size=(40, 5, 2))
+        fitted = scaler_cls().fit(data)
+        clone = scaler_cls()
+        clone.set_params(fitted.get_params())
+        probe = rng.normal(10.0, 3.0, size=(7, 5, 2))
+        assert np.array_equal(fitted.transform(probe), clone.transform(probe))
+        assert np.array_equal(
+            fitted.inverse_transform_channel(probe[..., :1], 1),
+            clone.inverse_transform_channel(probe[..., :1], 1),
+        )
+
+    @pytest.mark.parametrize("scaler_cls", [MinMaxScaler, StandardScaler])
+    def test_unfitted_params_round_trip(self, scaler_cls):
+        params = scaler_cls().get_params()
+        clone = scaler_cls()
+        clone.set_params(params)
+        with pytest.raises(DataError):
+            clone.transform(np.zeros((4, 2)))
+
+    def test_identity_params_are_empty(self):
+        assert IdentityScaler().get_params() == {}
+
+    @pytest.mark.parametrize("scaler_cls", [IdentityScaler, MinMaxScaler, StandardScaler])
+    def test_transform_channel_inverts(self, scaler_cls):
+        rng = np.random.default_rng(3)
+        data = rng.normal(5.0, 2.0, size=(30, 4, 3))
+        scaler = scaler_cls().fit(data)
+        channel_values = data[..., 2]
+        forward = scaler.transform_channel(channel_values, 2)
+        np.testing.assert_allclose(
+            scaler.inverse_transform_channel(forward, 2), channel_values, rtol=1e-10
+        )
+        # Must agree with the all-channel transform on that channel.
+        np.testing.assert_allclose(forward, scaler.transform(data)[..., 2], rtol=1e-10)
+
+    def test_build_scaler_restores_state(self):
+        from repro.data import build_scaler
+
+        data = np.random.default_rng(1).normal(size=(25, 3, 2)) + 4.0
+        fitted = MinMaxScaler().fit(data)
+        rebuilt = build_scaler("MinMaxScaler", fitted.get_params())
+        assert np.array_equal(fitted.transform(data), rebuilt.transform(data))
+
+    def test_build_scaler_unknown_name_raises(self):
+        from repro.data import build_scaler
+
+        with pytest.raises(DataError):
+            build_scaler("RobustScaler")

@@ -185,3 +185,62 @@ class TestDtypeRegression:
             sparse_supports = gs.diffusion_supports(adjacency.astype(np.float64), 2)
         assert all(s.dtype == np.float32 for s in dense_supports)
         assert all(_dense(s).dtype == np.float32 for s in sparse_supports)
+
+
+class TestIdentityFastPath:
+    """id()-keyed digest cache: reused array objects skip the content SHA-1."""
+
+    def test_same_object_takes_identity_path(self, adjacency):
+        gs.cached_diffusion_supports(adjacency, 2)
+        first = gs.cached_diffusion_supports(adjacency, 2)
+        second = gs.cached_diffusion_supports(adjacency, 2)
+        assert first is second
+        stats = gs.support_cache_stats()
+        assert stats["identity_hits"] == 2
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_copy_still_hits_by_content(self, adjacency):
+        first = gs.cached_diffusion_supports(adjacency, 2)
+        second = gs.cached_diffusion_supports(adjacency.copy(), 2)
+        assert first is second
+        assert gs.support_cache_stats()["identity_hits"] == 0
+
+    def test_identity_path_respects_order_and_dtype_knobs(self, adjacency):
+        gs.cached_diffusion_supports(adjacency, 2)
+        deeper = gs.cached_diffusion_supports(adjacency, 3)
+        shallow = gs.cached_diffusion_supports(adjacency, 2)
+        # Same object, different order: digest is reused but the support sets
+        # stay distinct.
+        assert len(deeper) != len(shallow) or deeper is not shallow
+        with default_dtype("float32"):
+            f32 = gs.cached_diffusion_supports(adjacency, 2)
+        assert all(_dense(s).dtype == np.float32 for s in f32)
+
+    def test_sparse_inputs_take_identity_path(self, adjacency):
+        csr = sp.csr_array(adjacency)
+        gs.cached_diffusion_supports(csr, 2)
+        gs.cached_diffusion_supports(csr, 2)
+        assert gs.support_cache_stats()["identity_hits"] == 1
+
+    def test_dead_arrays_are_evicted(self, rng):
+        import gc
+
+        array = rng.random((6, 6))
+        gs.cached_diffusion_supports(array, 1)
+        assert gs.support_cache_stats()["identity_entries"] == 1
+        del array
+        gc.collect()
+        assert gs.support_cache_stats()["identity_entries"] == 0
+
+    def test_identity_entries_are_bounded(self, rng):
+        keep = [rng.random((3, 3)) for _ in range(gs._IDENTITY_MAX_ENTRIES + 7)]
+        for array in keep:
+            gs.cached_diffusion_supports(array, 1)
+        assert gs.support_cache_stats()["identity_entries"] <= gs._IDENTITY_MAX_ENTRIES
+
+    def test_clear_support_cache_resets_identity_state(self, adjacency):
+        gs.cached_diffusion_supports(adjacency, 2)
+        gs.cached_diffusion_supports(adjacency, 2)
+        gs.clear_support_cache()
+        stats = gs.support_cache_stats()
+        assert stats["identity_hits"] == 0 and stats["identity_entries"] == 0

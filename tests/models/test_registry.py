@@ -1,0 +1,118 @@
+"""Tests for the config-driven model registry (to_config/from_config/build_model)."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro  # noqa: F401 - registers URCLModel via repro.core
+from repro.core.urcl import URCLModel
+from repro.exceptions import ConfigurationError
+from repro.models.registry import (
+    available_models,
+    build_model,
+    get_model_class,
+    model_name_of,
+    resolve_model_name,
+)
+
+ZOO = ("graphwavenet", "dcrnn", "geoman", "stgcn", "mtgnn", "agcrn", "stgode")
+
+SHAPES = {"in_channels": 2, "input_steps": 12, "output_steps": 3, "out_channels": 1}
+
+
+class TestRegistryLookup:
+    def test_every_zoo_model_is_registered(self):
+        names = available_models()
+        for expected in ZOO + ("urcl", "arima", "historicalaverage"):
+            assert expected in names
+
+    def test_aliases_resolve(self):
+        assert resolve_model_name("HA") == "historicalaverage"
+        assert resolve_model_name("gwnet") == "graphwavenet"
+        assert resolve_model_name("DCRNN") == "dcrnn"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_model_name("transformer9000")
+        with pytest.raises(ConfigurationError):
+            build_model("transformer9000", {})
+
+    def test_get_model_class(self):
+        assert get_model_class("urcl") is URCLModel
+
+    def test_model_name_of_unregistered_raises(self):
+        class NotRegistered:
+            pass
+
+        with pytest.raises(ConfigurationError):
+            model_name_of(NotRegistered())
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ZOO)
+    def test_deep_model_round_trip_is_bit_exact(self, name, small_network, rng):
+        model = build_model(name, SHAPES, network=small_network, rng=0)
+        config = model.to_config()
+        # Configs must survive JSON (the checkpoint transport).
+        config = json.loads(json.dumps(config))
+        rebuilt = build_model(name, config, network=small_network, rng=99)
+        state, rebuilt_state = model.state_dict(), rebuilt.state_dict()
+        assert list(state) == list(rebuilt_state)
+        for key in state:
+            assert state[key].shape == rebuilt_state[key].shape, key
+        rebuilt.load_state_dict(state)
+        x = rng.normal(size=(2, 12, small_network.num_nodes, 2))
+        assert np.array_equal(model.predict(x), rebuilt.predict(x))
+        assert model_name_of(model) == name
+
+    def test_urcl_round_trip_is_bit_exact(self, small_network, tiny_urcl_config, rng):
+        model = URCLModel(small_network, config=tiny_urcl_config, rng=0, **SHAPES)
+        config = json.loads(json.dumps(model.to_config()))
+        rebuilt = build_model("urcl", config, network=small_network, rng=7)
+        rebuilt.load_state_dict(model.state_dict())
+        x = rng.normal(size=(2, 12, small_network.num_nodes, 2))
+        assert np.array_equal(model.predict(x), rebuilt.predict(x))
+        assert rebuilt.config == model.config
+
+    @pytest.mark.parametrize("name,config", [
+        ("arima", {"order_p": 4, "output_steps": 2}),
+        ("historicalaverage", {"output_steps": 2}),
+    ])
+    def test_classical_round_trip(self, name, config):
+        model = build_model(name, config)
+        assert model.to_config() == build_model(name, model.to_config()).to_config()
+        assert model.output_steps == 2
+
+    def test_deep_model_requires_network(self):
+        with pytest.raises(ConfigurationError):
+            build_model("graphwavenet", SHAPES)
+
+
+class TestBuildBackboneThroughRegistry:
+    def test_build_backbone_matches_direct_construction(self, small_network, tiny_urcl_config):
+        from repro.core.urcl import build_backbone
+        from repro.models.graphwavenet import GraphWaveNetBackbone
+
+        via_registry = build_backbone(
+            "graphwavenet", small_network, in_channels=2, input_steps=12,
+            output_steps=3, out_channels=1, config=tiny_urcl_config, rng=0,
+        )
+        direct = GraphWaveNetBackbone(
+            small_network, in_channels=2, input_steps=12, output_steps=3,
+            out_channels=1, encoder_config=tiny_urcl_config.encoder,
+            decoder_hidden=tiny_urcl_config.decoder_hidden, rng=0,
+        )
+        state, direct_state = via_registry.state_dict(), direct.state_dict()
+        assert list(state) == list(direct_state)
+        for key in state:
+            assert np.array_equal(state[key], direct_state[key]), key
+
+    def test_unknown_backbone_raises(self, small_network, tiny_urcl_config):
+        from repro.core.urcl import build_backbone
+
+        with pytest.raises(ConfigurationError):
+            build_backbone(
+                "stgcn", small_network, in_channels=2, input_steps=12,
+                output_steps=1, out_channels=1, config=tiny_urcl_config,
+            )

@@ -184,3 +184,68 @@ class TestSchedulers:
             nn.StepLR(optimizer, step_size=0)
         with pytest.raises(ValueError):
             nn.CosineAnnealingLR(optimizer, total_epochs=0)
+
+
+class TestStateDictRoundTrip:
+    """Checkpointing invariant: a restored optimizer continues identically."""
+
+    @staticmethod
+    def _quadratic_step(optimizer, parameters):
+        # d/dw of 0.5 * ||w - target||^2 with per-parameter targets.
+        for index, parameter in enumerate(parameters):
+            parameter.grad = parameter.data - (index + 1.0)
+        optimizer.step()
+
+    def _trajectory_matches(self, make_optimizer):
+        rng = np.random.default_rng(0)
+        params_a = [Parameter(rng.normal(size=(3, 2))), Parameter(rng.normal(size=(4,)))]
+        params_b = [Parameter(p.data.copy()) for p in params_a]
+        opt_a = make_optimizer(params_a)
+        opt_b = make_optimizer(params_b)
+        for _ in range(3):
+            self._quadratic_step(opt_a, params_a)
+            self._quadratic_step(opt_b, params_b)
+        # Serialise A mid-run, restore into a FRESH optimizer on copies.
+        params_c = [Parameter(p.data.copy()) for p in params_a]
+        opt_c = make_optimizer(params_c)
+        opt_c.load_state_dict(opt_a.state_dict())
+        for _ in range(4):
+            self._quadratic_step(opt_b, params_b)
+            self._quadratic_step(opt_c, params_c)
+        for b, c in zip(params_b, params_c):
+            assert np.array_equal(b.data, c.data)
+
+    def test_adam_round_trip_continues_bit_exactly(self):
+        self._trajectory_matches(
+            lambda params: nn.Adam(params, lr=0.05, weight_decay=0.01)
+        )
+
+    def test_adamw_round_trip_continues_bit_exactly(self):
+        self._trajectory_matches(
+            lambda params: nn.AdamW(params, lr=0.05, weight_decay=0.01)
+        )
+
+    def test_sgd_momentum_round_trip_continues_bit_exactly(self):
+        self._trajectory_matches(
+            lambda params: nn.SGD(params, lr=0.05, momentum=0.9, weight_decay=0.01)
+        )
+
+    def test_adam_state_dict_contains_hyperparameters(self):
+        optimizer = nn.Adam([Parameter(np.zeros(2))], lr=0.01, betas=(0.8, 0.95), eps=1e-6)
+        state = optimizer.state_dict()
+        assert state["betas"] == (0.8, 0.95)
+        assert state["eps"] == 1e-6
+        restored = nn.Adam([Parameter(np.zeros(2))])
+        restored.load_state_dict(state)
+        assert (restored.beta1, restored.beta2) == (0.8, 0.95)
+        assert restored.lr == 0.01
+
+    def test_sgd_velocity_length_mismatch_raises(self):
+        optimizer = nn.SGD([Parameter(np.zeros(2))], lr=0.1, momentum=0.9)
+        with pytest.raises(ValueError):
+            optimizer.load_state_dict({"velocity": [np.zeros(2), np.zeros(2)]})
+
+    def test_adam_slot_length_mismatch_raises(self):
+        optimizer = nn.Adam([Parameter(np.zeros(2))])
+        with pytest.raises(ValueError):
+            optimizer.load_state_dict({"m": [np.zeros(2), np.zeros(2)]})

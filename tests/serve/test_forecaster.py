@@ -1,0 +1,213 @@
+"""Tests for the streaming-inference facade (repro.serve.Forecaster)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.serve import Forecaster
+
+
+@pytest.fixture
+def training_config():
+    return TrainingConfig(
+        epochs_base=1,
+        epochs_incremental=1,
+        batch_size=8,
+        max_batches_per_epoch=2,
+        eval_max_windows=16,
+    )
+
+
+@pytest.fixture
+def forecaster(tiny_scenario, tiny_urcl_config, training_config):
+    return Forecaster.from_scenario(
+        tiny_scenario, config=tiny_urcl_config, training=training_config, seed=0
+    )
+
+
+@pytest.fixture
+def raw_windows(tiny_scenario, rng):
+    """Raw (un-scaled) observation windows drawn from the stream."""
+    series = tiny_scenario.raw_series
+    spec = tiny_scenario.spec
+    starts = rng.integers(0, series.shape[0] - spec.input_steps - spec.output_steps, size=5)
+    return np.stack([series[s : s + spec.input_steps] for s in starts])
+
+
+class TestPredict:
+    def test_predict_applies_scaler_round_trip(self, forecaster, tiny_scenario, raw_windows):
+        spec = tiny_scenario.spec
+        predictions = forecaster.predict(raw_windows)
+        assert predictions.shape == (
+            raw_windows.shape[0], spec.output_steps, tiny_scenario.network.num_nodes, 1,
+        )
+        # Manual path: scale, run the model, inverse-map the target channel.
+        scaled = tiny_scenario.scaler.transform(raw_windows)
+        manual = tiny_scenario.scaler.inverse_transform_channel(
+            forecaster.model.predict(scaled), spec.target_channel
+        )
+        assert np.array_equal(predictions, manual)
+
+    def test_single_window_drops_batch_axis(self, forecaster, raw_windows, tiny_scenario):
+        spec = tiny_scenario.spec
+        single = forecaster.predict(raw_windows[0])
+        assert single.shape == (spec.output_steps, tiny_scenario.network.num_nodes, 1)
+        assert np.array_equal(single, forecaster.predict(raw_windows)[0])
+
+    def test_micro_batching_matches_single_batch(self, forecaster, raw_windows):
+        assert np.array_equal(
+            forecaster.predict(raw_windows, batch_size=2),
+            forecaster.predict(raw_windows, batch_size=64),
+        )
+
+    def test_bad_rank_raises(self, forecaster):
+        with pytest.raises(ShapeError):
+            forecaster.predict(np.zeros((4, 4)))
+
+
+class TestUpdate:
+    def test_update_steps_parameters_and_fills_buffer(self, forecaster, tiny_scenario, rng):
+        spec = tiny_scenario.spec
+        series = tiny_scenario.raw_series
+        inputs = np.stack([series[s : s + spec.input_steps] for s in (0, 5, 9)])
+        targets = np.stack(
+            [
+                series[
+                    s + spec.input_steps : s + spec.input_steps + spec.output_steps,
+                    :,
+                    spec.target_channel : spec.target_channel + 1,
+                ]
+                for s in (0, 5, 9)
+            ]
+        )
+        before = {k: v.copy() for k, v in forecaster.model.state_dict().items()}
+        step = forecaster.update(inputs, targets, set_name="online")
+        assert np.isfinite(step.task_loss)
+        assert len(forecaster.model.buffer) == 3
+        assert forecaster.model.buffer.occupancy_by_set() == {"online": 3}
+        changed = any(
+            not np.array_equal(before[k], v)
+            for k, v in forecaster.model.state_dict().items()
+        )
+        assert changed
+
+    def test_update_requires_training_capable_model(self, tiny_scenario, training_config):
+        from repro.models.graphwavenet import GraphWaveNetBackbone
+
+        spec = tiny_scenario.spec
+        backbone = GraphWaveNetBackbone(
+            tiny_scenario.network,
+            in_channels=spec.num_channels,
+            input_steps=spec.input_steps,
+            output_steps=spec.output_steps,
+            rng=0,
+        )
+        facade = Forecaster(backbone, training=training_config)
+        with pytest.raises(ConfigurationError):
+            facade.update(np.zeros((1, spec.input_steps, tiny_scenario.network.num_nodes,
+                                    spec.num_channels)),
+                          np.zeros((1, spec.output_steps, tiny_scenario.network.num_nodes, 1)))
+
+
+class TestSaveLoad:
+    def test_load_predicts_bit_for_bit(self, tmp_path, forecaster, tiny_scenario, raw_windows):
+        forecaster.fit(tiny_scenario, max_sets=1)
+        expected = forecaster.predict(raw_windows)
+        forecaster.save(tmp_path / "bundle")
+        loaded = Forecaster.load(tmp_path / "bundle")
+        assert np.array_equal(loaded.predict(raw_windows), expected)
+        assert loaded.target_channel == forecaster.target_channel
+        assert type(loaded.scaler) is type(forecaster.scaler)
+
+    def test_saved_optimizer_and_buffer_continue_updates(self, tmp_path, forecaster,
+                                                         tiny_scenario, raw_windows):
+        forecaster.fit(tiny_scenario, max_sets=1)
+        forecaster.save(tmp_path / "bundle")
+        loaded = Forecaster.load(tmp_path / "bundle")
+        assert len(loaded.model.buffer) == len(forecaster.model.buffer)
+        state = forecaster.optimizer.state_dict()
+        loaded_state = loaded.optimizer.state_dict()
+        assert state["step_count"] == loaded_state["step_count"]
+        for m_a, m_b in zip(state["m"], loaded_state["m"]):
+            assert np.array_equal(m_a, m_b)
+
+    def test_load_trainer_checkpoint(self, tmp_path, tiny_scenario, tiny_urcl_config,
+                                     training_config, raw_windows):
+        from repro.core.trainer import ContinualTrainer
+        from repro.core.urcl import URCLModel
+
+        spec = tiny_scenario.spec
+        model = URCLModel(
+            tiny_scenario.network,
+            in_channels=spec.num_channels,
+            input_steps=spec.input_steps,
+            output_steps=spec.output_steps,
+            config=tiny_urcl_config,
+            rng=0,
+        )
+        trainer = ContinualTrainer(model, training_config)
+        trainer.run(tiny_scenario, max_sets=1, checkpoint_dir=tmp_path / "ckpt")
+        served = Forecaster.load(tmp_path / "ckpt")
+        expected = tiny_scenario.scaler.inverse_transform_channel(
+            model.predict(tiny_scenario.scaler.transform(raw_windows)), spec.target_channel
+        )
+        assert np.array_equal(served.predict(raw_windows), expected)
+
+
+class TestFitContinuation:
+    def test_partial_fits_continue_instead_of_restarting(self, forecaster, tiny_scenario):
+        first = forecaster.fit(tiny_scenario, max_sets=1)
+        assert [entry.name for entry in first.sets] == ["Bset"]
+        full = forecaster.fit(tiny_scenario)
+        # Same accumulated result object: Bset was NOT retrained.
+        assert [entry.name for entry in full.sets] == tiny_scenario.set_names
+        assert full.sets[0] is first.sets[0]
+
+    def test_progress_survives_save_load(self, tmp_path, forecaster, tiny_scenario):
+        forecaster.fit(tiny_scenario, max_sets=2)
+        forecaster.save(tmp_path / "bundle")
+        loaded = Forecaster.load(tmp_path / "bundle")
+        result = loaded.fit(tiny_scenario)
+        # The loaded forecaster continued from set 2 instead of restarting.
+        assert [entry.name for entry in result.sets] == tiny_scenario.set_names
+        assert loaded._trainer.completed_sets == len(tiny_scenario.sets)
+
+
+class TestLoadValidation:
+    def test_load_without_scaler_section_raises(self, tmp_path, forecaster):
+        from repro.core import checkpoint as ckpt
+        from repro.utils.checkpoint import Checkpoint
+
+        bundle = Checkpoint(meta={"kind": "forecaster"})
+        ckpt.pack_dtype(bundle)
+        ckpt.pack_model(bundle, forecaster.model)
+        ckpt.pack_network(bundle, forecaster.network)
+        bundle.save(tmp_path / "no-scaler")
+        with pytest.raises(ConfigurationError):
+            Forecaster.load(tmp_path / "no-scaler")
+
+    def test_load_restores_stored_optimizer_type(self, tmp_path, forecaster, tiny_scenario):
+        from repro.nn.optim import SGD
+
+        forecaster._optimizer = SGD(forecaster.model.parameters(), lr=0.02, momentum=0.9)
+        forecaster.fit(tiny_scenario, max_sets=1)
+        forecaster.save(tmp_path / "sgd-bundle")
+        loaded = Forecaster.load(tmp_path / "sgd-bundle")
+        assert type(loaded.optimizer) is SGD
+        assert loaded.optimizer.lr == 0.02
+        assert loaded.optimizer.momentum == 0.9
+
+
+class TestFromScenario:
+    def test_requires_registered_dataset(self, small_network, rng):
+        from repro.data.scalers import IdentityScaler
+        from repro.data.streaming import StreamingScenario
+
+        scenario = StreamingScenario(sets=[], network=small_network, scaler=IdentityScaler())
+        with pytest.raises(ConfigurationError):
+            Forecaster.from_scenario(scenario)
+
+    def test_fit_returns_continual_result(self, forecaster, tiny_scenario):
+        result = forecaster.fit(tiny_scenario, max_sets=2)
+        assert [entry.name for entry in result.sets] == ["Bset", "I1"]

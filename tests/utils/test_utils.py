@@ -118,3 +118,61 @@ class TestLogging:
         handlers = len(logger.handlers)
         configure_logging(logging.WARNING)
         assert len(logger.handlers) == handlers
+
+
+class TestGeneratorDiscovery:
+    """named_generators / collect_rng_states / restore_rng_states."""
+
+    def test_walks_repro_objects_and_deduplicates_shared_generators(self):
+        from repro.nn.dropout import Dropout
+        from repro.nn.module import Module
+        from repro.utils import named_generators
+
+        shared = np.random.default_rng(0)
+
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Dropout(0.1, rng=shared)
+                self.b = Dropout(0.2, rng=shared)
+
+        paths = dict(named_generators(Net()))
+        # The shared generator appears exactly once, under the first path.
+        assert list(paths) == ["_modules.a._rng"]
+        assert paths["_modules.a._rng"] is shared
+
+    def test_collect_and_restore_round_trip(self):
+        from repro.nn.dropout import Dropout
+        from repro.utils import collect_rng_states, restore_rng_states
+
+        layer = Dropout(0.5, rng=123)
+        states = collect_rng_states(layer)
+        before = layer._rng.normal(size=5)
+        restore_rng_states(layer, states)
+        after = layer._rng.normal(size=5)
+        assert np.array_equal(before, after)
+
+    def test_restore_strict_raises_on_missing_path(self):
+        from repro.nn.dropout import Dropout
+        from repro.utils import restore_rng_states
+
+        layer = Dropout(0.5, rng=0)
+        with pytest.raises(KeyError):
+            restore_rng_states(layer, {"no.such.path": {"state": 1}}, strict=True)
+        # Lenient mode ignores unknown paths.
+        restore_rng_states(layer, {"no.such.path": {"state": 1}}, strict=False)
+
+    def test_urcl_model_exposes_every_stochastic_stream(self, ):
+        from repro.core.urcl import URCLModel
+        from repro.graph.generators import grid_network
+        from repro.utils import named_generators
+
+        model = URCLModel(grid_network(2, 2, rng=0), in_channels=1, input_steps=12,
+                          rng=3)
+        paths = dict(named_generators(model))
+        joined = " ".join(paths)
+        # Buffer, mixup, sampler and augmentations all contribute streams.
+        assert "buffer" in joined
+        assert "mixup" in joined
+        assert "sampler" in joined
+        assert "augmentations" in joined
