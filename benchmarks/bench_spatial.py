@@ -3,13 +3,20 @@
 Sweeps node counts and graph densities, timing a full
 ``DiffusionGraphConv`` forward + backward (the spatial-mixing hot path of
 every model in the zoo) with supports forced dense versus the auto
-sparse/dense kernel.  Also measures the content-keyed support cache on the
-URCL adjacency-override path and records everything to
-``benchmarks/results/BENCH_spatial.json`` so the perf trajectory is
-tracked per PR.
+sparse/dense kernel.  Three further sections:
 
-Correctness is asserted inline: dense and auto outputs must agree to
-float32-level tolerance on every configuration.
+* **fused** — the fused multi-support ``spmm_multi`` (one CSR traversal for
+  all S supports) against the per-support ``spmm`` loop;
+* **augmented** — the URCL augmented-supports path (augmentation apply +
+  support construction + forward + backward per step) under the dense
+  fallback versus the CSR ``GraphDelta`` path;
+* the content-keyed support cache on the adjacency-override path.
+
+Everything records to ``benchmarks/results/BENCH_spatial.json`` so the
+perf trajectory is tracked per PR.  Correctness is asserted inline: dense
+and sparse outputs must agree to float32-level tolerance on every
+configuration (the augmented section additionally requires the two modes
+to draw identical augmentation randomness).
 
 Run directly (no pytest needed)::
 
@@ -26,7 +33,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.graph import sparse as graph_sparse
+from repro.augmentation import DropEdge, DropNodes, SubGraph
+from repro.graph import Graph, sparse as graph_sparse
 from repro.models.gcn import DiffusionGraphConv
 from repro.tensor import Tensor
 from repro.experiments.reporting import format_table
@@ -39,6 +47,10 @@ SWEEPS = {
     "smoke": ((96, 512), (0.05,), 2, 4, 8, 2),
     "bench": ((200, 500, 1000, 2000), (0.01, 0.05, 0.2, 0.5), 4, 6, 16, 3),
 }
+
+# The fused/augmented sections only make sense where CSR wins; cap the
+# density so the full sweep stays minutes, not hours.
+SPARSE_SECTION_MAX_DENSITY = 0.05
 
 
 def make_adjacency(num_nodes: int, density: float, rng: np.random.Generator) -> np.ndarray:
@@ -101,6 +113,97 @@ def bench_config(num_nodes: int, graph_density: float, batch: int, steps: int,
     }
 
 
+def bench_fused(num_nodes: int, graph_density: float, batch: int, steps: int,
+                channels: int, reps: int, seed: int) -> dict:
+    """Fused multi-support spmm vs the per-support loop (both forced CSR)."""
+    rng = np.random.default_rng(seed)
+    adjacency = make_adjacency(num_nodes, graph_density, rng)
+    x_data = rng.normal(size=(batch, steps, num_nodes, channels))
+    outputs = {}
+    timings = {}
+    with graph_sparse.spatial_mode("sparse"):
+        graph = Graph(adjacency, name="bench-fused")
+        conv = DiffusionGraphConv(channels, channels, adjacency=graph, rng=seed)
+        for label, enabled in (("loop", False), ("fused", True)):
+            graph_sparse.set_fused_spmm(enabled)
+            try:
+                seconds, out = time_forward_backward(conv, x_data, reps)
+            finally:
+                graph_sparse.set_fused_spmm(True)
+            timings[label] = seconds
+            outputs[label] = out
+    max_abs_diff = float(np.max(np.abs(outputs["loop"] - outputs["fused"])))
+    scale = float(np.max(np.abs(outputs["loop"]))) or 1.0
+    if max_abs_diff > 1e-5 * scale:
+        raise AssertionError(
+            f"fused/loop mismatch at N={num_nodes} d={graph_density}: {max_abs_diff:.3e}"
+        )
+    return {
+        "num_nodes": num_nodes,
+        "graph_density": graph_density,
+        "loop_seconds": timings["loop"],
+        "fused_seconds": timings["fused"],
+        "speedup": timings["loop"] / timings["fused"],
+        "max_abs_diff": max_abs_diff,
+    }
+
+
+def bench_augmented(num_nodes: int, graph_density: float, batch: int, steps: int,
+                    channels: int, reps: int, seed: int) -> dict:
+    """The URCL augmented-supports path: dense fallback vs the CSR delta path.
+
+    Each timed step is one contrastive-branch unit of work: apply a spatial
+    augmentation to the shared graph, build the perturbed graph's diffusion
+    supports, and run the graph convolution forward + backward on the
+    augmented view.  Both modes replay identical augmentation randomness,
+    and the final outputs are checked for agreement.
+    """
+    rng = np.random.default_rng(seed)
+    adjacency = make_adjacency(num_nodes, graph_density, rng)
+    x_data = rng.normal(size=(batch, steps, num_nodes, channels))
+    timings = {}
+    outputs = {}
+    for mode in ("dense", "auto"):
+        graph_sparse.clear_support_cache()
+        with graph_sparse.spatial_mode(mode):
+            graph = Graph(adjacency, name=f"bench-aug-{mode}")
+            conv = DiffusionGraphConv(channels, channels, adjacency=graph, rng=seed)
+            augmentations = [
+                DropEdge(sample_ratio=0.3, rng=seed),
+                DropNodes(drop_ratio=0.1, rng=seed + 1),
+                SubGraph(keep_ratio=0.7, rng=seed + 2),
+            ]
+            samples = []
+            for rep in range(reps + 1):  # first iteration is warmup
+                augmentation = augmentations[rep % len(augmentations)]
+                conv.zero_grad()
+                start = time.perf_counter()
+                sample = augmentation(x_data, graph)
+                x = Tensor(sample.observations, requires_grad=True)
+                out = conv(x, adjacency=sample.graph)
+                out.sum().backward()
+                samples.append(time.perf_counter() - start)
+                outputs[mode] = out.data
+            timings[mode] = float(np.median(samples[1:]))
+    max_abs_diff = float(np.max(np.abs(outputs["dense"] - outputs["auto"])))
+    scale = float(np.max(np.abs(outputs["dense"]))) or 1.0
+    if max_abs_diff > 1e-5 * scale:
+        raise AssertionError(
+            f"augmented dense/delta mismatch at N={num_nodes} d={graph_density}: "
+            f"{max_abs_diff:.3e}"
+        )
+    stats = graph_sparse.support_cache_stats()
+    return {
+        "num_nodes": num_nodes,
+        "graph_density": graph_density,
+        "dense_seconds": timings["dense"],
+        "delta_seconds": timings["auto"],
+        "speedup": timings["dense"] / timings["auto"],
+        "max_abs_diff": max_abs_diff,
+        "delta_hits": stats["delta_hits"],
+    }
+
+
 def bench_support_cache(num_nodes: int, seed: int) -> dict:
     """Cost of supports_for on a repeated adjacency override: miss vs hit."""
     rng = np.random.default_rng(seed)
@@ -149,6 +252,18 @@ def main(argv=None) -> dict:
             record["configs"].append(
                 bench_config(num_nodes, graph_density, batch, steps, channels, reps, args.seed)
             )
+    sparse_configs = [
+        (n, d) for n in node_counts for d in densities
+        if d <= SPARSE_SECTION_MAX_DENSITY
+    ]
+    record["fused"] = [
+        bench_fused(n, d, batch, steps, channels, reps, args.seed)
+        for n, d in sparse_configs
+    ]
+    record["augmented"] = [
+        bench_augmented(n, d, batch, steps, channels, reps, args.seed)
+        for n, d in sparse_configs
+    ]
     record["support_cache"] = bench_support_cache(max(node_counts), args.seed)
 
     headers = ["N", "density", "modes", "dense s", "auto s", "speedup", "max|diff|"]
@@ -165,6 +280,25 @@ def main(argv=None) -> dict:
         for c in record["configs"]
     ]
     print(format_table(headers, rows, title=f"Spatial mixing — dense vs auto ({args.scale})"))
+
+    fused_rows = [
+        [c["num_nodes"], c["graph_density"], c["loop_seconds"], c["fused_seconds"],
+         c["speedup"], c["max_abs_diff"]]
+        for c in record["fused"]
+    ]
+    print(format_table(
+        ["N", "density", "loop s", "fused s", "speedup", "max|diff|"],
+        fused_rows, title="Fused multi-support spmm — per-support loop vs one traversal",
+    ))
+    augmented_rows = [
+        [c["num_nodes"], c["graph_density"], c["dense_seconds"], c["delta_seconds"],
+         c["speedup"], c["max_abs_diff"]]
+        for c in record["augmented"]
+    ]
+    print(format_table(
+        ["N", "density", "dense s", "delta s", "speedup", "max|diff|"],
+        augmented_rows, title="Augmented-supports path — dense fallback vs CSR delta",
+    ))
     cache = record["support_cache"]
     print(
         f"support cache (N={cache['num_nodes']}): miss {cache['miss_seconds']*1e3:.1f} ms, "
@@ -184,6 +318,20 @@ def main(argv=None) -> dict:
     if fallbacks:
         record["worst_fallback_speedup"] = min(fallbacks)
         print(f"worst dense-fallback ratio: {record['worst_fallback_speedup']:.2f}x")
+    fused_wins = [c["speedup"] for c in record["fused"] if c["num_nodes"] >= 500]
+    if fused_wins:
+        record["best_fused_speedup"] = max(fused_wins)
+        print(f"best fused-spmm speedup at N>=500: {record['best_fused_speedup']:.2f}x")
+    augmented_wins = [
+        c["speedup"] for c in record["augmented"] if c["num_nodes"] >= 500
+    ]
+    if augmented_wins:
+        record["best_augmented_speedup"] = max(augmented_wins)
+        record["worst_augmented_speedup"] = min(augmented_wins)
+        print(
+            f"augmented delta path at N>=500: best {record['best_augmented_speedup']:.2f}x, "
+            f"worst {record['worst_augmented_speedup']:.2f}x vs dense fallback"
+        )
 
     history = []
     if RESULTS_PATH.exists():

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph.sensor_network import SensorNetwork
+from ..graph.graph import Graph, GraphDelta
 from ..utils.validation import check_probability
-from .base import AugmentedSample, Augmentation
+from .base import Augmentation
 
 __all__ = ["AddEdge"]
 
@@ -17,7 +17,14 @@ class AddEdge(Augmentation):
     A proportion of node pairs more than ``min_hops`` apart is selected and
     connected; the new edge weight is the (normalised) dot-product
     similarity of the two nodes' observation vectors (Eq. 8), strengthening
-    the model's ability to capture global spatial correlations.
+    the model's ability to capture global spatial correlations.  New edges
+    are merged in via a ``GraphDelta`` update set combined by elementwise
+    maximum (``A[i, j] = max(A[i, j], w)``), both directions at once.
+
+    Note: the "distant pairs" criterion needs pairwise hop counts, which is
+    inherently an ``O(N^2)`` computation — AddEdge is the one augmentation
+    that does not scale to very large ``N`` (the delta application itself
+    still never densifies the adjacency).
     """
 
     name = "add_edge"
@@ -30,18 +37,21 @@ class AddEdge(Augmentation):
         self.add_ratio = add_ratio
         self.min_hops = min_hops
 
-    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
-        adjacency = network.adjacency.copy()
-        pairs = network.distant_pairs(self.min_hops)
+    def delta(self, observations: np.ndarray, graph: Graph) -> GraphDelta | None:
+        pairs = graph.distant_pairs(self.min_hops)
         if not pairs:
-            return AugmentedSample(observations.copy(), adjacency, self.name)
+            return None
         num_added = max(1, int(round(self.add_ratio * len(pairs))))
         num_added = min(num_added, len(pairs))
         chosen = self._rng.choice(len(pairs), size=num_added, replace=False)
         # Node feature vectors: flatten batch/time/channel into one profile per node.
         node_features = observations.transpose(2, 0, 1, 3).reshape(observations.shape[2], -1)
         norms = np.linalg.norm(node_features, axis=1)
-        scale = float(np.mean(adjacency[adjacency > 0])) if (adjacency > 0).any() else 1.0
+        _, _, weights = graph.edges()
+        scale = float(weights.mean()) if weights.size else 1.0
+        add_rows: list[int] = []
+        add_cols: list[int] = []
+        add_weights: list[float] = []
         for index in chosen:
             i, j = pairs[index]
             denominator = max(norms[i] * norms[j], 1e-12)
@@ -49,8 +59,16 @@ class AddEdge(Augmentation):
             weight = max(similarity, 0.0) * scale
             if weight <= 0:
                 continue
-            adjacency[i, j] = max(adjacency[i, j], weight)
-            adjacency[j, i] = max(adjacency[j, i], weight)
-        return AugmentedSample(
-            observations=observations.copy(), adjacency=adjacency, description=self.name
+            add_rows.extend((i, j))
+            add_cols.extend((j, i))
+            add_weights.extend((weight, weight))
+        if not add_rows:
+            return None
+        return GraphDelta(
+            edge_updates=(
+                np.asarray(add_rows, dtype=np.int64),
+                np.asarray(add_cols, dtype=np.int64),
+                np.asarray(add_weights, dtype=np.float64),
+            ),
+            description=self.name,
         )

@@ -1,27 +1,43 @@
 """Augmentation interfaces.
 
 An augmentation transforms a *sample* ``G = [X; G]`` — a batch of
-observation windows together with the sensor network — into a perturbed
+observation windows together with the sensor graph — into a perturbed
 sample ``G' = [X'; G']`` (Sec. IV-C.1).  Observation shapes are never
 changed (the STSimSiam encoders require fixed shapes); spatial
-augmentations perturb the adjacency matrix, the temporal augmentation
-perturbs the time axis of the observations.
+augmentations perturb the graph, the temporal augmentation perturbs the
+time axis of the observations.
+
+Graphs flow through as first-class :class:`repro.graph.Graph` objects:
+every spatial augmentation makes its random decisions on the shared CSR
+view and emits a :class:`repro.graph.GraphDelta`, which is applied
+CSR-natively (``O(nnz)``, never materialising a dense ``(N, N)`` copy)
+unless ``spatial_mode("dense")`` selects the dense fallback.  Because the
+decisions are representation-independent, the dense and delta paths draw
+identical random numbers and produce identical augmented graphs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..exceptions import ShapeError
+from ..graph.graph import Graph, GraphDelta
 from ..graph.sensor_network import SensorNetwork
+from ..tensor import get_default_dtype
 from ..utils.random import get_rng
 
-__all__ = ["AugmentedSample", "Augmentation"]
+__all__ = ["AugmentedSample", "Augmentation", "as_graph"]
 
 
-@dataclass
+def as_graph(network) -> Graph:
+    """Coerce a :class:`SensorNetwork`, :class:`Graph` or dense array to a Graph."""
+    if isinstance(network, Graph):
+        return network
+    if isinstance(network, SensorNetwork):
+        return network.graph
+    return Graph(network)
+
+
 class AugmentedSample:
     """The result of applying an augmentation.
 
@@ -29,21 +45,62 @@ class AugmentedSample:
     ----------
     observations:
         Augmented observations, same shape as the input
-        ``(batch, time, nodes, channels)``.
+        ``(batch, time, nodes, channels)``, at the library default dtype.
+    graph:
+        Augmented sensor graph as a :class:`repro.graph.Graph` (CSR-backed;
+        built lazily when the sample was constructed from a dense
+        ``adjacency`` for backwards compatibility).
     adjacency:
-        Augmented adjacency matrix ``(nodes, nodes)``.
+        Dense ``(nodes, nodes)`` view of :attr:`graph` — densified lazily
+        and only on access, so the sparse training path never touches it.
     description:
         Name of the augmentation that produced the sample (for logging and
         ablation bookkeeping).
     """
 
-    observations: np.ndarray
-    adjacency: np.ndarray
-    description: str
+    __slots__ = ("observations", "description", "_graph", "_adjacency")
+
+    def __init__(
+        self,
+        observations: np.ndarray,
+        adjacency: np.ndarray | None = None,
+        description: str = "",
+        graph: Graph | None = None,
+    ):
+        if graph is None and adjacency is None:
+            raise ValueError("AugmentedSample needs a graph or a dense adjacency")
+        self.observations = observations
+        self.description = description
+        self._graph = graph
+        self._adjacency = adjacency
+
+    @property
+    def graph(self) -> Graph:
+        if self._graph is None:
+            self._graph = Graph(self._adjacency, name="augmented")
+        return self._graph
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        if self._adjacency is None:
+            self._adjacency = self.graph.to_dense()
+        return self._adjacency
+
+    def __repr__(self) -> str:
+        return (
+            f"AugmentedSample(description={self.description!r}, "
+            f"observations={self.observations.shape})"
+        )
 
 
 class Augmentation:
-    """Base class for spatio-temporal augmentations."""
+    """Base class for spatio-temporal augmentations.
+
+    Sub-classes override :meth:`apply`, which receives the observations and
+    the CSR-backed :class:`Graph` and returns an :class:`AugmentedSample`.
+    Spatial augmentations should build a :class:`GraphDelta` and hand it to
+    :meth:`Graph.apply_delta` rather than editing a dense matrix.
+    """
 
     name = "identity"
 
@@ -51,25 +108,46 @@ class Augmentation:
         self._rng = get_rng(rng)
 
     # ------------------------------------------------------------------ #
-    def __call__(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
-        observations = np.asarray(observations, dtype=float)
+    def __call__(self, observations: np.ndarray, network) -> AugmentedSample:
+        # Coerce at the *library* dtype: np.asarray(..., dtype=float) would
+        # silently promote a float32 run's observations to float64 on every
+        # augmented URCL step.
+        observations = np.asarray(observations, dtype=get_default_dtype())
+        graph = as_graph(network)
         if observations.ndim != 4:
             raise ShapeError(
                 f"augmentations expect (batch, time, nodes, channels), got {observations.shape}"
             )
-        if observations.shape[2] != network.num_nodes:
+        if observations.shape[2] != graph.num_nodes:
             raise ShapeError(
-                f"observations have {observations.shape[2]} nodes, network has {network.num_nodes}"
+                f"observations have {observations.shape[2]} nodes, graph has {graph.num_nodes}"
             )
-        return self.apply(observations, network)
+        return self.apply(observations, graph)
 
-    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
-        """Return the augmented sample; sub-classes override this."""
+    def apply(self, observations: np.ndarray, graph: Graph) -> AugmentedSample:
+        """Build the delta, apply it CSR-natively, transform observations.
+
+        Spatial sub-classes override :meth:`delta` (and, when the same
+        random draw also affects the observations, :meth:`transform_observations`);
+        purely temporal augmentations override :meth:`apply` directly.
+        """
+        delta = self.delta(observations, graph)
+        augmented = graph if delta is None else graph.apply_delta(delta)
         return AugmentedSample(
-            observations=observations.copy(),
-            adjacency=network.adjacency.copy(),
+            observations=self.transform_observations(observations, delta),
+            graph=augmented,
             description=self.name,
         )
+
+    def delta(self, observations: np.ndarray, graph: Graph) -> GraphDelta | None:
+        """The structural perturbation to apply (``None`` = graph untouched)."""
+        return None
+
+    def transform_observations(
+        self, observations: np.ndarray, delta: GraphDelta | None
+    ) -> np.ndarray:
+        """Observation-side counterpart of the delta (default: plain copy)."""
+        return observations.copy()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

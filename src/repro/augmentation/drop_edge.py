@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph.sensor_network import SensorNetwork
+from ..graph.graph import Graph, GraphDelta
 from ..utils.validation import check_probability
-from .base import AugmentedSample, Augmentation
+from .base import Augmentation
 
 __all__ = ["DropEdge"]
 
@@ -16,8 +16,12 @@ class DropEdge(Augmentation):
 
     A proportion of edges is sampled; among the sampled edges, those whose
     weight falls below a threshold are removed (Eq. 7).  The threshold
-    defaults to the median edge weight of the network so that "important
+    defaults to the median edge weight of the graph so that "important
     connectives" (strong edges) are retained, as the paper intends.
+
+    Edges are enumerated in the graph's canonical CSR order (identical to
+    row-major dense ``nonzero`` order) and removed through a ``GraphDelta``
+    edge mask — no dense adjacency copy is made on the sparse path.
     """
 
     name = "drop_edge"
@@ -28,24 +32,24 @@ class DropEdge(Augmentation):
         self.sample_ratio = sample_ratio
         self.weight_threshold = weight_threshold
 
-    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
-        adjacency = network.adjacency.copy()
-        rows, cols = np.nonzero(adjacency)
+    def delta(self, observations: np.ndarray, graph: Graph) -> GraphDelta | None:
+        rows, cols, weights = graph.edges()
         edge_count = rows.size
         if edge_count == 0:
-            return AugmentedSample(observations.copy(), adjacency, self.name)
+            return None
         threshold = self.weight_threshold
         if threshold is None:
-            threshold = float(np.median(adjacency[rows, cols]))
+            threshold = float(np.median(weights))
         num_sampled = int(round(self.sample_ratio * edge_count))
-        if num_sampled > 0:
-            chosen = self._rng.choice(edge_count, size=num_sampled, replace=False)
-            for index in chosen:
-                i, j = rows[index], cols[index]
-                if adjacency[i, j] < threshold:
-                    adjacency[i, j] = 0.0
-                    if not network.directed:
-                        adjacency[j, i] = 0.0
-        return AugmentedSample(
-            observations=observations.copy(), adjacency=adjacency, description=self.name
-        )
+        if num_sampled == 0:
+            return None
+        chosen = self._rng.choice(edge_count, size=num_sampled, replace=False)
+        dropped = chosen[weights[chosen] < threshold]
+        keep = np.ones(edge_count, dtype=bool)
+        keep[dropped] = False
+        if not graph.directed and dropped.size:
+            # Remove the reverse edges as well (the dense implementation
+            # zeroed ``A[j, i]`` alongside every dropped ``A[i, j]``).
+            partners = graph.edge_lookup(cols[dropped], rows[dropped])
+            keep[partners[partners >= 0]] = False
+        return GraphDelta(edge_keep=keep, description=self.name)

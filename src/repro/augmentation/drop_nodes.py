@@ -4,20 +4,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph.sensor_network import SensorNetwork
+from ..graph.graph import Graph, GraphDelta
 from ..utils.validation import check_probability
-from .base import AugmentedSample, Augmentation
+from .base import Augmentation
 
 __all__ = ["DropNodes"]
 
 
 class DropNodes(Augmentation):
-    """Randomly discard a proportion of nodes by masking their adjacency rows.
+    """Randomly discard a proportion of nodes by masking their edges.
 
-    The discarded nodes' entries in the adjacency matrix are zeroed
-    (Eq. 6); optionally their observations are zeroed as well, emulating
-    sensor/communication failures the paper motivates.  Node count (and
-    therefore tensor shapes) is preserved.
+    The discarded nodes' edges are removed through a ``GraphDelta`` node
+    mask (Eq. 6); optionally their observations are zeroed as well,
+    emulating sensor/communication failures the paper motivates.  Node
+    count (and therefore tensor shapes) is preserved.
     """
 
     name = "drop_nodes"
@@ -28,17 +28,20 @@ class DropNodes(Augmentation):
         self.drop_ratio = drop_ratio
         self.mask_features = mask_features
 
-    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
-        num_nodes = network.num_nodes
+    def delta(self, observations: np.ndarray, graph: Graph) -> GraphDelta | None:
+        num_nodes = graph.num_nodes
         num_dropped = int(round(self.drop_ratio * num_nodes))
+        if num_dropped == 0:
+            return None
+        dropped = self._rng.choice(num_nodes, size=num_dropped, replace=False)
+        keep = np.ones(num_nodes, dtype=bool)
+        keep[dropped] = False
+        return GraphDelta(node_keep=keep, description=self.name)
+
+    def transform_observations(
+        self, observations: np.ndarray, delta: GraphDelta | None
+    ) -> np.ndarray:
         augmented = observations.copy()
-        adjacency = network.adjacency.copy()
-        if num_dropped > 0:
-            dropped = self._rng.choice(num_nodes, size=num_dropped, replace=False)
-            adjacency[dropped, :] = 0.0
-            adjacency[:, dropped] = 0.0
-            if self.mask_features:
-                augmented[:, :, dropped, :] = 0.0
-        return AugmentedSample(
-            observations=augmented, adjacency=adjacency, description=self.name
-        )
+        if delta is not None and self.mask_features:
+            augmented[:, :, ~delta.node_keep, :] = 0.0
+        return augmented

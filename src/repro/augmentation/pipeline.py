@@ -11,7 +11,6 @@ from typing import Sequence
 
 import numpy as np
 
-from ..graph.sensor_network import SensorNetwork
 from ..utils.random import get_rng
 from .add_edge import AddEdge
 from .base import AugmentedSample, Augmentation
@@ -62,8 +61,14 @@ class AugmentationPipeline:
         return self.augmentations[int(first)], self.augmentations[int(second)]
 
     def __call__(
-        self, observations: np.ndarray, network: SensorNetwork
+        self, observations: np.ndarray, network
     ) -> tuple[AugmentedSample, AugmentedSample]:
-        """Return two augmented views of ``observations``."""
+        """Return two augmented views of ``observations``.
+
+        ``network`` may be a :class:`SensorNetwork` or a first-class
+        :class:`repro.graph.Graph` — both views share the same (cached) CSR
+        substrate, and each spatial augmentation contributes a CSR-native
+        delta rather than a dense adjacency copy.
+        """
         first, second = self.sample_pair()
         return first(observations, network), second(observations, network)

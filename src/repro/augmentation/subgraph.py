@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..graph.graph import Graph, GraphDelta
 from ..graph.random_walk import random_walk_subgraph_nodes
-from ..graph.sensor_network import SensorNetwork
 from ..utils.validation import check_fraction
-from .base import AugmentedSample, Augmentation
+from .base import Augmentation
 
 __all__ = ["SubGraph"]
 
@@ -16,10 +16,12 @@ class SubGraph(Augmentation):
     """Restrict attention to a random-walk sub-graph.
 
     A sub-graph is sampled by random walk to preserve local semantics; edges
-    outside the sub-graph are removed while the node set (and observation
-    shape) is preserved so that the shared STEncoder still sees every
-    sensor.  Features of nodes outside the sub-graph are left untouched —
-    they simply become isolated in the graph view.
+    outside the sub-graph are removed (a ``GraphDelta`` node mask) while the
+    node set (and observation shape) is preserved so that the shared
+    STEncoder still sees every sensor.  Features of nodes outside the
+    sub-graph are left untouched — they simply become isolated in the graph
+    view.  The walk itself runs on the CSR rows, so large graphs never pay
+    for a dense adjacency.
     """
 
     name = "subgraph"
@@ -29,15 +31,10 @@ class SubGraph(Augmentation):
         check_fraction("keep_ratio", keep_ratio)
         self.keep_ratio = keep_ratio
 
-    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
-        num_nodes = network.num_nodes
+    def delta(self, observations: np.ndarray, graph: Graph) -> GraphDelta | None:
+        num_nodes = graph.num_nodes
         target = max(2, int(round(self.keep_ratio * num_nodes)))
-        kept = random_walk_subgraph_nodes(network, target_size=target, rng=self._rng)
-        mask = np.zeros(num_nodes, dtype=bool)
-        mask[kept] = True
-        adjacency = network.adjacency.copy()
-        adjacency[~mask, :] = 0.0
-        adjacency[:, ~mask] = 0.0
-        return AugmentedSample(
-            observations=observations.copy(), adjacency=adjacency, description=self.name
-        )
+        kept = random_walk_subgraph_nodes(graph, target_size=target, rng=self._rng)
+        keep = np.zeros(num_nodes, dtype=bool)
+        keep[kept] = True
+        return GraphDelta(node_keep=keep, description=self.name)

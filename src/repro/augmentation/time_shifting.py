@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph.sensor_network import SensorNetwork
+from ..graph.graph import Graph
 from ..utils.validation import check_fraction
 from .base import AugmentedSample, Augmentation
 
@@ -76,7 +76,7 @@ class TimeShifting(Augmentation):
         return observations[:, ::-1].copy()
 
     # ------------------------------------------------------------------ #
-    def apply(self, observations: np.ndarray, network: SensorNetwork) -> AugmentedSample:
+    def apply(self, observations: np.ndarray, graph: Graph) -> AugmentedSample:
         mode = self.mode or self._MODES[int(self._rng.integers(0, len(self._MODES)))]
         if mode == "slice_warp":
             augmented = self._slice_warp(observations)
@@ -84,8 +84,10 @@ class TimeShifting(Augmentation):
             augmented = self._warp(observations)
         else:
             augmented = self._flip(observations)
+        # TS perturbs only the time domain: the graph (and its cached
+        # supports) is shared untouched.
         return AugmentedSample(
             observations=augmented,
-            adjacency=network.adjacency.copy(),
+            graph=graph,
             description=f"{self.name}:{mode}",
         )

@@ -54,11 +54,15 @@ def fit_on_dataset(
     max_batches_per_epoch: int | None = None,
     shuffle: bool = True,
     rng=None,
+    graph=None,
 ) -> tuple[Optimizer, list[float], float]:
     """Standard supervised training of a predictor on a windowed dataset.
 
     Returns the optimizer (so callers can keep fine-tuning), the per-batch
-    loss history and the elapsed wall-clock seconds.
+    loss history and the elapsed wall-clock seconds.  ``graph`` optionally
+    overrides the sensor graph for every forward pass (a
+    :class:`repro.graph.Graph`, e.g. fine-tuning on an updated road
+    network); models whose ``forward`` takes no graph override reject it.
     """
     if optimizer is None:
         optimizer = Adam(model.parameters(), lr=learning_rate)
@@ -69,7 +73,8 @@ def fit_on_dataset(
         for batch_index, batch in enumerate(loader):
             if max_batches_per_epoch is not None and batch_index >= max_batches_per_epoch:
                 break
-            predictions = model(Tensor(batch.inputs))
+            inputs = Tensor(batch.inputs)
+            predictions = model(inputs) if graph is None else model(inputs, graph=graph)
             loss = mae_loss(predictions, Tensor(batch.targets))
             model.zero_grad()
             loss.backward()
@@ -118,7 +123,7 @@ class StreamingStrategy:
         )
         return metrics, elapsed / max(windows, 1)
 
-    def run(self, scenario: StreamingScenario, model: STModel) -> ContinualResult:
+    def run(self, scenario: StreamingScenario, model: STModel, graph=None) -> ContinualResult:
         raise NotImplementedError
 
 
@@ -127,7 +132,7 @@ class OneFitAllStrategy(StreamingStrategy):
 
     name = "OneFitAll"
 
-    def run(self, scenario: StreamingScenario, model: STModel) -> ContinualResult:
+    def run(self, scenario: StreamingScenario, model: STModel, graph=None) -> ContinualResult:
         dataset_name = scenario.spec.name if scenario.spec else "custom"
         result = ContinualResult(method=self.name, dataset=dataset_name)
         base = scenario.base_set
@@ -139,6 +144,7 @@ class OneFitAllStrategy(StreamingStrategy):
             learning_rate=self.training.learning_rate,
             grad_clip=self.training.grad_clip,
             max_batches_per_epoch=self.training.max_batches_per_epoch,
+            graph=graph,
         )
         for set_index, stream_set in enumerate(scenario.sets):
             metrics, inference = self._evaluate(model, scenario, set_index)
@@ -160,7 +166,7 @@ class FinetuneSTStrategy(StreamingStrategy):
 
     name = "FinetuneST"
 
-    def run(self, scenario: StreamingScenario, model: STModel) -> ContinualResult:
+    def run(self, scenario: StreamingScenario, model: STModel, graph=None) -> ContinualResult:
         dataset_name = scenario.spec.name if scenario.spec else "custom"
         result = ContinualResult(method=self.name, dataset=dataset_name)
         optimizer: Optimizer | None = None
@@ -175,6 +181,7 @@ class FinetuneSTStrategy(StreamingStrategy):
                 optimizer=optimizer,
                 grad_clip=self.training.grad_clip,
                 max_batches_per_epoch=self.training.max_batches_per_epoch,
+                graph=graph,
             )
             metrics, inference = self._evaluate(model, scenario, set_index)
             _LOGGER.info("%s | %s | %s", self.name, dataset_name, stream_set.name)
@@ -196,7 +203,9 @@ class ClassicalRefitStrategy(StreamingStrategy):
 
     name = "ClassicalRefit"
 
-    def run(self, scenario: StreamingScenario, model: ClassicalForecaster) -> ContinualResult:
+    def run(self, scenario: StreamingScenario, model: ClassicalForecaster, graph=None) -> ContinualResult:
+        # Classical forecasters are graph-free; the override is accepted for
+        # interface symmetry and ignored.
         dataset_name = scenario.spec.name if scenario.spec else "custom"
         target_channel = scenario.spec.target_channel if scenario.spec else 0
         result = ContinualResult(method=self.name, dataset=dataset_name)

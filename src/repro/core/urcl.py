@@ -177,13 +177,19 @@ class URCLModel(Module):
     # ------------------------------------------------------------------ #
     # Prediction path
     # ------------------------------------------------------------------ #
-    def forward(self, x: Tensor) -> Tensor:
-        """Predict future observations from an input window."""
-        return self.backbone(x)
+    def forward(self, x: Tensor, graph=None) -> Tensor:
+        """Predict future observations from an input window.
 
-    def predict(self, inputs: np.ndarray) -> np.ndarray:
-        """Numpy-in / numpy-out inference."""
-        return self.backbone.predict(inputs)
+        ``graph`` optionally overrides the sensor graph for this call (a
+        :class:`repro.graph.Graph`, e.g. an updated road network at serving
+        time); the backbone pulls diffusion supports from it instead of the
+        construction-time network.
+        """
+        return self.backbone(x, graph=graph)
+
+    def predict(self, inputs: np.ndarray, graph=None) -> np.ndarray:
+        """Numpy-in / numpy-out inference (optionally on an overridden graph)."""
+        return self.backbone.predict(inputs, graph=graph)
 
     # ------------------------------------------------------------------ #
     # Data integration (Sec. IV-B)
@@ -218,20 +224,28 @@ class URCLModel(Module):
     # ------------------------------------------------------------------ #
     # STCRL (Sec. IV-C)
     # ------------------------------------------------------------------ #
-    def contrastive_loss(self, mixed_inputs: np.ndarray) -> Tensor:
-        """GraphCL loss over two augmented views of the integrated batch."""
+    def contrastive_loss(self, mixed_inputs: np.ndarray, graph=None) -> Tensor:
+        """GraphCL loss over two augmented views of the integrated batch.
+
+        The sensor graph flows through as a first-class
+        :class:`repro.graph.Graph`: augmentations emit CSR deltas against
+        it (never dense adjacency copies) and the encoder pulls cached
+        supports straight from the perturbed graphs.
+        """
+        graph = graph if graph is not None else self.network.graph
         if self.config.use_augmentation:
-            first, second = self.augmentations(mixed_inputs, self.network)
+            first, second = self.augmentations(mixed_inputs, graph)
         else:
-            # w/o STA ablation: both branches see the raw integrated sample.
+            # w/o STA ablation: both branches see the raw integrated sample
+            # over the unperturbed (shared, support-cached) graph.
             first = AugmentedSample(
                 observations=mixed_inputs.copy(),
-                adjacency=self.network.adjacency.copy(),
+                graph=graph,
                 description="identity",
             )
             second = AugmentedSample(
                 observations=mixed_inputs.copy(),
-                adjacency=self.network.adjacency.copy(),
+                graph=graph,
                 description="identity",
             )
         return self.simsiam.loss(first, second)
@@ -240,27 +254,29 @@ class URCLModel(Module):
     # Full training step (Alg. 1, lines 5-11)
     # ------------------------------------------------------------------ #
     def training_step(
-        self, inputs: np.ndarray, targets: np.ndarray, set_name: str = ""
+        self, inputs: np.ndarray, targets: np.ndarray, set_name: str = "", graph=None
     ) -> StepOutput:
         """Run one step of Algorithm 1 and return the combined loss.
 
         The caller is responsible for ``zero_grad`` / ``backward`` /
         optimizer stepping so that the step integrates with any optimizer.
+        ``graph`` optionally overrides the sensor graph for the whole step
+        (prediction and contrastive branches alike).
         """
         dtype = get_default_dtype()
         inputs = np.asarray(inputs, dtype=dtype)
         targets = np.asarray(targets, dtype=dtype)
         mixed_inputs, mixed_targets, lam, replayed = self.integrate(inputs, targets)
 
-        predictions = self.backbone(Tensor(mixed_inputs))
+        predictions = self.backbone(Tensor(mixed_inputs), graph=graph)
         task_loss = mae_loss(predictions, Tensor(mixed_targets))
         if self.config.joint_current_loss and replayed > 0 and self.config.use_mixup:
-            current_predictions = self.backbone(Tensor(inputs))
+            current_predictions = self.backbone(Tensor(inputs), graph=graph)
             current_loss = mae_loss(current_predictions, Tensor(targets))
             task_loss = (task_loss + current_loss) * 0.5
 
         if self.config.use_graphcl and self.config.ssl_weight > 0:
-            ssl_loss = self.contrastive_loss(mixed_inputs)
+            ssl_loss = self.contrastive_loss(mixed_inputs, graph=graph)
             total = task_loss + ssl_loss * self.config.ssl_weight
             ssl_value = float(ssl_loss.item())
         else:

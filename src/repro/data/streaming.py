@@ -77,6 +77,16 @@ class StreamingScenario:
     def set_names(self) -> list[str]:
         return [stream_set.name for stream_set in self.sets]
 
+    @property
+    def graph(self):
+        """The shared :class:`repro.graph.Graph` view of :attr:`network`.
+
+        One CSR substrate (with its cached diffusion supports and
+        transposes) serves every stream period — large-N streaming never
+        re-densifies the adjacency per period.
+        """
+        return self.network.graph
+
     def __len__(self) -> int:
         return len(self.sets)
 

@@ -1,8 +1,11 @@
 """Sensor-network substrate: graph structures, adjacency algebra, generators.
 
-Dense adjacency algebra lives in :mod:`repro.graph.adjacency`; the
-CSR-native counterpart with auto-densify and the content-keyed support
-cache lives in :mod:`repro.graph.sparse`.
+The first-class CSR-backed :class:`Graph` (adjacency + metadata + cached
+diffusion supports/transposes) and its :class:`GraphDelta` perturbations
+live in :mod:`repro.graph.graph`.  Dense adjacency algebra lives in
+:mod:`repro.graph.adjacency`; the CSR-native counterpart with auto-densify,
+the content-keyed support cache, cached transposes and the fused
+multi-support stacks lives in :mod:`repro.graph.sparse`.
 """
 
 from . import sparse
@@ -15,13 +18,17 @@ from .adjacency import (
     row_normalize,
     symmetric_normalize,
 )
+from .graph import Graph, GraphDelta
 from .sparse import (
     cached_diffusion_supports,
     clear_support_cache,
+    fuse_supports,
     set_density_threshold,
+    set_fused_spmm,
     set_spatial_mode,
     spatial_mode,
     support_cache_stats,
+    transpose_csr,
 )
 from .generators import (
     community_network,
@@ -34,13 +41,18 @@ from .sensor_network import SensorNetwork
 
 __all__ = [
     "SensorNetwork",
+    "Graph",
+    "GraphDelta",
     "sparse",
     "cached_diffusion_supports",
     "clear_support_cache",
+    "fuse_supports",
     "set_density_threshold",
+    "set_fused_spmm",
     "set_spatial_mode",
     "spatial_mode",
     "support_cache_stats",
+    "transpose_csr",
     "add_self_loops",
     "backward_transition",
     "diffusion_supports",

@@ -1,4 +1,9 @@
-"""Random-walk sub-graph sampling (used by the SubGraph augmentation)."""
+"""Random-walk sub-graph sampling (used by the SubGraph augmentation).
+
+Both functions accept either a dense :class:`SensorNetwork` or a CSR-backed
+:class:`repro.graph.Graph`; walks over a ``Graph`` touch only ``O(N)`` row
+buffers per step, never a dense ``(N, N)`` matrix.
+"""
 
 from __future__ import annotations
 
@@ -6,13 +11,20 @@ import numpy as np
 
 from ..exceptions import GraphError
 from ..utils.random import get_rng
-from .sensor_network import SensorNetwork
+from .graph import Graph
 
 __all__ = ["random_walk", "random_walk_subgraph_nodes"]
 
 
+def _row_weights(network, node: int) -> np.ndarray:
+    """Dense 1-d weight row of ``node`` for either graph representation."""
+    if isinstance(network, Graph):
+        return network.row(node)
+    return network.adjacency[node]
+
+
 def random_walk(
-    network: SensorNetwork,
+    network,
     start: int,
     length: int,
     rng=None,
@@ -31,7 +43,7 @@ def random_walk(
     walk = [start]
     current = start
     for _ in range(length - 1):
-        weights = network.adjacency[current]
+        weights = _row_weights(network, current)
         total = weights.sum()
         if total <= 0:
             current = int(rng.integers(0, network.num_nodes))
@@ -42,7 +54,7 @@ def random_walk(
 
 
 def random_walk_subgraph_nodes(
-    network: SensorNetwork,
+    network,
     target_size: int,
     rng=None,
     max_steps: int | None = None,
@@ -65,7 +77,7 @@ def random_walk_subgraph_nodes(
         if current not in seen:
             seen.add(current)
             visited.append(current)
-        weights = network.adjacency[current]
+        weights = _row_weights(network, current)
         total = weights.sum()
         if total <= 0:
             current = int(rng.integers(0, network.num_nodes))

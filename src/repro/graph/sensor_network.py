@@ -14,6 +14,7 @@ import networkx as nx
 import numpy as np
 
 from ..exceptions import GraphError
+from .graph import Graph
 
 __all__ = ["SensorNetwork"]
 
@@ -43,6 +44,7 @@ class SensorNetwork:
     name: str = "sensor-network"
     directed: bool = False
     _hops: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _graph: "Graph | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         adjacency = np.asarray(self.adjacency, dtype=float)
@@ -67,6 +69,26 @@ class SensorNetwork:
     @property
     def num_nodes(self) -> int:
         return self.adjacency.shape[0]
+
+    @property
+    def graph(self) -> Graph:
+        """The CSR-backed :class:`repro.graph.Graph` view of this network.
+
+        Built lazily and cached: diffusion supports derived from it are
+        shared by every consumer (models, augmentations, serving).  The
+        network's adjacency is treated as immutable after construction —
+        code that mutates it in place must call
+        :func:`repro.graph.sparse.clear_support_cache` afterwards (which
+        also drops this cached view's derived state).
+        """
+        if self._graph is None:
+            self._graph = Graph(
+                self.adjacency,
+                coordinates=self.coordinates,
+                name=self.name,
+                directed=self.directed,
+            )
+        return self._graph
 
     @property
     def num_edges(self) -> int:

@@ -46,6 +46,8 @@ __all__ = [
     "get_spatial_mode",
     "set_spatial_mode",
     "spatial_mode",
+    "get_fused_spmm",
+    "set_fused_spmm",
     "density",
     "to_csr",
     "as_support",
@@ -57,6 +59,9 @@ __all__ = [
     "power_series",
     "diffusion_supports",
     "cached_diffusion_supports",
+    "transpose_csr",
+    "FusedSupports",
+    "fuse_supports",
     "clear_support_cache",
     "support_cache_stats",
 ]
@@ -106,6 +111,21 @@ def spatial_mode(mode: str):
         yield mode
     finally:
         set_spatial_mode(previous)
+
+
+_FUSED_SPMM = True
+
+
+def get_fused_spmm() -> bool:
+    """Whether all-CSR support sets are mixed through one fused spmm."""
+    return _FUSED_SPMM
+
+
+def set_fused_spmm(enabled: bool) -> bool:
+    """Enable/disable the fused multi-support spmm (escape hatch + benches)."""
+    global _FUSED_SPMM
+    _FUSED_SPMM = bool(enabled)
+    return _FUSED_SPMM
 
 
 # ---------------------------------------------------------------------- #
@@ -217,6 +237,21 @@ def backward_transition(matrix):
     return row_normalize(add_self_loops(matrix))
 
 
+def _predicted_product_density(left, right) -> float:
+    """Cheap upper-bound estimate of ``density(left @ right)`` for CSR inputs.
+
+    Every non-zero of ``left`` touches on average ``nnz(right) / N`` entries
+    of the product row, so the expected fill is
+    ``nnz(left) * nnz(right) / N^3`` (capped at 1).  An overestimate only
+    costs an early switch to the dense kernel, which is exactly the regime
+    where sparse-sparse products stop paying anyway.
+    """
+    size = left.shape[0]
+    if size == 0:
+        return 0.0
+    return min(1.0, left.nnz * (right.nnz / size) / (size * size))
+
+
 def power_series(matrix, order: int) -> list:
     """Return ``[I, P, ..., P^order]``, each stored dense or CSR by density.
 
@@ -224,7 +259,12 @@ def power_series(matrix, order: int) -> list:
     dense ``N x N`` matmul on ``I @ P``); higher powers densify as the
     graph's neighbourhoods grow, so each power is re-examined by
     :func:`as_support` and the matmul chain switches to dense BLAS the
-    moment a power crosses the density threshold.
+    moment a power crosses the density threshold.  In ``auto`` mode the
+    switch is additionally *predictive*: when the estimated fill of the
+    next power already exceeds the threshold, the step is computed as a
+    CSR x dense product (``O(nnz * N)``) instead of burning a sparse-sparse
+    multiplication whose hash-based accumulation is far slower than BLAS on
+    a nearly-dense result.
     """
     matrix = _check_square_any(matrix)
     if order < 0:
@@ -239,10 +279,21 @@ def power_series(matrix, order: int) -> list:
     # caller mutating its matrix afterwards.
     current = base.copy()
     powers.append(current)
+    base_dense = None
     for _ in range(order - 1):
-        # scipy dispatches every storage pairing (CSR @ CSR stays sparse,
-        # any dense operand yields a dense product).
-        current = as_support(current @ base)
+        if (
+            _SPATIAL_MODE == "auto"
+            and sp.issparse(current)
+            and sp.issparse(base)
+            and _predicted_product_density(current, base) > _DENSITY_THRESHOLD
+        ):
+            if base_dense is None:
+                base_dense = _to_dense(base)
+            current = as_support(current @ base_dense)
+        else:
+            # scipy dispatches every storage pairing (CSR @ CSR stays sparse,
+            # any dense operand yields a dense product).
+            current = as_support(current @ base)
         powers.append(current)
     return powers
 
@@ -380,15 +431,168 @@ def cached_diffusion_supports(adjacency, order: int, directed: bool = False) -> 
     return supports
 
 
+# ---------------------------------------------------------------------- #
+# Cached CSR transposes (spmm backward) and fused multi-support stacks
+# ---------------------------------------------------------------------- #
+# Both caches are keyed by object identity and hold a strong reference to the
+# keyed object, so an id can never be recycled while its entry is alive.
+# Augmented graphs retire their supports every step, so both caches are also
+# byte-bounded: stale entries for large graphs evict long before the entry
+# cap.
+_TRANSPOSE_MAX_ENTRIES = 256
+_TRANSPOSE_MAX_BYTES = 128 * 1024 * 1024
+
+_transpose_cache: "OrderedDict[int, tuple]" = OrderedDict()
+_transpose_bytes = 0
+
+
+def transpose_csr(matrix):
+    """Return ``matrix.T`` as CSR, cached per support object.
+
+    The ``spmm`` backward multiplies by the transposed support; deriving the
+    transpose per step means a CSC->CSR conversion on every backward pass.
+    Supports are long-lived (built once per graph and reused every step), so
+    the transpose is computed once here and handed to ``spmm``/``spmm_multi``
+    on every subsequent call.
+    """
+    global _transpose_bytes
+    key = id(matrix)
+    entry = _transpose_cache.get(key)
+    if entry is not None and entry[0] is matrix:
+        _transpose_cache.move_to_end(key)
+        return entry[1]
+    transposed = sp.csr_array(matrix.T.tocsr())
+    # The keyed matrix is strongly referenced (that is what keeps the id
+    # valid), so it counts toward the budget too — otherwise retired
+    # supports of augmented graphs would stay pinned invisibly.
+    nbytes = _support_nbytes(matrix) + _support_nbytes(transposed)
+    _transpose_cache[key] = (matrix, transposed, nbytes)
+    _transpose_bytes += nbytes
+    while _transpose_cache and (
+        len(_transpose_cache) > _TRANSPOSE_MAX_ENTRIES
+        or _transpose_bytes > _TRANSPOSE_MAX_BYTES
+    ):
+        _, evicted = _transpose_cache.popitem(last=False)
+        _transpose_bytes -= evicted[2]
+    return transposed
+
+
+class FusedSupports:
+    """A support set stacked for the fused multi-support spmm.
+
+    ``stacked`` is ``vstack([A_1..A_S])`` — one ``(S*N, N)`` CSR traversed
+    once per forward; ``transpose`` is its precomputed ``(N, S*N)`` CSR
+    transpose used by the backward pass.
+    """
+
+    __slots__ = ("stacked", "transpose", "count")
+
+    def __init__(self, stacked, transpose, count: int):
+        self.stacked = stacked
+        self.transpose = transpose
+        self.count = count
+
+
+_FUSE_MAX_ENTRIES = 64
+_FUSE_MAX_BYTES = 256 * 1024 * 1024
+
+_fuse_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+_fuse_bytes = 0
+
+
+def _fused_nbytes(fused) -> int:
+    if fused is None:
+        return 0
+    return _support_nbytes(fused.stacked) + _support_nbytes(fused.transpose)
+
+
+def fuse_supports(supports, skip_first: bool = False):
+    """Stack an all-CSR support set for the fused spmm (``None`` otherwise).
+
+    ``supports`` must be a stable (cached/long-lived) sequence: results are
+    memoised by its identity.  ``skip_first=True`` fuses ``supports[1:]``
+    (callers that treat the leading identity support implicitly).  Returns a
+    :class:`FusedSupports` or ``None`` when fusing is disabled, fewer than
+    two supports remain, or any member is stored dense.
+    """
+    global _fuse_bytes
+    if not _FUSED_SPMM:
+        return None
+    key = (id(supports), bool(skip_first))
+    entry = _fuse_cache.get(key)
+    if entry is not None and entry[0] is supports:
+        _fuse_cache.move_to_end(key)
+        return entry[1]
+    members = list(supports[1:] if skip_first else supports)
+    if len(members) < 2 or not all(sp.issparse(member) for member in members):
+        fused = None
+    else:
+        stacked = sp.csr_array(sp.vstack(members, format="csr"))
+        transpose = sp.csr_array(stacked.T.tocsr())
+        fused = FusedSupports(stacked, transpose, len(members))
+    # Budget the strongly-referenced keyed supports as well as the fused
+    # arrays: a ``None`` result still pins the whole support set (possibly
+    # dense members for auto-mode augmented graphs), which the byte cap
+    # must see or retired sets linger until the entry cap.
+    nbytes = _fused_nbytes(fused) + sum(_support_nbytes(s) for s in supports)
+    _fuse_cache[key] = (supports, fused, nbytes)
+    _fuse_bytes += nbytes
+    while _fuse_cache and (
+        len(_fuse_cache) > _FUSE_MAX_ENTRIES or _fuse_bytes > _FUSE_MAX_BYTES
+    ):
+        _, evicted = _fuse_cache.popitem(last=False)
+        _fuse_bytes -= evicted[2]
+    return fused
+
+
+# ---------------------------------------------------------------------- #
+# Delta-path counters and the per-Graph cache registry
+# ---------------------------------------------------------------------- #
+_delta_hits = 0
+_dense_fallbacks = 0
+
+# Every live Graph registers here so clear_support_cache() can also drop the
+# per-instance support/transpose caches (satisfying "one switch empties all
+# derived spatial state", e.g. after in-place adjacency edits).
+_graph_registry: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _register_graph(graph) -> None:
+    _graph_registry.add(graph)
+
+
+def _record_delta(dense_fallback: bool) -> None:
+    """Count one augmentation-delta application (CSR-native vs densified)."""
+    global _delta_hits, _dense_fallbacks
+    if dense_fallback:
+        _dense_fallbacks += 1
+    else:
+        _delta_hits += 1
+
+
 def clear_support_cache() -> None:
-    """Empty the support cache (and identity fast path) and reset counters."""
+    """Empty every derived-support cache and reset all counters.
+
+    Drops the content-keyed cache, the identity fast path, the cached CSR
+    transposes, the fused stacks, and the per-:class:`repro.graph.Graph`
+    support/transpose caches of every live graph.
+    """
     global _cache_hits, _cache_misses, _cache_bytes, _identity_hits
+    global _delta_hits, _dense_fallbacks, _transpose_bytes, _fuse_bytes
     _support_cache.clear()
     _identity_digests.clear()
+    _transpose_cache.clear()
+    _fuse_cache.clear()
+    for graph in list(_graph_registry):
+        graph.clear_caches()
     _cache_bytes = 0
+    _transpose_bytes = 0
+    _fuse_bytes = 0
     _cache_hits = 0
     _cache_misses = 0
     _identity_hits = 0
+    _delta_hits = 0
+    _dense_fallbacks = 0
 
 
 def support_cache_stats() -> dict:
@@ -396,6 +600,9 @@ def support_cache_stats() -> dict:
 
     ``identity_hits`` counts lookups that skipped the content SHA-1 because
     the exact same adjacency object (unchanged shape/dtype) was seen again.
+    ``delta_hits`` counts augmentation deltas applied CSR-natively (no dense
+    ``(N, N)`` materialisation); ``dense_fallbacks`` counts deltas that went
+    through the dense path (``spatial_mode("dense")``).
     """
     return {
         "hits": _cache_hits,
@@ -404,4 +611,9 @@ def support_cache_stats() -> dict:
         "bytes": _cache_bytes,
         "identity_hits": _identity_hits,
         "identity_entries": len(_identity_digests),
+        "delta_hits": _delta_hits,
+        "dense_fallbacks": _dense_fallbacks,
+        "transpose_entries": len(_transpose_cache),
+        "fused_entries": len(_fuse_cache),
+        "graphs_tracked": len(_graph_registry),
     }

@@ -87,18 +87,21 @@ class STModel(Module):
             raise ConfigurationError(f"{cls.__name__}.from_config requires a sensor network")
         return cls(network, rng=rng, **config)
 
-    def predict(self, inputs: np.ndarray) -> np.ndarray:
+    def predict(self, inputs: np.ndarray, graph=None) -> np.ndarray:
         """Numpy-in / numpy-out inference.
 
         Runs in evaluation mode (dropout disabled) without building an
         autograd graph; the previous training/evaluation mode is restored
-        afterwards.
+        afterwards.  ``graph`` optionally overrides the sensor graph for
+        this call (a :class:`repro.graph.Graph`); models whose ``forward``
+        does not take a graph override reject it.
         """
         was_training = self.training
         self.eval()
         try:
             with no_grad():
-                outputs = self.forward(Tensor(np.asarray(inputs, dtype=get_default_dtype())))
+                x = Tensor(np.asarray(inputs, dtype=get_default_dtype()))
+                outputs = self.forward(x) if graph is None else self.forward(x, graph=graph)
         finally:
             self.train(was_training)
         return outputs.data
@@ -116,10 +119,11 @@ class AutoencoderBackbone(STModel):
 
     latent_dim: int
 
-    def encode(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+    def encode(self, x: Tensor, adjacency=None) -> Tensor:
         """Map observations to latent node features ``(batch, nodes, latent_dim)``.
 
-        ``adjacency`` optionally overrides the network adjacency — required
+        ``adjacency`` optionally overrides the network graph — a
+        :class:`repro.graph.Graph` (preferred) or dense array — required
         because the spatial augmentations perturb the graph per view.
         """
         raise NotImplementedError
@@ -128,9 +132,9 @@ class AutoencoderBackbone(STModel):
         """Map latent node features to predictions."""
         raise NotImplementedError
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, graph=None) -> Tensor:
         x = self.check_input(x)
-        return self.decode(self.encode(x))
+        return self.decode(self.encode(x, adjacency=graph))
 
     def readout(self, latent: Tensor) -> Tensor:
         """Pool latent node features into one vector per sample.

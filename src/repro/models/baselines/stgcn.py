@@ -6,7 +6,14 @@ import numpy as np
 
 from scipy import sparse as sp
 
-from ...graph.sparse import as_support, symmetric_normalize
+from ...graph.graph import Graph
+from ...graph.sparse import (
+    as_support,
+    fuse_supports,
+    get_spatial_mode,
+    symmetric_normalize,
+    transpose_csr,
+)
 from ...graph.sensor_network import SensorNetwork
 from ...nn.conv import GatedTemporalConv
 from ...nn.linear import Linear
@@ -24,7 +31,7 @@ __all__ = ["ChebGraphConv", "STGCN"]
 class ChebGraphConv(Module):
     """Chebyshev-polynomial graph convolution of order ``K`` (ChebNet)."""
 
-    def __init__(self, in_channels: int, out_channels: int, adjacency: np.ndarray,
+    def __init__(self, in_channels: int, out_channels: int, adjacency,
                  order: int = 2, rng=None):
         super().__init__()
         if order < 1:
@@ -32,6 +39,10 @@ class ChebGraphConv(Module):
         rng = get_rng(rng)
         self.order = order
         self.out_channels = out_channels
+        if isinstance(adjacency, Graph):
+            # Dense mode runs the seed dense algebra end to end (the
+            # explicit fallback); otherwise stay on the CSR view.
+            adjacency = adjacency.to_dense() if get_spatial_mode() == "dense" else adjacency.csr
         normalized = symmetric_normalize(as_support(adjacency))
         # Scaled Laplacian approximation: L~ = I - D^-1/2 A D^-1/2.
         size = adjacency.shape[0]
@@ -42,6 +53,11 @@ class ChebGraphConv(Module):
         else:
             laplacian = np.eye(size, dtype=normalized.dtype) - normalized
         self._chebyshev = self._chebyshev_basis(as_support(laplacian), order)
+        self._cheb_tuple = tuple(self._chebyshev)
+        self._cheb_transposes = tuple(
+            transpose_csr(member) if sp.issparse(member) else None
+            for member in self._chebyshev
+        )
         self.weight = Parameter(init.xavier_uniform((order, in_channels, out_channels), rng=rng))
         self.bias = Parameter(init.zeros((out_channels,)))
 
@@ -60,7 +76,15 @@ class ChebGraphConv(Module):
     def forward(self, x: Tensor) -> Tensor:
         x = x if isinstance(x, Tensor) else Tensor(x)
         # T_0 mixes with the identity, i.e. passes x through unchanged.
-        mixed = [x] + [F.spatial_mix(member, x) for member in self._chebyshev]
+        fused = fuse_supports(self._cheb_tuple)
+        if fused is not None:
+            # All basis members CSR: one traversal mixes T_1..T_{K-1} at once.
+            mixed = [x, F.spmm_multi(fused.stacked, x, fused.count, transpose=fused.transpose)]
+        else:
+            mixed = [x] + [
+                F.spatial_mix(member, x, transpose=transpose)
+                for member, transpose in zip(self._chebyshev, self._cheb_transposes)
+            ]
         stacked = mixed[0] if len(mixed) == 1 else concatenate(mixed, axis=-1)
         fused_weight = self.weight.reshape(-1, self.out_channels)
         return stacked @ fused_weight + self.bias
@@ -87,7 +111,7 @@ class STGCN(STModel):
         self.cheb_order = cheb_order
         self.temporal_in = GatedTemporalConv(in_channels, hidden_dim, kernel_size=2,
                                              dilation=1, causal_padding=True, rng=rng)
-        self.graph_conv = ChebGraphConv(hidden_dim, hidden_dim, network.adjacency,
+        self.graph_conv = ChebGraphConv(hidden_dim, hidden_dim, network.graph,
                                         order=cheb_order, rng=rng)
         self.temporal_out = GatedTemporalConv(hidden_dim, hidden_dim, kernel_size=2,
                                               dilation=2, causal_padding=True, rng=rng)

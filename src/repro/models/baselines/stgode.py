@@ -63,7 +63,7 @@ class STGODE(STModel):
         self.hidden_dim = hidden_dim
         self.integration_steps = integration_steps
         self.input_proj = Linear(in_channels, hidden_dim, rng=rng)
-        self.ode_block = GraphODEBlock(hidden_dim, network.adjacency,
+        self.ode_block = GraphODEBlock(hidden_dim, network.graph,
                                        integration_steps=integration_steps, rng=rng)
         self.temporal = GatedTemporalConv(hidden_dim, hidden_dim, kernel_size=2,
                                           dilation=2, causal_padding=True, rng=rng)

@@ -44,13 +44,13 @@ class DCRNNEncoder(Module):
         self.hidden_dim = hidden_dim
         self.latent_dim = latent_dim
         self.input_conv = DiffusionGraphConv(
-            in_channels, hidden_dim, adjacency=network.adjacency,
+            in_channels, hidden_dim, adjacency=network.graph,
             diffusion_order=diffusion_order, rng=rng,
         )
         self.cell = GRUCell(hidden_dim, hidden_dim, rng=rng)
         self.output_proj = Linear(hidden_dim, latent_dim, rng=rng)
 
-    def forward(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+    def forward(self, x: Tensor, adjacency=None) -> Tensor:
         x = x if isinstance(x, Tensor) else Tensor(x)
         if x.ndim != 4:
             raise ValueError(f"DCRNNEncoder expects 4-d input, got {x.shape}")

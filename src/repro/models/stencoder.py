@@ -124,7 +124,10 @@ class STEncoder(Module):
             if cfg.use_adaptive
             else None
         )
-        adjacency = network.adjacency if cfg.use_graph else None
+        # Thread the first-class CSR-backed graph through: supports, their
+        # transposes and the fused multi-support stack are cached on it and
+        # shared by every layer of the stack.
+        adjacency = network.graph if cfg.use_graph else None
 
         temporal_layers = []
         graph_layers = []
@@ -159,11 +162,12 @@ class STEncoder(Module):
         self.output_proj2 = Linear(cfg.end_channels, cfg.end_channels, rng=rng)
 
     # ------------------------------------------------------------------ #
-    def forward(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+    def forward(self, x: Tensor, adjacency=None) -> Tensor:
         """Encode ``(batch, time, nodes, channels)`` into ``(batch, nodes, latent_dim)``.
 
-        ``adjacency`` optionally overrides the sensor-network adjacency for
-        this call (augmented graph views).
+        ``adjacency`` optionally overrides the sensor graph for this call
+        (augmented graph views) — either a :class:`repro.graph.Graph`
+        (preferred; the delta path) or a dense adjacency array.
         """
         x = x if isinstance(x, Tensor) else Tensor(x)
         if x.ndim != 4:
@@ -188,6 +192,6 @@ class STEncoder(Module):
         out = F.relu(self.output_proj1(out))
         return self.output_proj2(out)
 
-    def encode(self, x: Tensor, adjacency: np.ndarray | None = None) -> Tensor:
+    def encode(self, x: Tensor, adjacency=None) -> Tensor:
         """Alias of :meth:`forward` for API symmetry with the backbones."""
         return self.forward(x, adjacency=adjacency)

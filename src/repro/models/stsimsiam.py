@@ -71,8 +71,14 @@ class STSimSiam(Module):
 
     # ------------------------------------------------------------------ #
     def _encode_view(self, view: AugmentedSample) -> Tensor:
-        """Encode one augmented view into a per-sample vector via mean read-out."""
-        features = self.encoder(Tensor(view.observations), adjacency=view.adjacency)
+        """Encode one augmented view into a per-sample vector via mean read-out.
+
+        The view's graph is passed as the first-class ``Graph`` object: the
+        encoder's diffusion layers pull CSR supports (and their cached
+        transposes/fused stacks) straight from it, so the augmented path
+        never materialises a dense adjacency in sparse mode.
+        """
+        features = self.encoder(Tensor(view.observations), adjacency=view.graph)
         return features.mean(axis=1)
 
     def forward(self, first: AugmentedSample, second: AugmentedSample) -> SimSiamOutputs:

@@ -112,6 +112,11 @@ class Forecaster:
         return self.model.network
 
     @property
+    def graph(self):
+        """The CSR-backed :class:`repro.graph.Graph` the model serves on."""
+        return self.network.graph
+
+    @property
     def optimizer(self) -> Optimizer:
         """The (lazily created) optimizer shared by ``fit`` and ``update``."""
         if self._optimizer is None:
@@ -164,7 +169,7 @@ class Forecaster:
             )
         return windows, single
 
-    def predict(self, windows: np.ndarray, batch_size: int = 64) -> np.ndarray:
+    def predict(self, windows: np.ndarray, batch_size: int = 64, graph=None) -> np.ndarray:
         """Forecast from raw, un-scaled observation windows.
 
         ``windows`` is a single ``(input_steps, nodes, channels)`` window or
@@ -174,6 +179,12 @@ class Forecaster:
         and predictions are mapped back to physical units.  Returns raw
         predictions shaped like the input (batch axis dropped for a single
         window).
+
+        ``graph`` optionally serves this call on an updated sensor graph (a
+        :class:`repro.graph.Graph` with the same node set — e.g. road
+        closures reflected as dropped edges) without touching the fitted
+        model: diffusion supports are pulled from the override and cached
+        on it for subsequent calls.
         """
         windows, single = self._coerce_windows(windows)
         if windows.shape[0] == 0:
@@ -181,7 +192,11 @@ class Forecaster:
         batch_size = max(int(batch_size), 1)
         scaled = self.scaler.transform(windows)
         chunks = [
+            # Only thread the override through when one was given: classical
+            # forecasters (ARIMA/HA) expose a graph-free predict.
             self.model.predict(scaled[start : start + batch_size])
+            if graph is None
+            else self.model.predict(scaled[start : start + batch_size], graph=graph)
             for start in range(0, scaled.shape[0], batch_size)
         ]
         predictions = chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
@@ -192,7 +207,8 @@ class Forecaster:
     # Online continual update
     # ------------------------------------------------------------------ #
     def update(
-        self, inputs: np.ndarray, targets: np.ndarray, set_name: str = "online"
+        self, inputs: np.ndarray, targets: np.ndarray, set_name: str = "online",
+        graph=None,
     ) -> StepOutput:
         """One continual training step on newly arrived raw data.
 
@@ -203,6 +219,9 @@ class Forecaster:
         back-propagated, gradients are clipped and the shared optimizer
         steps; the new windows then enter the replay buffer for future
         retrieval.
+
+        ``graph`` optionally runs the whole step (prediction and
+        contrastive branches) on an updated :class:`repro.graph.Graph`.
         """
         if not hasattr(self.model, "training_step"):
             raise ConfigurationError(
@@ -216,7 +235,9 @@ class Forecaster:
         scaled_inputs = self.scaler.transform(inputs)
         scaled_targets = self.scaler.transform_channel(targets, self.target_channel)
         self.model.train(True)
-        step = self.model.training_step(scaled_inputs, scaled_targets, set_name=set_name)
+        step = self.model.training_step(
+            scaled_inputs, scaled_targets, set_name=set_name, graph=graph
+        )
         self.model.zero_grad()
         step.total_loss.backward()
         if self.training.grad_clip > 0:

@@ -24,6 +24,7 @@ from .tensor import (
     no_grad,
     set_default_dtype,
     spmm,
+    spmm_multi,
     stack,
     where,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "maximum",
     "minimum",
     "spmm",
+    "spmm_multi",
     "no_grad",
     "is_grad_enabled",
     "get_default_dtype",

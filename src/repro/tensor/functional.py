@@ -10,10 +10,21 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse as _scipy_sparse
 
-from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, maximum, spmm, stack, where
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    maximum,
+    spmm,
+    spmm_multi,
+    stack,
+    where,
+)
 
 __all__ = [
     "spmm",
+    "spmm_multi",
     "spatial_mix",
     "relu",
     "leaky_relu",
@@ -32,15 +43,17 @@ __all__ = [
 ]
 
 
-def spatial_mix(support, x: Tensor) -> Tensor:
+def spatial_mix(support, x: Tensor, transpose=None) -> Tensor:
     """Mix node features with a support held in whatever storage it arrived in.
 
-    CSR supports go through the fused :func:`spmm` kernel; dense supports
-    (plain arrays or differentiable tensors such as the adaptive adjacency)
-    use the batched dense matmul.  ``x`` is ``(..., nodes, channels)``.
+    CSR supports go through the fused :func:`spmm` kernel (``transpose``
+    optionally supplies the cached CSR transpose for the backward pass);
+    dense supports (plain arrays or differentiable tensors such as the
+    adaptive adjacency) use the batched dense matmul.  ``x`` is
+    ``(..., nodes, channels)``.
     """
     if _scipy_sparse.issparse(support):
-        return spmm(support, x)
+        return spmm(support, x, transpose=transpose)
     return as_tensor(support) @ as_tensor(x)
 
 

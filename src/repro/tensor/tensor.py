@@ -32,6 +32,7 @@ __all__ = [
     "maximum",
     "minimum",
     "spmm",
+    "spmm_multi",
 ]
 
 _GRAD_ENABLED = True
@@ -614,29 +615,43 @@ class Tensor:
         a, b = self, other
 
         def backward(grad: np.ndarray) -> None:
+            # Skip the (potentially huge) product for operands that do not
+            # require grad — mixing against a constant dense support would
+            # otherwise burn a batched (..., n, m) matmul per backward just
+            # to throw the result away.
             a_data, b_data = a.data, b.data
             if a_data.ndim == 1 and b_data.ndim == 1:
-                a._accumulate(grad * b_data, fresh=True)
-                b._accumulate(grad * a_data, fresh=True)
+                if a.requires_grad:
+                    a._accumulate(grad * b_data, fresh=True)
+                if b.requires_grad:
+                    b._accumulate(grad * a_data, fresh=True)
                 return
             if a_data.ndim == 1:
                 # (m,) @ (..., m, p) -> (..., p)
-                grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
-                a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
-                grad_b = a_data[..., :, None] * grad[..., None, :]
-                b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
+                if a.requires_grad:
+                    grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
+                    a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
+                if b.requires_grad:
+                    grad_b = a_data[..., :, None] * grad[..., None, :]
+                    b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
                 return
             if b_data.ndim == 1:
                 # (..., n, m) @ (m,) -> (..., n)
-                grad_a = grad[..., :, None] * b_data
-                a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
-                grad_b = (a_data * grad[..., :, None]).sum(axis=tuple(range(a_data.ndim - 1)))
-                b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
+                if a.requires_grad:
+                    grad_a = grad[..., :, None] * b_data
+                    a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
+                if b.requires_grad:
+                    grad_b = (a_data * grad[..., :, None]).sum(
+                        axis=tuple(range(a_data.ndim - 1))
+                    )
+                    b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
                 return
-            grad_a = grad @ np.swapaxes(b_data, -1, -2)
-            grad_b = np.swapaxes(a_data, -1, -2) @ grad
-            a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
-            b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
+            if a.requires_grad:
+                grad_a = grad @ np.swapaxes(b_data, -1, -2)
+                a._accumulate(_unbroadcast(grad_a, a.shape), fresh=True)
+            if b.requires_grad:
+                grad_b = np.swapaxes(a_data, -1, -2) @ grad
+                b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
 
         return Tensor._make(data, (self, other), backward)
 
@@ -670,13 +685,16 @@ def _spmm_leading(matrix, array: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(out)
 
 
-def spmm(matrix, x) -> Tensor:
+def spmm(matrix, x, transpose=None) -> Tensor:
     """Differentiable CSR-matrix x dense-Tensor product over the node axis.
 
     ``matrix`` is a constant ``scipy.sparse`` matrix of shape ``(N, N)``
     (no gradient is computed for it); ``x`` is a tensor whose second-to-last
     axis has size ``N`` — leading axes are batched.  The backward pass
-    multiplies by the transposed CSR matrix.
+    multiplies by the transposed matrix; callers that apply the same support
+    every step should pass a precomputed CSR ``transpose``
+    (:func:`repro.graph.sparse.transpose_csr` caches one per support) so the
+    backward stops re-deriving it.
     """
     if not _sparse.issparse(matrix):
         raise TypeError(f"spmm expects a scipy.sparse matrix, got {type(matrix).__name__}")
@@ -687,12 +705,79 @@ def spmm(matrix, x) -> Tensor:
         )
     if matrix.dtype != x.data.dtype:
         matrix = matrix.astype(x.data.dtype)
+        transpose = None  # a cached transpose at the old dtype is stale
+    if transpose is not None and (
+        transpose.shape != (matrix.shape[1], matrix.shape[0])
+        or transpose.dtype != matrix.dtype
+    ):
+        transpose = None
     data = _spmm_leading(matrix, x.data)
-    transposed = matrix.T
+    transposed = transpose if transpose is not None else matrix.T
 
     def backward(grad: np.ndarray) -> None:
         # scipy products always allocate, so the buffer is fresh.
         x._accumulate(_spmm_leading(transposed, grad), fresh=True)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def spmm_multi(stacked, x, count: int, transpose=None) -> Tensor:
+    """Fused multi-support spmm: one CSR traversal for all ``count`` supports.
+
+    ``stacked`` is the vertical stack ``vstack([A_1, ..., A_S])`` of ``S``
+    square ``(N, N)`` supports — a single ``(S*N, N)`` CSR matrix.  ``x`` is
+    ``(..., N, C)``; the result is ``(..., N, S*C)``, the per-support mixed
+    features concatenated along the channel axis in stacking order, i.e.
+    exactly ``concatenate([spmm(A_s, x) for s], axis=-1)`` but with one
+    sparse product (and one backward product) instead of ``S`` of each plus a
+    concatenate.
+
+    ``transpose`` optionally supplies the precomputed ``(N, S*N)`` CSR
+    transpose of ``stacked`` used by the backward pass (equal to
+    ``hstack([A_s.T])``); without it the transpose is derived per call.
+    """
+    if not _sparse.issparse(stacked):
+        raise TypeError(
+            f"spmm_multi expects a scipy.sparse matrix, got {type(stacked).__name__}"
+        )
+    count = int(count)
+    size = stacked.shape[1]
+    if count < 1 or stacked.shape[0] != count * size:
+        raise ValueError(
+            f"stacked supports must be (count*N, N); got {stacked.shape} for count={count}"
+        )
+    x = as_tensor(x)
+    if x.ndim < 2 or x.shape[-2] != size:
+        raise ValueError(
+            f"spmm_multi shape mismatch: supports are ({size}, {size}), input {x.shape}"
+        )
+    if stacked.dtype != x.data.dtype:
+        stacked = stacked.astype(x.data.dtype)
+        transpose = None
+    if transpose is not None and (
+        transpose.shape != (size, count * size) or transpose.dtype != stacked.dtype
+    ):
+        transpose = None
+
+    array = x.data
+    moved = np.moveaxis(array, -2, 0)  # (N, ..., C), a view
+    lead = moved.shape[1:]
+    flat = moved.reshape(size, -1)  # (N, L); copies iff non-contiguous
+    product = stacked @ flat  # (S*N, L): the single fused traversal
+    # (S, N, ..., C) -> (..., N, S, C) -> (..., N, S*C)
+    blocks = np.moveaxis(product.reshape(count, size, *lead), (0, 1), (-2, -3))
+    out_shape = array.shape[:-1] + (count * array.shape[-1],)
+    data = np.ascontiguousarray(blocks.reshape(out_shape))
+    transposed = transpose if transpose is not None else stacked.T
+
+    def backward(grad: np.ndarray) -> None:
+        # (..., N, S*C) -> (S, N, ..., C) -> (S*N, L)
+        g_blocks = grad.reshape(grad.shape[:-1] + (count, array.shape[-1]))
+        g_moved = np.moveaxis(g_blocks, (-2, -3), (0, 1))
+        g_flat = np.ascontiguousarray(g_moved).reshape(count * size, -1)
+        x_grad = transposed @ g_flat  # (N, L): sum_s A_s^T grad_s, fused
+        x_grad = np.moveaxis(x_grad.reshape(size, *lead), 0, -2)
+        x._accumulate(np.ascontiguousarray(x_grad), fresh=True)
 
     return Tensor._make(data, (x,), backward)
 

@@ -1,0 +1,177 @@
+"""Dense-vs-delta equivalence for the augmentation pipeline.
+
+Every spatial augmentation makes its random decisions on the shared CSR
+view and emits a ``GraphDelta``; under ``spatial_mode("dense")`` the delta
+is applied on a dense copy (the seed arithmetic), otherwise CSR-natively.
+These tests pin that the two paths produce *identical* graphs, identical
+model outputs/gradients, and that the sparse path never materialises a
+dense ``(N, N)`` array.
+"""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    AddEdge,
+    AugmentationPipeline,
+    DropEdge,
+    DropNodes,
+    SubGraph,
+    TimeShifting,
+)
+from repro.graph import Graph, sparse as gs
+from repro.graph.generators import random_geometric_network
+from repro.models.gcn import DiffusionGraphConv
+from repro.tensor import Tensor, default_dtype
+
+SPATIAL_FACTORIES = [
+    lambda rng: DropNodes(drop_ratio=0.3, rng=rng),
+    lambda rng: DropEdge(sample_ratio=0.8, rng=rng),
+    lambda rng: SubGraph(keep_ratio=0.5, rng=rng),
+    lambda rng: AddEdge(add_ratio=0.3, min_hops=2, rng=rng),
+]
+
+ALL_FACTORIES = SPATIAL_FACTORIES + [lambda rng: TimeShifting(rng=rng)]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    gs.clear_support_cache()
+    yield
+    gs.clear_support_cache()
+
+
+def _apply_in_mode(factory, mode, network, observations, seed=11):
+    with gs.spatial_mode(mode):
+        augmentation = factory(seed)
+        return augmentation(observations, network)
+
+
+class TestGraphParity:
+    """The dense and delta paths draw the same RNG and emit equal graphs."""
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_adjacency_identical(self, factory, small_network, small_observation_batch):
+        dense = _apply_in_mode(factory, "dense", small_network, small_observation_batch)
+        sparse = _apply_in_mode(factory, "sparse", small_network, small_observation_batch)
+        np.testing.assert_array_equal(sparse.graph.to_dense(), dense.adjacency)
+        np.testing.assert_array_equal(sparse.observations, dense.observations)
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_adjacency_identical_on_geometric_graph(self, factory, rng):
+        network = random_geometric_network(30, radius=0.3, rng=4)
+        observations = rng.normal(size=(2, 12, network.num_nodes, 2))
+        dense = _apply_in_mode(factory, "dense", network, observations)
+        sparse = _apply_in_mode(factory, "sparse", network, observations)
+        np.testing.assert_array_equal(sparse.graph.to_dense(), dense.adjacency)
+
+    def test_pipeline_composition_identical(self, small_network, small_observation_batch):
+        views = {}
+        for mode in ("dense", "sparse"):
+            with gs.spatial_mode(mode):
+                pipeline = AugmentationPipeline(rng=3)
+                views[mode] = pipeline(small_observation_batch, small_network)
+        for dense_view, sparse_view in zip(views["dense"], views["sparse"]):
+            assert dense_view.description == sparse_view.description
+            np.testing.assert_array_equal(
+                sparse_view.graph.to_dense(), dense_view.adjacency
+            )
+            np.testing.assert_array_equal(
+                sparse_view.observations, dense_view.observations
+            )
+
+
+class TestForwardGradientParity:
+    """Augmented graphs drive identical convolution outputs and gradients."""
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_conv_forward_and_grads(self, factory, small_network, small_observation_batch):
+        results = {}
+        for mode in ("dense", "sparse"):
+            with gs.spatial_mode(mode):
+                sample = _apply_in_mode(
+                    factory, mode, small_network, small_observation_batch
+                )
+                conv = DiffusionGraphConv(
+                    2, 3, adjacency=small_network.graph, rng=0
+                )
+                x = Tensor(sample.observations, requires_grad=True)
+                out = conv(x, adjacency=sample.graph)
+                conv.zero_grad()
+                (out * out).sum().backward()
+                results[mode] = (
+                    out.data,
+                    x.grad,
+                    {name: p.grad for name, p in conv.named_parameters()},
+                )
+        dense_out, dense_x_grad, dense_grads = results["dense"]
+        sparse_out, sparse_x_grad, sparse_grads = results["sparse"]
+        np.testing.assert_allclose(sparse_out, dense_out, rtol=1e-5, atol=1e-6)
+        np.testing.assert_allclose(sparse_x_grad, dense_x_grad, rtol=1e-5, atol=1e-6)
+        for name, dense_grad in dense_grads.items():
+            np.testing.assert_allclose(
+                sparse_grads[name], dense_grad, rtol=1e-5, atol=1e-6, err_msg=name
+            )
+
+
+class TestFloat32Purity:
+    """Satellite regression: augmentation must not promote f32 runs to f64."""
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_observations_stay_float32(self, factory, small_network, small_observation_batch):
+        with default_dtype("float32"):
+            sample = factory(0)(small_observation_batch, small_network)
+            assert sample.observations.dtype == np.float32
+
+    def test_supports_of_augmented_graph_stay_float32(self, small_network, small_observation_batch):
+        with default_dtype("float32"), gs.spatial_mode("sparse"):
+            sample = DropEdge(sample_ratio=0.5, rng=0)(
+                small_observation_batch, small_network
+            )
+            assert all(
+                np.dtype(s.dtype) == np.float32 for s in sample.graph.supports(2)
+            )
+
+    def test_float64_default_unchanged(self, small_network, small_observation_batch):
+        sample = DropNodes(rng=0)(small_observation_batch, small_network)
+        assert sample.observations.dtype == np.float64
+
+
+class TestNoDenseAllocation:
+    """Large-N guard: the sparse augmented path never builds an (N, N) array.
+
+    AddEdge is excluded — its "distant pairs" criterion needs pairwise hop
+    counts, which are inherently quadratic (documented on the class).
+    """
+
+    def test_augmented_training_path_stays_sparse(self, monkeypatch, rng):
+        num_nodes = 1200
+        density = 0.004
+        mask = rng.random((num_nodes, num_nodes)) < density
+        np.fill_diagonal(mask, False)
+        adjacency = np.where(mask, rng.random((num_nodes, num_nodes)), 0.0)
+        graph = Graph(adjacency, name="large")
+
+        def _boom(*args, **kwargs):  # pragma: no cover - only on regression
+            raise AssertionError("sparse path materialised a dense (N, N) array")
+
+        monkeypatch.setattr(gs, "_to_dense", _boom)
+        monkeypatch.setattr(Graph, "to_dense", _boom)
+        observations = rng.normal(size=(1, 4, num_nodes, 2))
+        with gs.spatial_mode("sparse"):
+            conv = DiffusionGraphConv(2, 2, adjacency=graph, rng=0)
+            for augmentation in (
+                DropEdge(sample_ratio=0.5, rng=1),
+                DropNodes(drop_ratio=0.2, rng=2),
+                SubGraph(keep_ratio=0.6, rng=3),
+                TimeShifting(rng=4),
+            ):
+                sample = augmentation(observations, graph)
+                assert all(
+                    gs.sp.issparse(s) for s in sample.graph.supports(2)
+                )
+                x = Tensor(sample.observations, requires_grad=True)
+                out = conv(x, adjacency=sample.graph)
+                conv.zero_grad()
+                out.sum().backward()
+                assert x.grad is not None

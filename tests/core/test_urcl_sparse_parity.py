@@ -1,0 +1,83 @@
+"""End-to-end URCL equivalence: dense fallback vs the CSR delta path.
+
+Acceptance pin for the sparse-first graph pipeline: a URCL training run
+with augmentations enabled produces identical losses and parameters (to
+f32-level tolerance) under ``spatial_mode("dense")`` and the delta path —
+the augmentations draw the same RNG in both modes and the delta application
+is value-exact, so the only divergence is support-construction arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import URCLConfig
+from repro.core.urcl import URCLModel
+from repro.graph import sparse as gs
+from repro.graph.generators import random_geometric_network
+from repro.models.stencoder import STEncoderConfig
+from repro.nn.optim import Adam
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    gs.clear_support_cache()
+    yield
+    gs.clear_support_cache()
+
+
+def _train(mode, steps=3, seed=5):
+    gs.clear_support_cache()
+    network = random_geometric_network(36, radius=0.25, rng=3)
+    config = URCLConfig(
+        encoder=STEncoderConfig(
+            residual_channels=4,
+            dilation_channels=4,
+            skip_channels=8,
+            end_channels=8,
+            dilations=(1, 2),
+            adaptive_embedding_dim=3,
+        ),
+        buffer_capacity=32,
+        replay_sample_size=4,
+        # RMIR ranks candidates by model loss; near-ties could reorder the
+        # replay selection across numerically-different modes, so the parity
+        # pin uses the RNG-only random sampler.
+        use_rmir=False,
+    )
+    with gs.spatial_mode(mode):
+        model = URCLModel(
+            network, in_channels=2, input_steps=12, output_steps=1,
+            out_channels=1, config=config, rng=seed,
+        )
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        data_rng = np.random.default_rng(77)
+        losses = []
+        for _ in range(steps):
+            x = data_rng.normal(size=(4, 12, network.num_nodes, 2))
+            y = data_rng.normal(size=(4, 1, network.num_nodes, 1))
+            step = model.training_step(x, y)
+            model.zero_grad()
+            step.total_loss.backward()
+            optimizer.step()
+            losses.append((step.task_loss, step.ssl_loss))
+        params = {k: v.data.copy() for k, v in model.named_parameters()}
+    stats = gs.support_cache_stats()
+    return losses, params, stats
+
+
+def test_urcl_training_dense_vs_delta():
+    dense_losses, dense_params, dense_stats = _train("dense")
+    sparse_losses, sparse_params, sparse_stats = _train("sparse")
+    for (dense_task, dense_ssl), (sparse_task, sparse_ssl) in zip(
+        dense_losses, sparse_losses
+    ):
+        assert dense_task == pytest.approx(sparse_task, rel=1e-5, abs=1e-6)
+        assert dense_ssl == pytest.approx(sparse_ssl, rel=1e-5, abs=1e-6)
+    assert set(dense_params) == set(sparse_params)
+    for name, dense_value in dense_params.items():
+        np.testing.assert_allclose(
+            sparse_params[name], dense_value, rtol=1e-5, atol=1e-6, err_msg=name
+        )
+    # Each mode exercised its own delta path end to end.
+    assert dense_stats["dense_fallbacks"] > 0 and dense_stats["delta_hits"] == 0
+    assert sparse_stats["delta_hits"] > 0 and sparse_stats["dense_fallbacks"] == 0

@@ -244,3 +244,84 @@ class TestIdentityFastPath:
         gs.clear_support_cache()
         stats = gs.support_cache_stats()
         assert stats["identity_hits"] == 0 and stats["identity_entries"] == 0
+
+
+class TestTransposeCache:
+    def test_transpose_is_cached_per_object(self, adjacency):
+        support = sp.csr_array(adjacency)
+        first = gs.transpose_csr(support)
+        assert gs.transpose_csr(support) is first
+        np.testing.assert_allclose(first.toarray(), adjacency.T, atol=1e-14)
+        assert gs.transpose_csr(sp.csr_array(adjacency)) is not first
+
+    def test_cleared_with_support_cache(self, adjacency):
+        support = sp.csr_array(adjacency)
+        gs.transpose_csr(support)
+        assert gs.support_cache_stats()["transpose_entries"] == 1
+        gs.clear_support_cache()
+        assert gs.support_cache_stats()["transpose_entries"] == 0
+
+
+class TestFuseSupports:
+    def _members(self, adjacency):
+        return tuple(
+            sp.csr_array(adjacency * scale) for scale in (1.0, 0.5, 0.25)
+        )
+
+    def test_fused_matches_vstack(self, adjacency):
+        members = self._members(adjacency)
+        fused = gs.fuse_supports(members)
+        assert fused.count == 3
+        np.testing.assert_allclose(
+            fused.stacked.toarray(),
+            np.vstack([m.toarray() for m in members]),
+            atol=1e-14,
+        )
+        np.testing.assert_allclose(
+            fused.transpose.toarray(), fused.stacked.toarray().T, atol=1e-14
+        )
+
+    def test_memoised_by_identity(self, adjacency):
+        members = self._members(adjacency)
+        assert gs.fuse_supports(members) is gs.fuse_supports(members)
+
+    def test_skip_first(self, adjacency):
+        members = self._members(adjacency)
+        fused = gs.fuse_supports(members, skip_first=True)
+        assert fused.count == 2
+        np.testing.assert_allclose(
+            fused.stacked.toarray(),
+            np.vstack([m.toarray() for m in members[1:]]),
+            atol=1e-14,
+        )
+
+    def test_mixed_storage_declines(self, adjacency):
+        members = (sp.csr_array(adjacency), adjacency.copy())
+        assert gs.fuse_supports(members) is None
+
+    def test_single_member_declines(self, adjacency):
+        assert gs.fuse_supports((sp.csr_array(adjacency),)) is None
+
+    def test_kill_switch(self, adjacency):
+        members = self._members(adjacency)
+        try:
+            gs.set_fused_spmm(False)
+            assert gs.fuse_supports(members) is None
+        finally:
+            gs.set_fused_spmm(True)
+
+
+class TestDeltaCounters:
+    def test_stats_expose_delta_counters(self):
+        stats = gs.support_cache_stats()
+        assert stats["delta_hits"] == 0 and stats["dense_fallbacks"] == 0
+
+    def test_record_and_clear(self):
+        gs._record_delta(dense_fallback=False)
+        gs._record_delta(dense_fallback=False)
+        gs._record_delta(dense_fallback=True)
+        stats = gs.support_cache_stats()
+        assert stats["delta_hits"] == 2 and stats["dense_fallbacks"] == 1
+        gs.clear_support_cache()
+        stats = gs.support_cache_stats()
+        assert stats["delta_hits"] == 0 and stats["dense_fallbacks"] == 0

@@ -1,10 +1,10 @@
-"""Tests for the differentiable CSR spmm op (forward, backward, aliasing)."""
+"""Tests for the differentiable CSR spmm ops (forward, backward, aliasing)."""
 
 import numpy as np
 import pytest
 from scipy import sparse as sp
 
-from repro.tensor import Tensor, check_gradients, default_dtype, spmm
+from repro.tensor import Tensor, check_gradients, concatenate, default_dtype, spmm, spmm_multi
 from repro.tensor import functional as F
 
 
@@ -81,6 +81,97 @@ class TestBackward:
         out.sum().backward()
         x.grad += 1000.0
         np.testing.assert_allclose(out.data, before)
+
+
+class TestCachedTranspose:
+    def test_explicit_transpose_used_in_backward(self, csr_matrix, rng):
+        x = Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        transpose = sp.csr_array(csr_matrix.T.tocsr())
+        out = spmm(csr_matrix, x, transpose=transpose)
+        reference = spmm(csr_matrix, x)
+        np.testing.assert_allclose(out.data, reference.data, atol=1e-12)
+        upstream = rng.normal(size=out.shape)
+        out.backward(upstream)
+        cached_grad = x.grad.copy()
+        x.grad = None
+        reference = spmm(csr_matrix, x)
+        reference.backward(upstream)
+        np.testing.assert_allclose(cached_grad, x.grad, atol=1e-12)
+
+    def test_stale_transpose_is_ignored(self, csr_matrix, rng):
+        # A transpose with the wrong shape/dtype must be silently re-derived,
+        # not used (protects against cache bugs after a dtype switch).
+        x = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        bogus = sp.csr_array(np.eye(5))
+        out = spmm(csr_matrix, x, transpose=bogus)
+        out.sum().backward()
+        np.testing.assert_allclose(
+            x.grad, csr_matrix.toarray().T @ np.ones((6, 3)), atol=1e-12
+        )
+
+
+class TestSpmmMulti:
+    @pytest.fixture
+    def supports(self, rng):
+        return [
+            sp.csr_array(
+                np.where(rng.random((6, 6)) < 0.4, rng.normal(size=(6, 6)), 0.0)
+            )
+            for _ in range(3)
+        ]
+
+    def _stacked(self, supports):
+        stacked = sp.csr_array(sp.vstack(supports, format="csr"))
+        return stacked, sp.csr_array(stacked.T.tocsr())
+
+    @pytest.mark.parametrize("shape", [(6, 3), (2, 6, 3), (2, 4, 6, 3)])
+    def test_matches_per_support_concat(self, supports, rng, shape):
+        stacked, transpose = self._stacked(supports)
+        x = Tensor(rng.normal(size=shape), requires_grad=True)
+        out = spmm_multi(stacked, x, len(supports), transpose=transpose)
+        reference = concatenate([spmm(s, x) for s in supports], axis=-1)
+        np.testing.assert_allclose(out.data, reference.data, atol=1e-12)
+
+    def test_backward_matches_per_support(self, supports, rng):
+        stacked, transpose = self._stacked(supports)
+        x = Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        out = spmm_multi(stacked, x, len(supports), transpose=transpose)
+        upstream = rng.normal(size=out.shape)
+        out.backward(upstream)
+        fused_grad = x.grad.copy()
+        x.grad = None
+        concatenate([spmm(s, x) for s in supports], axis=-1).backward(upstream)
+        np.testing.assert_allclose(fused_grad, x.grad, atol=1e-12)
+
+    def test_gradient_matches_numerical(self, supports, rng):
+        stacked, _ = self._stacked(supports)
+        x = Tensor(rng.normal(size=(2, 6, 2)), requires_grad=True)
+        check_gradients(lambda t: (spmm_multi(stacked, t, len(supports)) ** 2).sum(), [x])
+
+    def test_preserves_float32(self, supports, rng):
+        stacked, transpose = self._stacked(supports)
+        with default_dtype("float32"):
+            x = Tensor(
+                rng.normal(size=(2, 6, 3)).astype(np.float32), requires_grad=True
+            )
+            out = spmm_multi(stacked, x, len(supports), transpose=transpose)
+            assert out.dtype == np.float32
+            out.sum().backward()
+            assert x.grad.dtype == np.float32
+
+    def test_rejects_bad_count(self, supports, rng):
+        stacked, _ = self._stacked(supports)
+        with pytest.raises(ValueError):
+            spmm_multi(stacked, Tensor(rng.normal(size=(6, 3))), 4)
+
+    def test_rejects_dense_matrix(self, rng):
+        with pytest.raises(TypeError):
+            spmm_multi(np.eye(6), Tensor(rng.normal(size=(6, 3))), 1)
+
+    def test_rejects_shape_mismatch(self, supports, rng):
+        stacked, _ = self._stacked(supports)
+        with pytest.raises(ValueError):
+            spmm_multi(stacked, Tensor(rng.normal(size=(5, 3))), len(supports))
 
 
 class TestSpatialMix:
