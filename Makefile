@@ -1,23 +1,26 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: ci test bench-smoke bench-hot-path bench-spatial bench-spatial-smoke examples-smoke
+.PHONY: ci test bench-smoke bench-hot-path bench-spatial bench-spatial-smoke \
+	bench-serving bench-serving-smoke examples-smoke
 
 # Tier-1 gate: full unit suite, ~10-second smokes of the Fig. 7 efficiency
-# benchmark and the spatial kernel (catch hot-path regressions that unit
-# tests miss; both record their JSON trajectory per PR), plus the two
-# runnable examples (quickstart + online forecasting) as end-to-end smokes
-# of the public API surface.
-ci: test bench-smoke bench-spatial-smoke examples-smoke
+# benchmark, the spatial kernel and the serving engine (catch hot-path and
+# serving regressions that unit tests miss; each records its JSON trajectory
+# per PR), plus the three runnable examples (quickstart, online forecasting,
+# serving demo) as end-to-end smokes of the public API surface.
+ci: test bench-smoke bench-spatial-smoke bench-serving-smoke examples-smoke
 
 test:
 	$(PYTHON) -m pytest tests -x -q
 
 # End-to-end smokes of the documented workflows: continual training via the
-# quickstart and the predict->update->save/load serving loop.
+# quickstart, the predict->update->save/load serving loop, and the async
+# multi-tenant engine with concurrent predict + online update.
 examples-smoke:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/online_forecasting.py
+	$(PYTHON) examples/serving_demo.py
 
 bench-smoke:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_fig7_efficiency.py -x -q
@@ -34,3 +37,12 @@ bench-spatial:
 
 bench-spatial-smoke:
 	$(PYTHON) benchmarks/bench_spatial.py --scale smoke
+
+# Serving-engine sweep (dynamic batching x tenants x node shards, closed
+# loop); appends to benchmarks/results/BENCH_serving.json and asserts the
+# batched/sharded engine serves bit-identical predictions.
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
+
+bench-serving-smoke:
+	$(PYTHON) benchmarks/bench_serving.py --scale smoke

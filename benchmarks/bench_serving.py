@@ -1,0 +1,232 @@
+"""Serving-engine benchmark: dynamic batching x tenants x node shards.
+
+A closed-loop load generator (``repro.serve.loadgen``) drives the
+:class:`~repro.serve.ServingEngine` over a synthetic multi-tenant scenario
+and sweeps the three serving axes:
+
+* **batching** — one-request-at-a-time (``max_batch_size=1``) versus the
+  deadline-based dynamic micro-batcher, at fixed concurrency;
+* **tenants** — traffic interleaved round-robin over T tenant models that
+  share one CSR graph through the byte-bounded :class:`ModelPool`;
+* **shards** — node-sharded serving (``replicate`` mode) at K shards.
+
+Correctness is asserted inline before any timing: the batched + sharded
+engine must produce *bit-identical* outputs to a direct
+``Forecaster.predict`` on the same windows, for every shard count in the
+sweep.  At the full ``bench`` scale the dynamic batcher must deliver at
+least 2x the unbatched throughput at concurrency >= 32.
+
+Everything records to ``benchmarks/results/BENCH_serving.json`` (p50/p95/
+p99 latency, throughput, batching efficiency per sweep point) so the
+serving-performance trajectory is tracked per PR.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_serving.py --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.graph.sparse import clear_support_cache, support_cache_stats
+from repro.serve import (
+    EngineConfig,
+    ServingEngine,
+    build_synthetic_tenants,
+    forecaster_nbytes,
+)
+from repro.serve.loadgen import serving_sweep_point
+from repro.serve.tenancy import ModelPool
+from repro.utils.serialization import save_json
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving.json"
+
+# (tenants, shard counts, concurrency, total requests, nodes, request windows)
+SWEEPS = {
+    "smoke": (2, (1, 2), 16, 96, 12, 24),
+    "bench": (4, (1, 2, 4), 32, 512, 24, 48),
+}
+
+
+def assert_parity(pool, windows: np.ndarray, shard_counts, concurrency: int) -> list[dict]:
+    """Engine output must equal direct predict bit-for-bit, per shard count."""
+    checks = []
+    for tenant in pool.resident:
+        direct = pool.forecaster(tenant).predict(windows)
+        for shards in shard_counts:
+            config = EngineConfig(
+                max_batch_size=max(concurrency // 2, 2), max_delay_ms=2.0,
+                num_workers=2, shards=shards,
+            )
+            with ServingEngine(pool, config) as engine:
+                futures = [engine.submit(window, tenant=tenant) for window in windows]
+                served = np.stack([future.result(timeout=120) for future in futures])
+            if not np.array_equal(served, direct):
+                raise AssertionError(
+                    f"engine output diverged from direct predict "
+                    f"(tenant={tenant}, shards={shards})"
+                )
+            checks.append({"tenant": tenant, "shards": shards, "bit_identical": True})
+    return checks
+
+
+def sweep_point(pool, windows, tenants, shards: int, batching: bool,
+                concurrency: int, total_requests: int) -> dict:
+    result = serving_sweep_point(
+        pool, windows, tenants, shards=shards, batching=batching,
+        concurrency=concurrency, total_requests=total_requests,
+    )
+    if result["failed"]:
+        raise AssertionError(f"{result['failed']} requests failed during the sweep")
+    return result
+
+
+def bench_pool(num_tenants: int, num_nodes: int, seed: int) -> dict:
+    """Multi-tenant pool: shared-graph support builds + byte-bounded LRU."""
+    clear_support_cache()
+    builds_before = support_cache_stats()["graph_support_builds"]
+    pool, windows, _ = build_synthetic_tenants(
+        num_tenants=num_tenants, num_nodes=num_nodes, seed=seed, request_windows=8,
+    )
+    for tenant in pool.resident:
+        pool.forecaster(tenant).predict(windows[:2])
+    builds = support_cache_stats()["graph_support_builds"] - builds_before
+    if builds != 1:
+        raise AssertionError(
+            f"{num_tenants} tenants sharing one graph built supports {builds} times"
+        )
+    per_tenant = forecaster_nbytes(pool.forecaster(pool.resident[0]))
+    # Re-home the tenants into a bounded pool sized for roughly half of
+    # them.  Eviction requires a reloadable checkpoint per tenant (put-only
+    # tenants are pinned), so save each one to disk and register the paths.
+    bound = int(per_tenant * max(num_tenants // 2, 1) + per_tenant // 2)
+    bounded = ModelPool(max_bytes=bound, network=pool.network)
+    with tempfile.TemporaryDirectory() as staging:
+        for tenant in list(pool.resident):
+            path = pool.forecaster(tenant).save(Path(staging) / tenant)
+            bounded.register(tenant, path)
+            bounded.get(tenant)
+        stats = bounded.stats()
+    if stats["resident_bytes"] > bound:
+        raise AssertionError(
+            f"pool holds {stats['resident_bytes']} bytes over the {bound} bound"
+        )
+    return {
+        "tenants": num_tenants,
+        "per_tenant_bytes": per_tenant,
+        "max_bytes": bound,
+        "resident_bytes": stats["resident_bytes"],
+        "resident": stats["resident"],
+        "evictions": stats["evictions"],
+        "support_builds_for_all_tenants": builds,
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=sorted(SWEEPS))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    num_tenants, shard_counts, concurrency, total_requests, num_nodes, num_windows = (
+        SWEEPS[args.scale]
+    )
+    pool, windows, _ = build_synthetic_tenants(
+        num_tenants=num_tenants, num_nodes=num_nodes, seed=args.seed,
+        request_windows=num_windows,
+    )
+    tenants = pool.resident
+
+    record = {
+        "benchmark": "serving",
+        "scale": args.scale,
+        "seed": args.seed,
+        "num_nodes": num_nodes,
+        "concurrency": concurrency,
+        "total_requests": total_requests,
+        "parity": assert_parity(pool, windows[:8], shard_counts, concurrency),
+        "sweep": [],
+    }
+
+    for shards in shard_counts:
+        for tenant_count in sorted({1, num_tenants}):
+            for batching in (False, True):
+                record["sweep"].append(
+                    sweep_point(
+                        pool, windows, tenants[:tenant_count], shards, batching,
+                        concurrency, total_requests,
+                    )
+                )
+
+    rows = [
+        [
+            point["shards"],
+            point["tenants"],
+            "on" if point["batching"] else "off",
+            point["throughput_rps"],
+            point["latency_ms"]["p50"],
+            point["latency_ms"]["p95"],
+            point["latency_ms"]["p99"],
+            point["mean_batch_size"],
+        ]
+        for point in record["sweep"]
+    ]
+    print(format_table(
+        ["shards", "tenants", "batch", "req/s", "p50 ms", "p95 ms", "p99 ms", "mean batch"],
+        rows,
+        title=f"Serving engine — closed loop at concurrency {concurrency} ({args.scale})",
+    ))
+
+    def point(shards, tenant_count, batching):
+        return next(
+            p for p in record["sweep"]
+            if p["shards"] == shards and p["tenants"] == tenant_count
+            and p["batching"] == batching
+        )
+
+    baseline = point(1, 1, False)
+    batched = point(1, 1, True)
+    record["batching_speedup"] = batched["throughput_rps"] / baseline["throughput_rps"]
+    print(
+        f"dynamic batching speedup at concurrency {concurrency}: "
+        f"{record['batching_speedup']:.2f}x "
+        f"({baseline['throughput_rps']:.0f} -> {batched['throughput_rps']:.0f} req/s)"
+    )
+    if args.scale == "bench" and concurrency >= 32 and record["batching_speedup"] < 2.0:
+        raise AssertionError(
+            f"dynamic batcher delivered only {record['batching_speedup']:.2f}x "
+            f"over one-request-at-a-time (>= 2x required at concurrency >= 32)"
+        )
+
+    record["pool"] = bench_pool(num_tenants, num_nodes, args.seed)
+    print(
+        f"pool: {record['pool']['tenants']} tenants x "
+        f"{record['pool']['per_tenant_bytes'] / 1024:.0f} KiB, supports built "
+        f"{record['pool']['support_builds_for_all_tenants']}x; byte-bounded LRU kept "
+        f"{record['pool']['resident']} resident ({record['pool']['evictions']} evictions)"
+    )
+
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    save_json(RESULTS_PATH, history)
+    print(f"recorded to {RESULTS_PATH}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -83,7 +83,7 @@ from .core import (
 from .data import build_streaming_scenario, list_datasets, load_dataset
 from .graph import SensorNetwork
 from .models import available_models, build_model
-from .serve import Forecaster
+from .serve import EngineConfig, Forecaster, ModelPool, ServingEngine, ShardedForecaster
 
 __version__ = "1.0.0"
 
@@ -100,6 +100,10 @@ __all__ = [
     "tensor",
     "utils",
     "Forecaster",
+    "ServingEngine",
+    "EngineConfig",
+    "ModelPool",
+    "ShardedForecaster",
     "available_models",
     "build_model",
     "ContinualResult",

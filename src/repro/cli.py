@@ -31,7 +31,7 @@ from .utils.serialization import save_json
 
 __all__ = ["build_parser", "build_serve_parser", "main"]
 
-_SERVE_COMMANDS = ("train", "resume", "predict")
+_SERVE_COMMANDS = ("train", "resume", "predict", "serve", "bench-serving")
 
 
 def _add_dtype_flag(parser: argparse.ArgumentParser) -> None:
@@ -126,6 +126,36 @@ def build_serve_parser() -> argparse.ArgumentParser:
     predict.add_argument(
         "--output", default=None, help="optional path for a JSON dump of the predictions"
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the async serving engine over a checkpoint with synthetic traffic",
+    )
+    serve.add_argument("--checkpoint-dir", required=True, help="checkpoint to serve")
+    serve.add_argument("--requests", type=int, default=128, help="total requests to serve")
+    serve.add_argument("--concurrency", type=int, default=8, help="closed-loop clients")
+    serve.add_argument("--max-batch-size", type=int, default=16, help="micro-batch flush size")
+    serve.add_argument("--max-delay-ms", type=float, default=5.0, help="micro-batch flush deadline")
+    serve.add_argument("--workers", type=int, default=2, help="engine worker threads")
+    serve.add_argument("--shards", type=int, default=1, help="node shards (replicate mode)")
+    serve.add_argument(
+        "--num-windows", type=int, default=16,
+        help="distinct request windows replayed from the checkpoint's stream",
+    )
+    serve.add_argument("--output", default=None, help="optional JSON dump of the serving stats")
+
+    bench = commands.add_parser(
+        "bench-serving",
+        help="sweep batching x tenants x shards on a synthetic multi-tenant scenario",
+    )
+    bench.add_argument("--tenants", type=int, default=2, help="synthetic tenants")
+    bench.add_argument("--shards", type=int, default=2, help="max node shards in the sweep")
+    bench.add_argument("--concurrency", type=int, default=32, help="closed-loop clients")
+    bench.add_argument("--requests", type=int, default=256, help="requests per sweep point")
+    bench.add_argument("--nodes", type=int, default=12, help="synthetic sensor count")
+    bench.add_argument("--seed", type=int, default=0, help="random seed")
+    bench.add_argument("--output", default=None, help="optional JSON dump of the sweep")
+    _add_dtype_flag(bench)
     return parser
 
 
@@ -245,12 +275,113 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _windows_from_checkpoint(checkpoint, forecaster, num_windows: int):
+    """Replay the most recent raw windows of the checkpoint's stream."""
+    info = checkpoint.meta.get("scenario")
+    if info is None:
+        return None
+    scenario = _rebuild_scenario(info)
+    series = scenario.raw_series
+    input_steps = forecaster.model.input_steps
+    num_windows = max(int(num_windows), 1)
+    if series is None or series.shape[0] < input_steps + num_windows - 1:
+        return None
+    return np.stack(
+        [
+            series[series.shape[0] - input_steps - offset : series.shape[0] - offset]
+            for offset in range(num_windows - 1, -1, -1)
+        ]
+    )
+
+
+def _print_serving_stats(label: str, result: dict) -> None:
+    latency = result["latency_ms"]
+    print(
+        f"{label}: {result['completed']}/{result['total_requests']} ok, "
+        f"{result['throughput_rps']:8.1f} req/s | latency ms "
+        f"p50 {latency['p50']:7.2f}  p95 {latency['p95']:7.2f}  p99 {latency['p99']:7.2f}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import EngineConfig, Forecaster, ServingEngine, run_closed_loop
+    from .utils.checkpoint import Checkpoint
+
+    checkpoint = Checkpoint.load(args.checkpoint_dir)
+    forecaster = Forecaster.load(checkpoint)
+    windows = _windows_from_checkpoint(checkpoint, forecaster, args.num_windows)
+    if windows is None:
+        print("checkpoint does not record a replayable scenario; nothing to serve",
+              file=sys.stderr)
+        return 1
+    config = EngineConfig(
+        max_batch_size=args.max_batch_size,
+        max_delay_ms=args.max_delay_ms,
+        num_workers=args.workers,
+        shards=args.shards,
+    )
+    with ServingEngine(forecaster, config) as engine:
+        result = run_closed_loop(
+            engine,
+            windows,
+            concurrency=args.concurrency,
+            total_requests=args.requests,
+        )
+        stats = engine.stats()
+    _print_serving_stats("serve", result)
+    metrics = stats["metrics"]
+    print(f"batches: {metrics['batches']} (mean size {metrics['mean_batch_size']:.2f}, "
+          f"{metrics['size_flushes']} by size / {metrics['deadline_flushes']} by deadline)")
+    if args.output:
+        path = save_json(args.output, {"loadgen": result, "engine": stats})
+        print(f"serving stats written to {path}")
+    return 0
+
+
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    _apply_dtype(args.dtype)
+    from .serve import build_synthetic_tenants
+    from .serve.loadgen import serving_sweep_point
+
+    pool, windows, _ = build_synthetic_tenants(
+        num_tenants=args.tenants, num_nodes=args.nodes, seed=args.seed,
+        request_windows=min(args.requests, 64),
+    )
+    tenants = pool.resident
+    shard_counts = sorted({1, max(int(args.shards), 1)})
+    sweep = []
+    for shards in shard_counts:
+        for batching in (False, True):
+            result = serving_sweep_point(
+                pool, windows, tenants, shards=shards, batching=batching,
+                concurrency=args.concurrency, total_requests=args.requests,
+            )
+            _print_serving_stats(
+                f"shards={shards} batching={'on ' if batching else 'off'}", result
+            )
+            sweep.append(result)
+    unbatched = next(r for r in sweep if r["shards"] == 1 and not r["batching"])
+    batched = next(r for r in sweep if r["shards"] == 1 and r["batching"])
+    speedup = batched["throughput_rps"] / max(unbatched["throughput_rps"], 1e-9)
+    print(f"dynamic batching speedup at concurrency {args.concurrency}: {speedup:.2f}x")
+    if args.output:
+        path = save_json(args.output, {"sweep": sweep, "batching_speedup": speedup})
+        print(f"sweep written to {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in _SERVE_COMMANDS:
         args = build_serve_parser().parse_args(argv)
-        handler = {"train": _cmd_train, "resume": _cmd_resume, "predict": _cmd_predict}
+        handler = {
+            "train": _cmd_train,
+            "resume": _cmd_resume,
+            "predict": _cmd_predict,
+            "serve": _cmd_serve,
+            "bench-serving": _cmd_bench_serving,
+        }
         return handler[args.command](args)
 
     parser = build_parser()

@@ -189,13 +189,37 @@ def pack_network(checkpoint: Checkpoint, network: SensorNetwork) -> None:
     checkpoint.add_arrays("network", arrays)
 
 
-def unpack_network(checkpoint: Checkpoint) -> SensorNetwork | None:
+def unpack_network(
+    checkpoint: Checkpoint, shared: SensorNetwork | None = None
+) -> SensorNetwork | None:
+    """Rebuild the stored sensor network, or adopt a ``shared`` one.
+
+    ``shared`` is the multi-tenant path: per-tenant checkpoints carry their
+    own copy of the (identical) adjacency, but rebuilding a fresh
+    ``SensorNetwork`` per tenant would also rebuild a fresh ``Graph`` —
+    and with it a fresh set of diffusion supports.  Passing the pool's
+    shared network instead makes every tenant's model attach to the *same*
+    graph object; the stored adjacency is validated against it so a tenant
+    trained on a different network fails loudly instead of serving on the
+    wrong graph.
+    """
     entry = checkpoint.meta.get("network")
     if entry is None:
-        return None
+        return shared
     arrays = checkpoint.arrays_in("network")
     if "adjacency" not in arrays:
         raise ConfigurationError("checkpoint network section is missing the adjacency")
+    if shared is not None:
+        stored = arrays["adjacency"]
+        if stored.shape != shared.adjacency.shape or not np.array_equal(
+            stored, shared.adjacency
+        ):
+            raise ConfigurationError(
+                "checkpoint was trained on a different sensor network than the "
+                "shared one (adjacency mismatch); multi-tenant serving requires "
+                "all tenants to share one graph"
+            )
+        return shared
     return SensorNetwork(
         adjacency=arrays["adjacency"],
         coordinates=arrays.get("coordinates"),

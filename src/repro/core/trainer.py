@@ -9,6 +9,7 @@ import numpy as np
 
 from ..data.loader import DataLoader
 from ..data.streaming import StreamingScenario, StreamSet
+from ..exceptions import TrainingError
 from ..nn.optim import Adam, Optimizer, clip_grad_norm
 from ..utils.checkpoint import Checkpoint
 from ..utils.logging import get_logger
@@ -58,10 +59,20 @@ class ContinualTrainer:
         # Progress state (advanced by run(), persisted by save_checkpoint()).
         self._completed_sets = 0
         self._partial_result: ContinualResult | None = None
+        # Mid-set progress: set only between mid-epoch checkpoints of the
+        # current period (None at every set boundary).
+        self._mid_set: dict | None = None
 
     # ------------------------------------------------------------------ #
-    def _train_one_epoch(self, stream_set: StreamSet) -> list[float]:
-        losses: list[float] = []
+    def _train_one_epoch(
+        self,
+        stream_set: StreamSet,
+        history: list[float] | None = None,
+        order: np.ndarray | None = None,
+        start_batch: int = 0,
+        on_batch=None,
+    ) -> list[float]:
+        history = [] if history is None else history
         # Algorithm 1 selects batches sequentially from the stream; shuffling
         # within a period is allowed (and is essential when
         # ``max_batches_per_epoch`` caps the per-epoch work at reduced scale,
@@ -72,7 +83,11 @@ class ContinualTrainer:
             shuffle=self.training.shuffle_batches,
             rng=self._rng,
         )
-        for batch_index, batch in enumerate(loader):
+        if order is None:
+            order = loader.draw_order()
+        for batch_index, batch in enumerate(
+            loader.iter_batches(order, start_batch=start_batch), start=start_batch
+        ):
             if (
                 self.training.max_batches_per_epoch is not None
                 and batch_index >= self.training.max_batches_per_epoch
@@ -84,17 +99,71 @@ class ContinualTrainer:
             if self.training.grad_clip > 0:
                 clip_grad_norm(self.model.parameters(), self.training.grad_clip)
             self.optimizer.step()
-            losses.append(float(step.total_loss.item()))
-        return losses
+            history.append(float(step.total_loss.item()))
+            if on_batch is not None:
+                on_batch(batch_index, order)
+        return history
 
-    def train_on_set(self, stream_set: StreamSet, set_index: int) -> tuple[list[float], float, int]:
-        """Train on one stream period; returns (loss history, seconds, epochs)."""
+    def train_on_set(
+        self,
+        stream_set: StreamSet,
+        set_index: int,
+        mid_state: dict | None = None,
+        checkpoint_fn=None,
+    ) -> tuple[list[float], float, int]:
+        """Train on one stream period; returns (loss history, seconds, epochs).
+
+        ``mid_state`` continues a period interrupted mid-epoch: completed
+        epochs are skipped, the interrupted epoch replays its *saved*
+        window order from the batch after the checkpointed one (the
+        restored RNG stream has already consumed that epoch's shuffle), and
+        the previously recorded losses/train time are carried over — the
+        completed period is bit-identical to an uninterrupted one.
+        ``checkpoint_fn`` (used by :meth:`run`) is called after every
+        optimizer step with a zero-argument builder of the mid-set progress
+        dict; whoever saves assigns it to ``self._mid_set`` first.
+        """
         epochs = self.training.epochs_for(set_index)
-        history: list[float] = []
+        if mid_state is not None:
+            history = [
+                float("nan") if value is None else float(value)
+                for value in mid_state.get("losses", [])
+            ]
+            base_seconds = float(mid_state.get("train_seconds", 0.0))
+            resume_epoch = int(mid_state["epoch_index"])
+            resume_batch = int(mid_state["batch_index"]) + 1
+            resume_order = np.asarray(mid_state["order"], dtype=int)
+        else:
+            history = []
+            base_seconds = 0.0
+            resume_epoch, resume_batch, resume_order = 0, 0, None
         start = time.perf_counter()
-        for _ in range(epochs):
-            history.extend(self._train_one_epoch(stream_set))
-        elapsed = time.perf_counter() - start
+        for epoch_index in range(resume_epoch, epochs):
+            if epoch_index == resume_epoch and resume_order is not None:
+                order, start_batch = resume_order, resume_batch
+            else:
+                order, start_batch = None, 0
+            on_batch = None
+            if checkpoint_fn is not None:
+
+                def on_batch(batch_index, epoch_order, epoch_index=epoch_index):
+                    checkpoint_fn(
+                        lambda: {
+                            "set_index": set_index,
+                            "epoch_index": epoch_index,
+                            "batch_index": int(batch_index),
+                            "order": np.asarray(epoch_order).tolist(),
+                            "losses": list(history),
+                            "train_seconds": base_seconds
+                            + (time.perf_counter() - start),
+                        }
+                    )
+
+            self._train_one_epoch(
+                stream_set, history, order=order, start_batch=start_batch, on_batch=on_batch
+            )
+        elapsed = base_seconds + (time.perf_counter() - start)
+        self._mid_set = None
         return history, elapsed, epochs
 
     def evaluate_after_set(self, scenario: StreamingScenario, set_index: int) -> tuple:
@@ -134,6 +203,7 @@ class ContinualTrainer:
         checkpoint_dir: str | Path | None = None,
         max_sets: int | None = None,
         scenario_info: dict | None = None,
+        checkpoint_every_n_batches: int | None = None,
     ) -> ContinualResult:
         """Process every stream period in order (Fig. 5 protocol).
 
@@ -152,7 +222,24 @@ class ContinualTrainer:
             Optional JSON-serialisable description of how to rebuild the
             scenario (dataset name, scale, seed); stored verbatim in the
             checkpoint for CLI-driven resumes.
+        checkpoint_every_n_batches:
+            Additionally checkpoint after every ``n`` optimizer steps
+            (requires ``checkpoint_dir``).  Very long periods then survive
+            a kill at *any* batch, not just set boundaries: the bundle
+            records the position inside the period (epoch, batch, the
+            epoch's window order, losses so far) and :meth:`resume`
+            continues from the step after it, bit-exactly.
         """
+        if checkpoint_every_n_batches is not None:
+            if checkpoint_dir is None:
+                raise TrainingError(
+                    "checkpoint_every_n_batches requires checkpoint_dir"
+                )
+            if checkpoint_every_n_batches < 1:
+                raise TrainingError(
+                    f"checkpoint_every_n_batches must be >= 1, "
+                    f"got {checkpoint_every_n_batches}"
+                )
         dataset_name = scenario.spec.name if scenario.spec else "custom"
         if self._partial_result is not None:
             result = self._partial_result
@@ -160,10 +247,33 @@ class ContinualTrainer:
         else:
             result = ContinualResult(method=method_name, dataset=dataset_name)
             self._partial_result = result
+        checkpoint_fn = None
+        if checkpoint_every_n_batches is not None:
+            steps = {"count": 0}
+
+            def checkpoint_fn(make_mid_state):
+                steps["count"] += 1
+                if steps["count"] % checkpoint_every_n_batches:
+                    return
+                self._mid_set = make_mid_state()
+                self.save_checkpoint(
+                    checkpoint_dir, scenario=scenario, scenario_info=scenario_info
+                )
+
         last_set = len(scenario.sets) if max_sets is None else min(max_sets, len(scenario.sets))
         for set_index in range(self._completed_sets, last_set):
             stream_set = scenario.sets[set_index]
-            history, seconds, epochs = self.train_on_set(stream_set, set_index)
+            mid_state = None
+            if self._mid_set is not None:
+                if int(self._mid_set.get("set_index", -1)) != set_index:
+                    raise TrainingError(
+                        f"checkpoint records mid-set progress for set "
+                        f"{self._mid_set.get('set_index')} but training is at set {set_index}"
+                    )
+                mid_state = self._mid_set
+            history, seconds, epochs = self.train_on_set(
+                stream_set, set_index, mid_state=mid_state, checkpoint_fn=checkpoint_fn
+            )
             metrics, inference = self.evaluate_after_set(scenario, set_index)
             _LOGGER.info(
                 "%s | %s | %s | train %.1fs", method_name, dataset_name, stream_set.name, seconds
@@ -217,6 +327,7 @@ class ContinualTrainer:
         checkpoint.meta["progress"] = {
             "completed_sets": self._completed_sets,
             "result": None if self._partial_result is None else self._partial_result.to_state(),
+            "mid_set": self._mid_set,
         }
         if scenario is not None:
             ckpt.pack_scaler(checkpoint, scenario.scaler)
@@ -259,4 +370,5 @@ class ContinualTrainer:
         result_state = progress.get("result")
         if result_state is not None:
             trainer._partial_result = ContinualResult.from_state(result_state)
+        trainer._mid_set = progress.get("mid_set")
         return trainer

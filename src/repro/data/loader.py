@@ -76,10 +76,30 @@ class DataLoader:
             return full + 1
         return full
 
-    def __iter__(self) -> Iterator[Batch]:
+    def draw_order(self) -> np.ndarray:
+        """Draw this epoch's window order (advances the RNG when shuffling).
+
+        Exposed separately from iteration so the continual trainer can
+        persist the order in mid-epoch checkpoints: on resume the saved
+        order is replayed through :meth:`iter_batches` instead of being
+        re-drawn (the restored RNG stream has already consumed it).
+        """
         order = np.arange(len(self.dataset))
         if self.shuffle:
             self._rng.shuffle(order)
+        return order
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self.iter_batches(self.draw_order())
+
+    def iter_batches(self, order: np.ndarray, start_batch: int = 0) -> Iterator[Batch]:
+        """Iterate batches over an explicit window ``order``.
+
+        ``start_batch`` skips that many leading batches while keeping the
+        absolute batch positions (a mid-epoch resume continues at batch
+        ``b + 1`` of the *same* order).
+        """
+        order = np.asarray(order, dtype=int)
         # Only STDataset guarantees batch() semantics; duck-typed datasets
         # (documented __len__/__getitem__ protocol) use per-window gathering
         # even if they happen to carry an unrelated ``batch`` attribute.  An
@@ -92,7 +112,7 @@ class DataLoader:
             or dataset_type.batch is not STDataset.batch
         )
         gather = self.dataset.batch if use_fast_path else None
-        for start in range(0, len(order), self.batch_size):
+        for start in range(start_batch * self.batch_size, len(order), self.batch_size):
             indices = order[start : start + self.batch_size]
             if self.drop_last and indices.size < self.batch_size:
                 break

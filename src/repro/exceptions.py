@@ -10,6 +10,9 @@ __all__ = [
     "GraphError",
     "BufferError_",
     "TrainingError",
+    "ServingError",
+    "QueueFull",
+    "EngineClosed",
 ]
 
 
@@ -40,3 +43,19 @@ class BufferError_(ReproError):
 
 class TrainingError(ReproError):
     """Raised when a training loop is asked to do something impossible."""
+
+
+class ServingError(ReproError):
+    """Base class for serving-engine errors."""
+
+
+class QueueFull(ServingError):
+    """Raised when the engine's pending-request bound is exceeded.
+
+    Explicit backpressure: clients must shed or retry with backoff instead
+    of growing an unbounded queue inside the process.
+    """
+
+
+class EngineClosed(ServingError):
+    """Raised when a request reaches an engine that has been closed."""

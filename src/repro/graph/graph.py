@@ -252,6 +252,7 @@ class Graph:
             source = self.to_dense() if spk.get_spatial_mode() == "dense" else self._csr
             cached = tuple(spk.diffusion_supports(source, order, directed=directed))
             self._supports[key] = cached
+            spk._record_graph_support_build()
         return cached
 
     def conv_supports(self, order: int, directed: bool | None = None) -> tuple:
@@ -395,6 +396,36 @@ class Graph:
             (values, (rows, cols)), shape=self._csr.shape, dtype=self._csr.dtype
         )
         return sp.csr_array(matrix.tocsr())
+
+    # ------------------------------------------------------------------ #
+    # Shard views (node-sharded serving)
+    # ------------------------------------------------------------------ #
+    def row_block(self, start: int, stop: int) -> sp.csr_array:
+        """Contiguous CSR row slice ``adjacency[start:stop, :]``.
+
+        CSR stores rows contiguously, so a contiguous node range slices in
+        ``O(rows + nnz_block)`` with no re-sorting — the reason shard
+        planning partitions nodes into *contiguous* ranges.  Used by the
+        shard planner to account per-shard edges and cross-shard cut.
+        """
+        if not 0 <= start <= stop <= self.num_nodes:
+            raise GraphError(
+                f"row block [{start}, {stop}) out of range for {self.num_nodes} nodes"
+            )
+        return sp.csr_array(self._csr[start:stop, :])
+
+    def shard_view(self, node_keep: np.ndarray, name: str | None = None) -> "Graph":
+        """The graph restricted to ``node_keep`` nodes (others isolated).
+
+        A convenience over :meth:`apply_delta` with a node mask: every edge
+        touching a masked-out node is dropped while the node set (and hence
+        observation shapes) is preserved, which is what per-shard serving
+        needs — shard workers run the full-width model and own only their
+        rows of the output.
+        """
+        node_keep = np.asarray(node_keep, dtype=bool)
+        delta = GraphDelta(node_keep=node_keep, description=name or "shard")
+        return self.apply_delta(delta)
 
     # ------------------------------------------------------------------ #
     def copy(self) -> "Graph":

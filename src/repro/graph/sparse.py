@@ -550,6 +550,7 @@ def fuse_supports(supports, skip_first: bool = False):
 # ---------------------------------------------------------------------- #
 _delta_hits = 0
 _dense_fallbacks = 0
+_graph_support_builds = 0
 
 # Every live Graph registers here so clear_support_cache() can also drop the
 # per-instance support/transpose caches (satisfying "one switch empties all
@@ -570,6 +571,16 @@ def _record_delta(dense_fallback: bool) -> None:
         _delta_hits += 1
 
 
+def _record_graph_support_build() -> None:
+    """Count one per-:class:`Graph` diffusion-support construction.
+
+    The multi-tenant pool pins "T tenants sharing one graph build supports
+    once" on this counter staying flat as tenants are added.
+    """
+    global _graph_support_builds
+    _graph_support_builds += 1
+
+
 def clear_support_cache() -> None:
     """Empty every derived-support cache and reset all counters.
 
@@ -579,6 +590,7 @@ def clear_support_cache() -> None:
     """
     global _cache_hits, _cache_misses, _cache_bytes, _identity_hits
     global _delta_hits, _dense_fallbacks, _transpose_bytes, _fuse_bytes
+    global _graph_support_builds
     _support_cache.clear()
     _identity_digests.clear()
     _transpose_cache.clear()
@@ -593,6 +605,7 @@ def clear_support_cache() -> None:
     _identity_hits = 0
     _delta_hits = 0
     _dense_fallbacks = 0
+    _graph_support_builds = 0
 
 
 def support_cache_stats() -> dict:
@@ -613,6 +626,7 @@ def support_cache_stats() -> dict:
         "identity_entries": len(_identity_digests),
         "delta_hits": _delta_hits,
         "dense_fallbacks": _dense_fallbacks,
+        "graph_support_builds": _graph_support_builds,
         "transpose_entries": len(_transpose_cache),
         "fused_entries": len(_fuse_cache),
         "graphs_tracked": len(_graph_registry),

@@ -1,4 +1,4 @@
-"""Serving layer: the :class:`Forecaster` facade for online use.
+"""Serving layer: the :class:`Forecaster` facade plus the serving engine.
 
 ``repro.serve`` wraps a trained model, its fitted scaler and the sensor
 network behind one object with a raw-data interface::
@@ -11,8 +11,50 @@ network behind one object with a raw-data interface::
     forecaster.update(new_inputs, targets)   # replay-augmented online step
     forecaster.save("artifacts/model")       # durable checkpoint bundle
     same = Forecaster.load("artifacts/model")
+
+On top of the facade sits the process-level serving stack::
+
+    from repro.serve import EngineConfig, ModelPool, ServingEngine
+
+    pool = ModelPool(max_bytes=512 << 20)            # LRU over tenants,
+    pool.register("tenant-a", "artifacts/tenant-a")  # one shared graph
+    pool.register("tenant-b", "artifacts/tenant-b")
+
+    with ServingEngine(pool, EngineConfig(max_batch_size=32,
+                                          max_delay_ms=5.0,
+                                          shards=2)) as engine:
+        future = engine.submit(raw_window, tenant="tenant-a")  # micro-batched
+        y = future.result()
+        engine.update(new_inputs, targets, tenant="tenant-a")  # serialized lane
+
+Requests coalesce in a deadline-based dynamic micro-batcher, tenants share
+one CSR graph (supports built once), and node-sharded serving stitches
+per-shard predictions bit-exactly in the default ``replicate`` mode.
 """
 
+from .batching import DynamicBatcher, MicroBatch, PendingRequest
+from .engine import EngineConfig, ServingEngine
 from .forecaster import Forecaster
+from .loadgen import build_synthetic_tenants, run_closed_loop
+from .metrics import EngineMetrics
+from .sharding import Shard, ShardedForecaster, ShardPlan, ShardPlanner
+from .tenancy import ModelPool, PoolEntry, forecaster_nbytes
 
-__all__ = ["Forecaster"]
+__all__ = [
+    "Forecaster",
+    "ServingEngine",
+    "EngineConfig",
+    "DynamicBatcher",
+    "MicroBatch",
+    "PendingRequest",
+    "EngineMetrics",
+    "ModelPool",
+    "PoolEntry",
+    "forecaster_nbytes",
+    "Shard",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedForecaster",
+    "run_closed_loop",
+    "build_synthetic_tenants",
+]

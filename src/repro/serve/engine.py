@@ -1,0 +1,373 @@
+"""The serving engine: async micro-batched, multi-tenant, shard-capable.
+
+:class:`ServingEngine` is the process-level serving loop on top of
+:class:`~repro.serve.forecaster.Forecaster`:
+
+* **Requests** are single raw ``(time, nodes, channels)`` windows submitted
+  via :meth:`submit`, which returns a ``concurrent.futures.Future`` that
+  resolves to that window's raw prediction.
+* **Dynamic micro-batching** coalesces same-tenant, same-shape requests
+  (:class:`~repro.serve.batching.DynamicBatcher`): a bucket flushes into one
+  fused ``Forecaster.predict`` call when it reaches ``max_batch_size`` or
+  its oldest request has waited ``max_delay_ms`` — whichever comes first.
+* **Backpressure is explicit**: beyond ``max_pending`` accepted-but-
+  unresolved requests, :meth:`submit` raises
+  :class:`~repro.exceptions.QueueFull` instead of queueing unboundedly.
+* **Multi-tenancy** routes each request's tenant id through a
+  :class:`~repro.serve.tenancy.ModelPool` (byte-bounded LRU of per-tenant
+  checkpoints, one shared graph).
+* **Sharding**: with ``shards > 1`` every tenant is served through a
+  :class:`~repro.serve.sharding.ShardedForecaster` (bit-exact in the
+  default ``replicate`` mode).
+* **Online updates** go through a serialized update lane
+  (:meth:`update`): one update at a time engine-wide, and a per-tenant
+  readers/writer lock keeps in-flight predicts from observing
+  half-stepped parameters while the optimizer writes in place.
+
+Worker threads pull flushed batches off a FIFO queue, run the fused
+forward under the tenant's read lock and resolve each request's future; a
+flusher thread sweeps deadline-expired buckets.  :meth:`close` drains by
+default — everything accepted is answered — or fails the still-queued
+requests with :class:`~repro.exceptions.EngineClosed` when asked not to.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EngineClosed, QueueFull, ShapeError
+from .batching import DynamicBatcher, MicroBatch, PendingRequest
+from .forecaster import Forecaster
+from .metrics import EngineMetrics
+from .sharding import ShardedForecaster
+from .tenancy import ModelPool, PoolEntry
+
+__all__ = ["EngineConfig", "ServingEngine"]
+
+DEFAULT_TENANT = "default"
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine knobs (see the module docstring for the semantics).
+
+    Attributes
+    ----------
+    max_batch_size:
+        Flush a micro-batch at this size.
+    max_delay_ms:
+        Flush a micro-batch once its oldest request waited this long.
+    max_pending:
+        Accepted-but-unresolved request bound; beyond it ``submit`` raises
+        :class:`~repro.exceptions.QueueFull`.
+    num_workers:
+        Worker threads running fused forwards.
+    predict_batch_size:
+        Micro-batch size *inside* ``Forecaster.predict`` (one flushed batch
+        can be larger than this; the forecaster then chunks it).
+    shards:
+        Node shards per tenant (1 disables sharding).
+    shard_mode:
+        ``"replicate"`` (exact) or ``"partition"`` (approximate).
+    """
+
+    max_batch_size: int = 32
+    max_delay_ms: float = 5.0
+    max_pending: int = 1024
+    num_workers: int = 2
+    predict_batch_size: int = 256
+    shards: int = 1
+    shard_mode: str = "replicate"
+
+    def __post_init__(self):
+        if self.max_pending < 1:
+            raise ConfigurationError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.num_workers < 1:
+            raise ConfigurationError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_mode not in ("replicate", "partition"):
+            raise ConfigurationError(
+                f"shard_mode must be 'replicate' or 'partition', got {self.shard_mode!r}"
+            )
+
+
+class ServingEngine:
+    """Async serving loop over one forecaster or a multi-tenant pool.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Forecaster` (single-tenant engine under the
+        ``"default"`` tenant id) or a prebuilt :class:`ModelPool`.
+    config:
+        Engine knobs; defaults are sized for interactive serving.
+    """
+
+    def __init__(self, source, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        self._owns_pool = isinstance(source, Forecaster)
+        if isinstance(source, ModelPool):
+            self.pool = source
+        elif isinstance(source, Forecaster):
+            self.pool = ModelPool()
+            self.pool.put(DEFAULT_TENANT, source)
+        else:
+            raise ConfigurationError(
+                f"ServingEngine serves a Forecaster or a ModelPool, got {type(source).__name__}"
+            )
+        if self.config.shards > 1:
+            if self.pool._decorate is not None:
+                raise ConfigurationError(
+                    "the pool already decorates tenants; configure sharding in "
+                    "one place (EngineConfig.shards or the pool decorator)"
+                )
+            shards, mode = self.config.shards, self.config.shard_mode
+            self.pool._decorate = lambda f: ShardedForecaster(f, shards, mode=mode)
+            # Already-resident tenants (put() before the engine existed)
+            # get their serving view retrofitted.
+            for tenant in self.pool.resident:
+                entry = self.pool.get(tenant)
+                if entry.served is entry.forecaster:
+                    entry.served = ShardedForecaster(entry.forecaster, shards, mode=mode)
+        self.metrics = EngineMetrics()
+        self._batcher = DynamicBatcher(
+            max_batch_size=self.config.max_batch_size,
+            max_delay_ms=self.config.max_delay_ms,
+        )
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._update_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        # Makes a submitter's add-to-batcher + enqueue atomic with respect
+        # to close(): otherwise a size-flushed batch could land in the
+        # worker queue after the stop sentinels and hang its futures.
+        self._dispatch_lock = threading.Lock()
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-serve-flusher", daemon=True
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{index}", daemon=True
+            )
+            for index in range(self.config.num_workers)
+        ]
+        self._flusher.start()
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    def submit(self, window: np.ndarray, tenant: str | None = None) -> Future:
+        """Accept one raw window; resolve its future with the prediction.
+
+        Raises :class:`~repro.exceptions.QueueFull` beyond ``max_pending``
+        outstanding requests and :class:`~repro.exceptions.EngineClosed`
+        after :meth:`close`.
+        """
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        window = np.asarray(window, dtype=float)
+        if window.ndim != 3:
+            raise ShapeError(
+                f"submit expects one (time, nodes, channels) window, got shape {window.shape}"
+            )
+        tenant = DEFAULT_TENANT if tenant is None else str(tenant)
+        if tenant not in self.pool:
+            raise ConfigurationError(f"unknown tenant {tenant!r}")
+        with self._pending_lock:
+            # Check-and-count under one lock so concurrent submitters cannot
+            # overshoot the bound.
+            if self.metrics.pending >= self.config.max_pending:
+                self.metrics.record_rejected()
+                raise QueueFull(
+                    f"{self.metrics.pending} requests pending "
+                    f"(max_pending={self.config.max_pending})"
+                )
+            self.metrics.record_submit()
+        request = PendingRequest(window=window, tenant=tenant)
+        try:
+            with self._dispatch_lock:
+                batch = self._batcher.add(request)
+                if batch is not None:
+                    self.metrics.record_flush(len(batch), due_to_deadline=False)
+                    self._queue.put(batch)
+        except EngineClosed:
+            # close() won the race between our closed-check and the add.
+            self.metrics.record_revoked()
+            raise
+        return request.future
+
+    def predict(self, window: np.ndarray, tenant: str | None = None,
+                timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience: ``submit`` + ``Future.result``."""
+        return self.submit(window, tenant=tenant).result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Online update lane
+    # ------------------------------------------------------------------ #
+    def update(self, inputs: np.ndarray, targets: np.ndarray,
+               tenant: str | None = None, set_name: str = "online"):
+        """One replay-augmented online step on ``tenant``'s model.
+
+        Serialized engine-wide (one update at a time) and exclusive with
+        that tenant's predicts via the per-tenant write lock; the model is
+        returned to eval mode before readers resume.
+        """
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        tenant = DEFAULT_TENANT if tenant is None else str(tenant)
+        with self._update_lock:
+            # Pinned dirty before the mutation so a concurrent eviction
+            # can't select this entry while it is being written.
+            entry = self.pool.get_for_update(tenant)
+            with entry.lock.write():
+                try:
+                    step = entry.forecaster.update(inputs, targets, set_name=set_name)
+                finally:
+                    # Forecaster.update leaves the model in train mode;
+                    # concurrent predicts must only ever see eval.
+                    if hasattr(entry.forecaster.model, "eval"):
+                        entry.forecaster.model.eval()
+            entry.refresh_nbytes()
+            self.metrics.record_update()
+        return step
+
+    # ------------------------------------------------------------------ #
+    # Internal loops
+    # ------------------------------------------------------------------ #
+    def _flush_loop(self) -> None:
+        while True:
+            batches = self._batcher.wait_due()
+            if not batches and self._batcher.closed:
+                return
+            for batch in batches:
+                self.metrics.record_flush(len(batch), due_to_deadline=True)
+                self._queue.put(batch)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.get()
+            if batch is _STOP:
+                return
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: MicroBatch) -> None:
+        live = []
+        for request in batch.requests:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:
+                self.metrics.record_cancelled()
+        if not live:
+            return
+        try:
+            entry: PoolEntry = self.pool.get(batch.tenant)
+            stacked = np.stack([request.window for request in live])
+            with entry.lock.read():
+                predictions = entry.served.predict(
+                    stacked, batch_size=self.config.predict_batch_size
+                )
+        except BaseException as exc:  # noqa: BLE001 - resolve, never hang
+            now = time.perf_counter()
+            for request in live:
+                request.future.set_exception(exc)
+                self.metrics.record_done(now - request.submitted, failed=True)
+            return
+        now = time.perf_counter()
+        for index, request in enumerate(live):
+            request.future.set_result(predictions[index])
+            self.metrics.record_done(now - request.submitted)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the engine.
+
+        ``drain=True`` (default) answers everything already accepted: the
+        batcher's residual buckets are flushed, workers finish the queue,
+        then exit.  ``drain=False`` fails still-buffered requests with
+        :class:`~repro.exceptions.EngineClosed` (batches already dispatched
+        to workers still complete).  A pool the engine built itself (from a
+        bare ``Forecaster``) is closed; a caller-supplied pool survives,
+        minus any shard views this engine attached.  Idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            with self._dispatch_lock:
+                # Any submitter past the closed-check either finished its
+                # enqueue before this point or will get EngineClosed from
+                # the batcher; afterwards no new batch can enter the queue.
+                self._batcher.close()
+            # Join the flusher BEFORE draining and before the worker stop
+            # sentinels: it may hold batches popped from the buckets but not
+            # yet enqueued, and those must land ahead of the sentinels or
+            # their futures would hang forever.
+            self._flusher.join()
+            remainder = self._batcher.drain()
+            if drain:
+                for batch in remainder:
+                    self.metrics.record_flush(len(batch), due_to_deadline=True)
+                    self._queue.put(batch)
+            else:
+                now = time.perf_counter()
+                for batch in remainder:
+                    for request in batch.requests:
+                        if request.future.set_running_or_notify_cancel():
+                            request.future.set_exception(
+                                EngineClosed("engine closed before the batch was served")
+                            )
+                            self.metrics.record_done(now - request.submitted, failed=True)
+                        else:
+                            self.metrics.record_cancelled()
+            for _ in self._workers:
+                self._queue.put(_STOP)
+            for worker in self._workers:
+                worker.join()
+            if self._owns_pool:
+                self.pool.close()
+            elif self.config.shards > 1:
+                # The sharding decorator was ours; hand the caller's pool
+                # back undecorated (and shut the shard executors down).
+                self.pool.reset_views()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Metrics, pool and batcher state in one JSON-serialisable dict."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "pool": self.pool.stats(),
+            "waiting_in_batcher": len(self._batcher),
+            "closed": self._closed,
+            "config": {
+                "max_batch_size": self.config.max_batch_size,
+                "max_delay_ms": self.config.max_delay_ms,
+                "max_pending": self.config.max_pending,
+                "num_workers": self.config.num_workers,
+                "shards": self.config.shards,
+                "shard_mode": self.config.shard_mode,
+            },
+        }

@@ -191,17 +191,63 @@ class Forecaster:
             raise ShapeError("predict received an empty batch of windows")
         batch_size = max(int(batch_size), 1)
         scaled = self.scaler.transform(windows)
-        chunks = [
+        total = scaled.shape[0]
+
+        def run(chunk: np.ndarray) -> np.ndarray:
             # Only thread the override through when one was given: classical
             # forecasters (ARIMA/HA) expose a graph-free predict.
-            self.model.predict(scaled[start : start + batch_size])
-            if graph is None
-            else self.model.predict(scaled[start : start + batch_size], graph=graph)
-            for start in range(0, scaled.shape[0], batch_size)
-        ]
-        predictions = chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
+            if graph is None:
+                return self.model.predict(chunk)
+            return self.model.predict(chunk, graph=graph)
+
+        if total <= batch_size:
+            predictions = run(scaled)
+        else:
+            # One output buffer sized from the first micro-batch; every
+            # later slice is written in place instead of collecting chunks
+            # and paying a full concatenate copy at the end.
+            first = run(scaled[:batch_size])
+            predictions = np.empty((total,) + first.shape[1:], dtype=first.dtype)
+            predictions[:batch_size] = first
+            for start in range(batch_size, total, batch_size):
+                predictions[start : start + batch_size] = run(
+                    scaled[start : start + batch_size]
+                )
         predictions = self.scaler.inverse_transform_channel(predictions, self.target_channel)
         return predictions[0] if single else predictions
+
+    def predict_many(
+        self, windows_by_key: dict, batch_size: int = 64, graph=None
+    ) -> dict:
+        """Forecast several window stacks in as few fused calls as possible.
+
+        ``windows_by_key`` maps arbitrary keys (request ids, sensors of
+        interest, tenant sub-streams) to a single window or a stack of
+        windows.  Entries are grouped by window shape and every group runs
+        through one :meth:`predict` call, so callers holding many small
+        stacks stop fragmenting the micro-batcher into per-entry calls.
+        Returns ``{key: predictions}`` with each entry shaped like its
+        input (batch axis dropped for single windows).
+        """
+        coerced: dict = {}
+        groups: dict[tuple, list] = {}
+        for key, stack in windows_by_key.items():
+            array, single = self._coerce_windows(stack)
+            if array.shape[0] == 0:
+                raise ShapeError(f"predict_many received an empty stack for key {key!r}")
+            coerced[key] = (array, single)
+            groups.setdefault(array.shape[1:], []).append(key)
+        results: dict = {}
+        for keys in groups.values():
+            fused = np.concatenate([coerced[key][0] for key in keys], axis=0)
+            predictions = self.predict(fused, batch_size=batch_size, graph=graph)
+            offset = 0
+            for key in keys:
+                array, single = coerced[key]
+                chunk = predictions[offset : offset + array.shape[0]]
+                offset += array.shape[0]
+                results[key] = chunk[0] if single else chunk
+        return results
 
     # ------------------------------------------------------------------ #
     # Online continual update
@@ -280,7 +326,7 @@ class Forecaster:
         return checkpoint.save(path)
 
     @classmethod
-    def load(cls, path: "str | Path | Checkpoint") -> "Forecaster":
+    def load(cls, path: "str | Path | Checkpoint", network=None) -> "Forecaster":
         """Rebuild a forecaster saved by :meth:`save`.
 
         Also opens trainer checkpoints written by
@@ -288,10 +334,15 @@ class Forecaster:
         bundle layout is shared — so a killed training run can be served
         directly from its last checkpoint.  An already loaded
         :class:`Checkpoint` is accepted to avoid re-reading the bundle.
+
+        ``network`` optionally supplies a *shared* sensor network (the
+        multi-tenant pool's): the stored adjacency is validated against it
+        and the model is rebuilt on the shared graph, so diffusion supports
+        are built once per process instead of once per tenant.
         """
         checkpoint = path if isinstance(path, Checkpoint) else Checkpoint.load(path)
         ckpt.apply_dtype(checkpoint)
-        network = ckpt.unpack_network(checkpoint)
+        network = ckpt.unpack_network(checkpoint, shared=network)
         model = ckpt.unpack_model(checkpoint, network=network, rng=0)
         scaler = ckpt.unpack_scaler(checkpoint)
         if scaler is None:

@@ -1,0 +1,217 @@
+"""Closed-loop load generation for the serving engine.
+
+A *closed loop* keeps a fixed number of concurrent clients, each issuing
+its next request only after the previous one resolved — the standard way
+to measure a serving system's latency/throughput trade-off at a given
+concurrency (an open loop with a fixed arrival rate would need a target
+rate to be known up front).  :func:`run_closed_loop` drives any
+:class:`~repro.serve.engine.ServingEngine` with windows and tenants
+assigned round-robin and reports client-observed latencies (submit →
+future resolution), throughput and rejection counts.
+
+:func:`build_synthetic_tenants` manufactures the multi-tenant fixture the
+benchmark and the CLI smoke share: one synthetic scenario, ``T``
+independently initialised forecasters over its single shared graph, and a
+stack of raw request windows drawn from the stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+import numpy as np
+
+from ..core.config import TrainingConfig, URCLConfig
+from ..core.urcl import URCLModel
+from ..data.datasets import load_dataset
+from ..data.streaming import build_streaming_scenario
+from ..exceptions import QueueFull
+from ..models.stencoder import STEncoderConfig
+from .engine import EngineConfig, ServingEngine
+from .forecaster import Forecaster
+from .metrics import percentiles
+from .tenancy import ModelPool
+
+__all__ = ["run_closed_loop", "serving_sweep_point", "build_synthetic_tenants"]
+
+
+def run_closed_loop(
+    engine,
+    windows: np.ndarray,
+    concurrency: int = 8,
+    total_requests: int = 256,
+    tenants=None,
+    timeout: float = 120.0,
+) -> dict:
+    """Drive ``engine`` with ``concurrency`` synchronous clients.
+
+    ``windows`` is a ``(n, time, nodes, channels)`` stack cycled
+    round-robin; ``tenants`` (ids, ``None`` entries meaning the default
+    tenant) are cycled the same way so multi-tenant traffic interleaves.
+    Requests rejected with :class:`~repro.exceptions.QueueFull` are counted
+    and retried after a short backoff — a closed loop must not lose its
+    clients to backpressure.
+
+    Returns a JSON-serialisable dict: completed/failed/rejected counts,
+    wall-clock duration, throughput (completed requests per second) and
+    client-observed latency percentiles in milliseconds.
+    """
+    tenant_cycle = list(tenants) if tenants else [None]
+    ticket = itertools.count()
+    lock = threading.Lock()
+    latencies: list[float] = []
+    rejected = 0
+    failed = 0
+
+    def client() -> None:
+        nonlocal rejected, failed
+        while True:
+            index = next(ticket)
+            if index >= total_requests:
+                return
+            window = windows[index % len(windows)]
+            tenant = tenant_cycle[index % len(tenant_cycle)]
+            issued = time.perf_counter()
+            while True:
+                try:
+                    future = engine.submit(window, tenant=tenant)
+                except QueueFull:
+                    with lock:
+                        rejected += 1
+                    time.sleep(engine.config.max_delay_ms / 1e3 or 1e-3)
+                    continue
+                break
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                with lock:
+                    failed += 1
+                continue
+            with lock:
+                latencies.append(time.perf_counter() - issued)
+
+    threads = [
+        threading.Thread(target=client, name=f"repro-loadgen-{i}", daemon=True)
+        for i in range(max(int(concurrency), 1))
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - start
+    completed = len(latencies)
+    return {
+        "concurrency": int(concurrency),
+        "total_requests": int(total_requests),
+        "completed": completed,
+        "failed": failed,
+        "rejected_retries": rejected,
+        "duration_seconds": duration,
+        "throughput_rps": completed / duration if duration > 0 else 0.0,
+        "latency_ms": {
+            key: value * 1e3 for key, value in percentiles(latencies).items()
+        },
+    }
+
+
+def serving_sweep_point(
+    pool: ModelPool,
+    windows: np.ndarray,
+    tenants,
+    shards: int = 1,
+    batching: bool = True,
+    concurrency: int = 32,
+    total_requests: int = 256,
+    num_workers: int = 2,
+) -> dict:
+    """One point of the batching x tenants x shards serving sweep.
+
+    Spins up a fresh engine over ``pool``, drives it closed-loop and
+    returns the loadgen result augmented with the sweep coordinates and
+    the engine's batching-efficiency counters.  With ``batching`` on, the
+    flush size is each tenant's share of the concurrency halved — buckets
+    are per tenant, and a full bucket flushes synchronously while an
+    oversized one always waits out the deadline.
+    """
+    tenants = list(tenants)
+    config = EngineConfig(
+        max_batch_size=max(concurrency // (2 * len(tenants)), 2) if batching else 1,
+        max_delay_ms=2.0 if batching else 0.0,
+        num_workers=num_workers,
+        shards=shards,
+    )
+    with ServingEngine(pool, config) as engine:
+        result = run_closed_loop(
+            engine, windows,
+            concurrency=concurrency,
+            total_requests=total_requests,
+            tenants=tenants,
+        )
+        metrics = engine.metrics.snapshot()
+    result.update(
+        {
+            "batching": batching,
+            "shards": shards,
+            "tenants": len(tenants),
+            "mean_batch_size": metrics["mean_batch_size"],
+            "size_flushes": metrics["size_flushes"],
+            "deadline_flushes": metrics["deadline_flushes"],
+        }
+    )
+    return result
+
+
+def build_synthetic_tenants(
+    num_tenants: int = 2,
+    num_nodes: int = 12,
+    num_days: int = 4,
+    seed: int = 0,
+    request_windows: int = 32,
+    encoder: STEncoderConfig | None = None,
+):
+    """A multi-tenant serving fixture over one synthetic scenario.
+
+    Returns ``(pool, windows, scenario)``: a :class:`ModelPool` holding
+    ``num_tenants`` independently seeded URCL forecasters that all share
+    the scenario's single graph (tenant ids ``"tenant-0"...``), plus a
+    ``(request_windows, time, nodes, channels)`` stack of raw request
+    windows drawn from the stream.
+    """
+    dataset = load_dataset("pems08", num_days=num_days, num_nodes=num_nodes, seed=seed)
+    scenario = build_streaming_scenario(dataset)
+    spec = scenario.spec
+    encoder = encoder or STEncoderConfig(
+        residual_channels=4,
+        dilation_channels=4,
+        skip_channels=8,
+        end_channels=8,
+        dilations=(1, 2),
+        adaptive_embedding_dim=3,
+    )
+    pool = ModelPool(network=scenario.network)
+    for tenant_index in range(num_tenants):
+        model = URCLModel(
+            scenario.network,
+            in_channels=spec.num_channels,
+            input_steps=spec.input_steps,
+            output_steps=spec.output_steps,
+            out_channels=1,
+            config=URCLConfig(encoder=encoder, buffer_capacity=64, replay_sample_size=4),
+            rng=seed + tenant_index,
+        )
+        forecaster = Forecaster(
+            model,
+            scaler=scenario.scaler,
+            target_channel=spec.target_channel,
+            training=TrainingConfig(batch_size=8),
+        )
+        pool.put(f"tenant-{tenant_index}", forecaster)
+    series = scenario.raw_series
+    starts = np.random.default_rng(seed + 99).integers(
+        0, series.shape[0] - spec.input_steps, size=request_windows
+    )
+    windows = np.stack([series[s : s + spec.input_steps] for s in starts])
+    return pool, windows, scenario

@@ -1,0 +1,147 @@
+"""Serving metrics: request counters, latency percentiles, batching efficiency.
+
+One :class:`EngineMetrics` instance rides along with a
+:class:`~repro.serve.engine.ServingEngine`.  Every counter mutation happens
+under one lock, so worker threads, the flusher and the submitting callers
+can all record concurrently; :meth:`snapshot` returns a plain dict suitable
+for JSON dumps (the serving benchmark records exactly this).
+
+Latency percentiles are computed over a bounded window of the most recent
+observations (:data:`LATENCY_WINDOW` requests) so a long-lived engine keeps
+constant memory; throughput and counters are cumulative since start (or the
+last :meth:`reset`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+__all__ = ["EngineMetrics", "LATENCY_WINDOW", "percentiles"]
+
+LATENCY_WINDOW = 65536
+
+
+def percentiles(samples, points=(50.0, 95.0, 99.0)) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over ``samples`` (NaN when empty)."""
+    if len(samples) == 0:
+        return {f"p{point:g}": float("nan") for point in points}
+    values = np.percentile(np.asarray(list(samples), dtype=float), points)
+    return {f"p{point:g}": float(value) for point, value in zip(points, values)}
+
+
+class EngineMetrics:
+    """Thread-safe counters and latency accounting for the serving engine.
+
+    Request latency is measured from ``submit`` to future resolution, so it
+    includes batching delay, queueing and the fused forward — what a client
+    actually waits.
+    """
+
+    def __init__(self, latency_window: int = LATENCY_WINDOW):
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=int(latency_window))
+        self._started = time.perf_counter()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.deadline_flushes = 0
+        self.size_flushes = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------ #
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_revoked(self) -> None:
+        """Un-count a submission the batcher refused (engine closing)."""
+        with self._lock:
+            self.submitted -= 1
+            self.rejected += 1
+
+    def record_cancelled(self) -> None:
+        """Resolve a client-cancelled request's slot in the pending count.
+
+        Cancelled futures are never set_result/set_exception, so without
+        this the pending count would leak one slot per cancellation and
+        eventually wedge submit() into permanent ``QueueFull``.
+        """
+        with self._lock:
+            self.cancelled += 1
+
+    def record_update(self) -> None:
+        with self._lock:
+            self.updates += 1
+
+    def record_flush(self, size: int, due_to_deadline: bool) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += int(size)
+            if due_to_deadline:
+                self.deadline_flushes += 1
+            else:
+                self.size_flushes += 1
+
+    def record_done(self, latency_seconds: float, failed: bool = False) -> None:
+        with self._lock:
+            if failed:
+                self.failed += 1
+            else:
+                self.completed += 1
+            self._latencies.append(float(latency_seconds))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet resolved (queue + in flight)."""
+        with self._lock:
+            return self.submitted - self.completed - self.failed - self.cancelled
+
+    def snapshot(self) -> dict:
+        """One consistent view of every counter plus derived statistics."""
+        with self._lock:
+            elapsed = time.perf_counter() - self._started
+            resolved = self.completed + self.failed + self.cancelled
+            latency = percentiles(self._latencies)
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "rejected": self.rejected,
+                "pending": self.submitted - resolved,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "mean_batch_size": self.batched_requests / self.batches
+                if self.batches
+                else float("nan"),
+                "deadline_flushes": self.deadline_flushes,
+                "size_flushes": self.size_flushes,
+                "updates": self.updates,
+                "latency_ms": {k: v * 1e3 for k, v in latency.items()},
+                "throughput_rps": self.completed / elapsed if elapsed > 0 else 0.0,
+                "elapsed_seconds": elapsed,
+            }
+
+    def reset(self) -> None:
+        """Zero every counter and restart the throughput clock."""
+        with self._lock:
+            self._latencies.clear()
+            self._started = time.perf_counter()
+            self.submitted = self.completed = self.failed = 0
+            self.cancelled = self.rejected = 0
+            self.batches = self.batched_requests = 0
+            self.deadline_flushes = self.size_flushes = 0
+            self.updates = 0

@@ -1,0 +1,250 @@
+"""Node-sharded inference: shard planning and the sharded serving view.
+
+The sensor network's nodes are partitioned into ``K`` contiguous ranges
+(:class:`ShardPlanner`).  Contiguity matters: a contiguous node range is a
+contiguous CSR row block of the shared adjacency
+(:meth:`repro.graph.Graph.row_block`), so per-shard edge accounting and
+shard-local graph views never re-sort indices.  The planner also measures
+the *edge cut* — the fraction of edges crossing shard boundaries — which is
+the quantity a production partitioner would minimise.
+
+:class:`ShardedForecaster` is the serving view over one
+:class:`~repro.serve.forecaster.Forecaster`:
+
+* ``mode="replicate"`` (default, **exact**): every shard worker runs the
+  full-graph forward and contributes only its own node rows to the stitched
+  output.  This is the replica-per-partition topology (each worker could be
+  a separate host owning one sensor range); within one process compute is
+  replicated, so it is a correctness-first prototype of the scale-out
+  *shape*, bit-identical to the unsharded ``predict`` by construction.
+* ``mode="partition"`` (**approximate**): each shard predicts on a graph
+  view keeping only shard-internal edges (``GraphDelta`` node mask), so
+  cross-shard diffusion is dropped.  Exact precisely when the adjacency is
+  block-diagonal along the plan and the model has no global mixing (e.g.
+  ``use_adaptive=False``); otherwise accuracy degrades with the edge cut,
+  which :attr:`ShardPlan.edge_cut` quantifies up front.
+
+Workers run on a thread pool; the first call after construction runs the
+shards sequentially so every lazily built support/transpose cache is warmed
+single-threaded before concurrent traffic hits it.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, GraphError
+from ..graph.graph import Graph
+
+__all__ = ["Shard", "ShardPlan", "ShardPlanner", "ShardedForecaster"]
+
+_SHARD_MODES = ("replicate", "partition")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous node range ``[start, stop)`` of the partition."""
+
+    index: int
+    start: int
+    stop: int
+    internal_edges: int = 0
+    outgoing_edges: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return self.stop - self.start
+
+    def node_mask(self, num_nodes: int) -> np.ndarray:
+        """Boolean keep-mask selecting exactly this shard's nodes."""
+        mask = np.zeros(num_nodes, dtype=bool)
+        mask[self.start : self.stop] = True
+        return mask
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A full partition of a graph's nodes into contiguous shards."""
+
+    shards: tuple[Shard, ...]
+    num_nodes: int
+    total_edges: int
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def cut_edges(self) -> int:
+        """Edges whose endpoints land in different shards."""
+        return sum(shard.outgoing_edges for shard in self.shards)
+
+    @property
+    def edge_cut(self) -> float:
+        """Fraction of all edges crossing a shard boundary (0 when edgeless)."""
+        return self.cut_edges / self.total_edges if self.total_edges else 0.0
+
+    def describe(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "num_nodes": self.num_nodes,
+            "total_edges": self.total_edges,
+            "cut_edges": self.cut_edges,
+            "edge_cut": self.edge_cut,
+            "shards": [
+                {
+                    "index": shard.index,
+                    "start": shard.start,
+                    "stop": shard.stop,
+                    "internal_edges": shard.internal_edges,
+                    "outgoing_edges": shard.outgoing_edges,
+                }
+                for shard in self.shards
+            ],
+        }
+
+
+class ShardPlanner:
+    """Partition a graph's nodes into ``K`` balanced contiguous ranges."""
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+
+    def plan(self, graph: Graph) -> ShardPlan:
+        if graph.num_nodes < self.num_shards:
+            raise GraphError(
+                f"cannot split {graph.num_nodes} nodes into {self.num_shards} shards"
+            )
+        bounds = np.linspace(0, graph.num_nodes, self.num_shards + 1).round().astype(int)
+        shards = []
+        for index, (start, stop) in enumerate(zip(bounds[:-1], bounds[1:])):
+            block = graph.row_block(int(start), int(stop))
+            inside = (block.indices >= start) & (block.indices < stop)
+            internal = int(inside.sum())
+            shards.append(
+                Shard(
+                    index=index,
+                    start=int(start),
+                    stop=int(stop),
+                    internal_edges=internal,
+                    outgoing_edges=int(block.nnz - internal),
+                )
+            )
+        return ShardPlan(shards=tuple(shards), num_nodes=graph.num_nodes,
+                         total_edges=graph.nnz)
+
+
+class ShardedForecaster:
+    """Run one forecaster's predict as ``K`` parallel per-shard calls.
+
+    Parameters
+    ----------
+    forecaster:
+        The serving facade whose graph defines the partition.
+    num_shards:
+        Number of contiguous node shards.
+    mode:
+        ``"replicate"`` (exact) or ``"partition"`` (approximate) — see the
+        module docstring.
+    max_workers:
+        Thread-pool width; defaults to ``num_shards``.
+    """
+
+    def __init__(self, forecaster, num_shards: int, mode: str = "replicate",
+                 max_workers: int | None = None):
+        if mode not in _SHARD_MODES:
+            raise ConfigurationError(f"shard mode must be one of {_SHARD_MODES}, got {mode!r}")
+        self.forecaster = forecaster
+        self.mode = mode
+        self.plan = ShardPlanner(num_shards).plan(forecaster.graph)
+        self._shard_graphs: list[Graph] | None = None
+        if mode == "partition":
+            graph = forecaster.graph
+            self._shard_graphs = [
+                graph.shard_view(shard.node_mask(graph.num_nodes), name=f"shard{shard.index}")
+                for shard in self.plan.shards
+            ]
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers or self.plan.num_shards,
+            thread_name_prefix="repro-shard",
+        )
+        self._warm = False
+        self._warm_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        return self.forecaster.graph
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    def _shard_predict(self, index: int, windows: np.ndarray, batch_size: int) -> np.ndarray:
+        shard = self.plan.shards[index]
+        if self._shard_graphs is None:
+            full = self.forecaster.predict(windows, batch_size=batch_size)
+        else:
+            full = self.forecaster.predict(
+                windows, batch_size=batch_size, graph=self._shard_graphs[index]
+            )
+        # Predictions are (..., nodes, channels): each worker owns its rows.
+        return full[..., shard.start : shard.stop, :]
+
+    def predict(self, windows: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Sharded forecast, stitched back along the node axis.
+
+        In ``replicate`` mode the result is bit-identical to
+        ``forecaster.predict(windows)`` for any shard count.
+        """
+        model = self.forecaster.model
+        was_training = bool(getattr(model, "training", False))
+        if hasattr(model, "eval"):
+            # Pin eval mode once, outside the workers: the per-call
+            # save/restore inside ``predict`` is then idempotent (False ->
+            # False) instead of racing across threads.
+            model.eval()
+        try:
+            if not self._warm:
+                with self._warm_lock:
+                    parts = [
+                        self._shard_predict(index, windows, batch_size)
+                        for index in range(self.num_shards)
+                    ]
+                    self._warm = True
+            else:
+                futures = [
+                    self._executor.submit(self._shard_predict, index, windows, batch_size)
+                    for index in range(self.num_shards)
+                ]
+                parts = [future.result() for future in futures]
+        finally:
+            if hasattr(model, "train"):
+                model.train(was_training)
+        return np.concatenate(parts, axis=-2)
+
+    # ------------------------------------------------------------------ #
+    def update(self, inputs, targets, **kwargs):
+        """Online updates pass straight through to the wrapped forecaster."""
+        return self.forecaster.update(inputs, targets, **kwargs)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedForecaster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedForecaster(num_shards={self.num_shards}, mode={self.mode!r}, "
+            f"edge_cut={self.plan.edge_cut:.3f})"
+        )

@@ -1,0 +1,390 @@
+"""Multi-tenant model pool: byte-bounded LRU of per-tenant forecasters.
+
+The multi-tenant scenario is "one checkpoint per tenant, shared graph":
+every tenant trains its own parameters (a city district, a fleet, an A/B
+arm) over the *same* sensor network, so the expensive derived spatial state
+— diffusion supports, CSR transposes, fused stacks — must be built once and
+shared, not once per tenant.  :class:`ModelPool` enforces that by loading
+every tenant checkpoint against one shared :class:`~repro.graph.sensor_network.SensorNetwork`
+(hence one :class:`repro.graph.Graph`); the
+``support_cache_stats()["graph_support_builds"]`` counter stays flat as
+tenants are added, which the tests pin.
+
+Residency is byte-bounded: each loaded forecaster is measured
+(:func:`forecaster_nbytes` — parameters + optimizer slots + replay buffer)
+and least-recently-used tenants are evicted once the total exceeds
+``max_bytes``.  Evicted tenants reload transparently from their registered
+checkpoint path on the next request (a cold start, surfaced in
+:meth:`stats`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .forecaster import Forecaster
+
+__all__ = ["forecaster_nbytes", "PoolEntry", "ModelPool"]
+
+
+def forecaster_nbytes(forecaster) -> int:
+    """Resident bytes of one serving forecaster.
+
+    Counts model parameters, optimizer slot variables and the replay-buffer
+    contents — the per-tenant state.  The graph and its supports are shared
+    across tenants and deliberately not attributed to any one of them.
+    """
+    total = sum(
+        np.asarray(value).nbytes for value in forecaster.model.state_dict().values()
+    )
+    optimizer = forecaster._optimizer
+    if optimizer is not None:
+        for value in optimizer.state_dict().values():
+            if isinstance(value, list):
+                total += sum(np.asarray(slot).nbytes for slot in value)
+    buffer = getattr(forecaster.model, "buffer", None)
+    if buffer is not None and len(buffer):
+        inputs, targets = buffer.as_arrays()
+        total += inputs.nbytes + targets.nbytes
+    return int(total)
+
+
+class _ReadWriteLock:
+    """Writer-preferring readers/writer lock for one tenant's model.
+
+    Any number of predict workers share the read side; the serialized
+    update lane takes the write side, so an in-flight predict never
+    observes half-stepped parameters (the optimizer steps in place).
+    A waiting writer blocks *new* readers, which keeps a continuous
+    predict stream from starving online updates.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    class _Side:
+        __slots__ = ("_acquire", "_release")
+
+        def __init__(self, acquire, release):
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc):
+            self._release()
+
+    def read(self) -> "_ReadWriteLock._Side":
+        return self._Side(self.acquire_read, self.release_read)
+
+    def write(self) -> "_ReadWriteLock._Side":
+        return self._Side(self.acquire_write, self.release_write)
+
+
+class PoolEntry:
+    """One resident tenant: forecaster, serving view, lock, byte size."""
+
+    __slots__ = ("tenant", "forecaster", "served", "lock", "nbytes", "dirty")
+
+    def __init__(self, tenant: str, forecaster: Forecaster, served=None):
+        self.tenant = tenant
+        self.forecaster = forecaster
+        self.served = served if served is not None else forecaster
+        self.lock = _ReadWriteLock()
+        self.nbytes = forecaster_nbytes(forecaster)
+        # Online updates mutate in-memory state the checkpoint on disk does
+        # not have; a dirty entry is pinned against eviction (reloading it
+        # would silently discard accepted learning).
+        self.dirty = False
+
+    def refresh_nbytes(self) -> int:
+        """Re-measure after an online update (the replay buffer grows)."""
+        self.nbytes = forecaster_nbytes(self.forecaster)
+        return self.nbytes
+
+    def mark_dirty(self) -> None:
+        """Record un-persisted in-memory state (pins against eviction)."""
+        self.dirty = True
+
+
+class ModelPool:
+    """Byte-bounded LRU pool of :class:`Forecaster` instances by tenant id.
+
+    Parameters
+    ----------
+    max_bytes:
+        Resident-state bound; ``None`` disables eviction.  Only tenants
+        that can be reloaded (registered checkpoint path) and carry no
+        un-persisted online updates are evictable; the most recently used
+        tenant always stays, so a single tenant larger than the bound
+        still serves (the bound then acts on everyone else).
+    network:
+        The shared sensor network.  Defaults to the first loaded tenant's;
+        every later checkpoint must match it (same adjacency bytes) and is
+        rebuilt *against* it, so all tenants share one ``Graph`` and its
+        cached supports.
+    decorate:
+        Optional ``forecaster -> serving view`` hook applied on activation
+        (the engine wraps tenants in :class:`~repro.serve.sharding.ShardedForecaster`
+        through this).
+    """
+
+    def __init__(self, max_bytes: int | None = None, network=None, decorate=None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ConfigurationError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._network = network
+        self._decorate = decorate
+        self._paths: dict[str, Path] = {}
+        self._entries: "OrderedDict[str, PoolEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        # Per-tenant guards so one cold checkpoint load neither blocks the
+        # whole pool nor runs twice for concurrent misses on one tenant.
+        self._loading: dict[str, threading.Lock] = {}
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def network(self):
+        """The shared sensor network (``None`` until the first tenant)."""
+        return self._network
+
+    @property
+    def graph(self):
+        """The one shared :class:`repro.graph.Graph` (``None`` until loaded)."""
+        return None if self._network is None else self._network.graph
+
+    @property
+    def tenants(self) -> list[str]:
+        """Every known tenant id (resident or registered)."""
+        with self._lock:
+            known = dict.fromkeys(self._entries)
+            known.update(dict.fromkeys(self._paths))
+            return list(known)
+
+    @property
+    def resident(self) -> list[str]:
+        """Tenant ids currently loaded, LRU-first."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(entry.nbytes for entry in self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    def register(self, tenant: str, path: "str | Path") -> None:
+        """Associate ``tenant`` with a checkpoint path (loaded lazily)."""
+        with self._lock:
+            self._paths[str(tenant)] = Path(path)
+
+    def put(self, tenant: str, forecaster: Forecaster) -> PoolEntry:
+        """Insert an already-built forecaster for ``tenant``.
+
+        The forecaster must serve on the pool's shared network (same object
+        or, for the first tenant, it *becomes* the shared network).
+        """
+        tenant = str(tenant)
+        with self._lock:
+            if self._network is None:
+                self._network = forecaster.network
+            elif forecaster.network is not self._network:
+                raise ConfigurationError(
+                    f"tenant {tenant!r} was built on its own network; construct it "
+                    "against pool.network (or register its checkpoint path and let "
+                    "the pool load it) so all tenants share one graph"
+                )
+            entry = self._activate(tenant, forecaster)
+            return entry
+
+    def get(self, tenant: str) -> PoolEntry:
+        """The resident entry for ``tenant``, loading its checkpoint on miss.
+
+        A miss runs the checkpoint load (disk IO + model rebuild) *outside*
+        the pool-wide lock, so a cold tenant never stalls the hot path of
+        resident ones; a per-tenant guard dedupes concurrent misses.  Only
+        the very first load ever — the one that establishes the shared
+        network — stays under the pool lock.
+        """
+        tenant = str(tenant)
+        with self._lock:
+            entry = self._entries.get(tenant)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(tenant)
+                return entry
+            path = self._paths.get(tenant)
+            if path is None:
+                raise ConfigurationError(f"unknown tenant {tenant!r}")
+            shared = self._network
+            if shared is None:
+                # Startup path: this load defines the shared graph, and a
+                # racing first load must not define a second one.
+                forecaster = Forecaster.load(path, network=None)
+                self.loads += 1
+                self._network = forecaster.network
+                return self._activate(tenant, forecaster)
+            guard = self._loading.setdefault(tenant, threading.Lock())
+        with guard:
+            with self._lock:
+                entry = self._entries.get(tenant)
+                if entry is not None:
+                    # A racer finished the load while we waited on the guard.
+                    self.hits += 1
+                    self._entries.move_to_end(tenant)
+                    return entry
+            forecaster = Forecaster.load(path, network=shared)
+            with self._lock:
+                self.loads += 1
+                self._loading.pop(tenant, None)
+                return self._activate(tenant, forecaster)
+
+    def get_for_update(self, tenant: str) -> PoolEntry:
+        """Like :meth:`get`, but pin the entry dirty *before* returning.
+
+        The caller is about to mutate the tenant's in-memory state; marking
+        it dirty under the pool lock closes the window where a concurrent
+        eviction could select the still-clean entry and then the mutation
+        would land on an orphan (silently losing the update on reload).
+        """
+        with self._lock:
+            entry = self.get(tenant)
+            entry.mark_dirty()
+            return entry
+
+    def forecaster(self, tenant: str) -> Forecaster:
+        """Convenience: the loaded :class:`Forecaster` for ``tenant``."""
+        return self.get(tenant).forecaster
+
+    # ------------------------------------------------------------------ #
+    def _activate(self, tenant: str, forecaster: Forecaster) -> PoolEntry:
+        # Served models live in eval mode: every predict's save/restore of
+        # the mode is then idempotent under concurrency, and the update
+        # lane restores eval before releasing its write lock.
+        if hasattr(forecaster.model, "eval"):
+            forecaster.model.eval()
+        served = self._decorate(forecaster) if self._decorate is not None else None
+        entry = PoolEntry(tenant, forecaster, served=served)
+        self._entries[tenant] = entry
+        self._entries.move_to_end(tenant)
+        self._evict()
+        return entry
+
+    def _evict(self) -> None:
+        """Drop LRU entries until the byte bound holds.
+
+        Only *reloadable, clean* entries are evictable: a tenant without a
+        registered checkpoint path could never be served again, and a dirty
+        one (online updates since load) would silently lose accepted
+        learning — both stay pinned even over the bound, surfaced via
+        ``stats()["pinned"]``.  The evicted entry's serving view is NOT
+        closed here: a worker may be mid-predict on it; dropping the
+        reference lets it retire when the in-flight work finishes.
+        """
+        if self.max_bytes is None:
+            return
+        while len(self._entries) > 1 and self.resident_bytes > self.max_bytes:
+            victim = next(
+                (
+                    tenant
+                    for tenant, entry in self._entries.items()
+                    if tenant in self._paths and not entry.dirty
+                ),
+                None,
+            )
+            if victim is None or victim == next(reversed(self._entries)):
+                # Nothing evictable, or only the most recently used is left.
+                return
+            del self._entries[victim]
+            self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        with self._lock:
+            pinned = sum(
+                1
+                for tenant, entry in self._entries.items()
+                if entry.dirty or tenant not in self._paths
+            )
+            return {
+                "resident": len(self._entries),
+                "registered": len(self._paths),
+                "pinned": pinned,
+                "resident_bytes": self.resident_bytes,
+                "max_bytes": self.max_bytes,
+                "loads": self.loads,
+                "hits": self.hits,
+                "evictions": self.evictions,
+            }
+
+    def reset_views(self) -> None:
+        """Close decorated serving views; tenants stay resident, undecorated.
+
+        Used by a closing engine that attached its own decorator (sharding)
+        to a caller-owned pool: the pool survives for the next engine, the
+        shard executors do not.
+        """
+        with self._lock:
+            self._decorate = None
+            for entry in self._entries.values():
+                if entry.served is not entry.forecaster:
+                    close = getattr(entry.served, "close", None)
+                    if close is not None:
+                        close()
+                    entry.served = entry.forecaster
+
+    def close(self) -> None:
+        with self._lock:
+            for entry in self._entries.values():
+                close = getattr(entry.served, "close", None)
+                if close is not None and entry.served is not entry.forecaster:
+                    close()
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, tenant: str) -> bool:
+        with self._lock:
+            return tenant in self._entries or tenant in self._paths

@@ -13,6 +13,7 @@ The public entry point is :class:`Tensor`.  Gradients are accumulated into
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -35,7 +36,20 @@ __all__ = [
     "spmm_multi",
 ]
 
-_GRAD_ENABLED = True
+class _GradMode(threading.local):
+    """Per-thread gradient-recording flag.
+
+    Thread-local so a serving worker running ``no_grad`` inference never
+    flips recording off (or back on) under a training step in another
+    thread — the exact interleaving the serving engine's concurrent
+    predict/update lanes produce.
+    """
+
+    def __init__(self):
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 DEFAULT_DTYPE = np.float64
 
@@ -75,8 +89,8 @@ def default_dtype(dtype):
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient recording is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient recording is enabled in this thread."""
+    return _GRAD_MODE.enabled
 
 
 @contextlib.contextmanager
@@ -85,15 +99,16 @@ def no_grad():
 
     Mirrors ``torch.no_grad``: operations executed inside the block produce
     tensors detached from the autograd graph, which keeps evaluation and
-    replay-buffer bookkeeping cheap.
+    replay-buffer bookkeeping cheap.  The flag is per-thread (like torch's):
+    entering the block in one thread leaves recording untouched everywhere
+    else.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

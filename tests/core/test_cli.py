@@ -137,3 +137,42 @@ class TestServeWorkflow:
         assert main(["predict", "--checkpoint-dir", str(tmp_path / "bundle"),
                      "--input", str(tmp_path / "windows.npy")]) == 0
         assert "predicted 1 window(s)" in capsys.readouterr().out
+
+
+class TestServingCommands:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(["serve", "--checkpoint-dir", "d"])
+        assert args.command == "serve"
+        assert args.shards == 1 and args.workers == 2
+        bench = build_serve_parser().parse_args(["bench-serving"])
+        assert bench.tenants == 2 and bench.shards == 2
+
+    def test_serve_over_a_trained_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(["train", "--dataset", "pems08", "--scale", "smoke",
+                     "--checkpoint-dir", str(ckpt), "--sets", "1"]) == 0
+        capsys.readouterr()
+        stats = tmp_path / "serve.json"
+        assert main(["serve", "--checkpoint-dir", str(ckpt),
+                     "--requests", "24", "--concurrency", "4",
+                     "--max-batch-size", "4", "--shards", "2",
+                     "--num-windows", "6", "--output", str(stats)]) == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out and "batches:" in out
+        payload = json.loads(stats.read_text())
+        assert payload["loadgen"]["completed"] == 24
+        assert payload["loadgen"]["failed"] == 0
+        assert payload["engine"]["config"]["shards"] == 2
+
+    def test_bench_serving_records_sweep(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        assert main(["bench-serving", "--tenants", "2", "--shards", "2",
+                     "--concurrency", "4", "--requests", "16",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "batching speedup" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["sweep"]) == 4  # shards {1,2} x batching {off,on}
+        assert payload["batching_speedup"] > 0

@@ -1,0 +1,161 @@
+"""Mid-epoch checkpoint granularity: resume bit-exactly from any batch.
+
+``ContinualTrainer.run(checkpoint_every_n_batches=n)`` checkpoints inside a
+stream period.  Killing the process right after such a save and resuming
+must reproduce the uninterrupted run exactly: same per-set loss histories,
+same metrics, same final parameters — including when the kill lands in the
+middle of an epoch (the saved window order is replayed, not re-drawn).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.core.trainer import ContinualTrainer
+from repro.core.urcl import URCLModel
+from repro.exceptions import TrainingError
+from repro.utils.checkpoint import Checkpoint
+
+
+class _Killed(BaseException):
+    """Simulated process kill (not an Exception so nothing swallows it)."""
+
+
+class KillingTrainer(ContinualTrainer):
+    """Raises a simulated kill right after the ``kill_at``-th checkpoint save."""
+
+    kill_at: int | None = None
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.saves = 0
+
+    def save_checkpoint(self, *args, **kwargs):
+        path = super().save_checkpoint(*args, **kwargs)
+        self.saves += 1
+        if self.kill_at is not None and self.saves == self.kill_at:
+            raise _Killed
+        return path
+
+
+@pytest.fixture
+def training_config():
+    # Two base epochs x three batches so kill points can land mid-epoch,
+    # at an epoch boundary and on a set's final batch.
+    return TrainingConfig(
+        epochs_base=2,
+        epochs_incremental=1,
+        batch_size=8,
+        max_batches_per_epoch=3,
+        eval_max_windows=16,
+    )
+
+
+@pytest.fixture
+def make_trainer(tiny_scenario, tiny_urcl_config, training_config):
+    def _make(cls=ContinualTrainer, **kwargs):
+        spec = tiny_scenario.spec
+        model = URCLModel(
+            tiny_scenario.network,
+            in_channels=spec.num_channels,
+            input_steps=spec.input_steps,
+            output_steps=spec.output_steps,
+            config=tiny_urcl_config,
+            rng=0,
+        )
+        trainer = cls(model, training_config)
+        for key, value in kwargs.items():
+            setattr(trainer, key, value)
+        return trainer
+
+    return _make
+
+
+def _assert_results_identical(first, second):
+    assert [entry.name for entry in first.sets] == [entry.name for entry in second.sets]
+    for a, b in zip(first.sets, second.sets):
+        assert a.loss_history == b.loss_history, a.name
+        assert a.epochs == b.epochs
+        assert (a.metrics.mae, a.metrics.rmse) == (b.metrics.mae, b.metrics.rmse), a.name
+
+
+class TestMidEpochResume:
+    # With checkpoint_every_n_batches=2 and 6 batches in the base set, saves
+    # land at (epoch 0, batch 1), (epoch 1, batch 0), (epoch 1, batch 2) and
+    # the set boundary — kill points 1..3 hit mid-epoch, the epoch boundary
+    # and the period's final batch respectively; 4 hits the boundary save.
+    @pytest.mark.parametrize("kill_at", [1, 2, 3, 4])
+    def test_killed_mid_period_run_resumes_bit_exactly(
+        self, tmp_path, make_trainer, tiny_scenario, kill_at
+    ):
+        uninterrupted = make_trainer().run(tiny_scenario, max_sets=2)
+
+        interrupted = make_trainer(KillingTrainer, kill_at=kill_at)
+        with pytest.raises(_Killed):
+            interrupted.run(
+                tiny_scenario,
+                max_sets=2,
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every_n_batches=2,
+            )
+
+        # "New process": everything rebuilt from disk.
+        resumed = ContinualTrainer.resume(tmp_path / "ckpt", tiny_scenario)
+        if kill_at < 4:
+            assert resumed._mid_set is not None
+            assert resumed.completed_sets == 0
+        result = resumed.run(tiny_scenario, max_sets=2)
+
+        _assert_results_identical(uninterrupted, result)
+        fresh = make_trainer()
+        fresh.run(tiny_scenario, max_sets=2)
+        resumed_state = resumed.model.state_dict()
+        for key, value in fresh.model.state_dict().items():
+            assert np.array_equal(value, resumed_state[key]), key
+
+    def test_mid_set_progress_round_trips_through_the_bundle(
+        self, tmp_path, make_trainer, tiny_scenario
+    ):
+        interrupted = make_trainer(KillingTrainer, kill_at=1)
+        with pytest.raises(_Killed):
+            interrupted.run(
+                tiny_scenario,
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every_n_batches=2,
+            )
+        mid_set = Checkpoint.load(tmp_path / "ckpt").meta["progress"]["mid_set"]
+        assert mid_set["set_index"] == 0
+        assert mid_set["epoch_index"] == 0
+        assert mid_set["batch_index"] == 1
+        assert len(mid_set["losses"]) == 2
+        assert len(mid_set["order"]) == len(tiny_scenario.base_set.train)
+
+    def test_set_boundary_checkpoints_carry_no_mid_state(
+        self, tmp_path, make_trainer, tiny_scenario
+    ):
+        make_trainer().run(
+            tiny_scenario, max_sets=1, checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every_n_batches=10_000,
+        )
+        assert Checkpoint.load(tmp_path / "ckpt").meta["progress"]["mid_set"] is None
+
+    def test_periodic_checkpointing_does_not_perturb_training(
+        self, tmp_path, make_trainer, tiny_scenario
+    ):
+        plain = make_trainer().run(tiny_scenario, max_sets=2)
+        checkpointed = make_trainer().run(
+            tiny_scenario, max_sets=2, checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every_n_batches=1,
+        )
+        _assert_results_identical(plain, checkpointed)
+
+    def test_requires_checkpoint_dir(self, make_trainer, tiny_scenario):
+        with pytest.raises(TrainingError):
+            make_trainer().run(tiny_scenario, checkpoint_every_n_batches=2)
+
+    def test_rejects_nonpositive_cadence(self, tmp_path, make_trainer, tiny_scenario):
+        with pytest.raises(TrainingError):
+            make_trainer().run(
+                tiny_scenario, checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every_n_batches=0,
+            )

@@ -164,6 +164,31 @@ class TestDataLoader:
                 np.testing.assert_array_equal(batch.inputs[position], window.inputs)
                 np.testing.assert_array_equal(batch.targets[position], window.targets)
 
+    def test_iter_batches_replays_an_explicit_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=4, shuffle=True, rng=9)
+        order = loader.draw_order()
+        replayed = [b.indices.tolist() for b in loader.iter_batches(order)]
+        assert [i for batch in replayed for i in batch] == order.tolist()
+
+    def test_iter_batches_start_batch_skips_absolute_positions(self, dataset):
+        loader = DataLoader(dataset, batch_size=4)
+        order = np.arange(len(dataset))
+        full = [b.indices.tolist() for b in loader.iter_batches(order)]
+        resumed = [b.indices.tolist() for b in loader.iter_batches(order, start_batch=2)]
+        assert resumed == full[2:]
+        assert list(loader.iter_batches(order, start_batch=len(full))) == []
+
+    def test_draw_order_consumes_the_shared_rng(self, dataset):
+        rng = np.random.default_rng(5)
+        loader = DataLoader(dataset, batch_size=4, shuffle=True, rng=rng)
+        first = loader.draw_order()
+        second = loader.draw_order()
+        assert not np.array_equal(first, second)  # the stream advanced
+        reference = np.random.default_rng(5)
+        expected = np.arange(len(dataset))
+        reference.shuffle(expected)
+        np.testing.assert_array_equal(first, expected)
+
     def test_batches_are_writable_copies(self, dataset):
         batch = next(iter(DataLoader(dataset, batch_size=4)))
         assert batch.inputs.flags.writeable

@@ -223,3 +223,43 @@ class TestDelta:
             result = graph.apply_delta(GraphDelta(node_keep=keep, description="dn"))
         assert result.name == "test+dn"
         assert result.directed == graph.directed
+
+
+class TestShardViews:
+    def test_row_block_is_a_contiguous_csr_slice(self, graph, dense_adjacency):
+        block = graph.row_block(3, 9)
+        assert sp.issparse(block)
+        np.testing.assert_array_equal(block.toarray(), dense_adjacency[3:9])
+        with pytest.raises(GraphError):
+            graph.row_block(-1, 5)
+        with pytest.raises(GraphError):
+            graph.row_block(5, 99)
+
+    def test_shard_view_isolates_masked_nodes(self, graph):
+        keep = np.zeros(graph.num_nodes, dtype=bool)
+        keep[:7] = True
+        view = graph.shard_view(keep, name="shard0")
+        dense = view.to_dense()
+        assert view.num_nodes == graph.num_nodes  # node set preserved
+        assert not dense[7:, :].any() and not dense[:, 7:].any()
+        np.testing.assert_array_equal(dense[:7, :7], graph.to_dense()[:7, :7])
+        assert view.name.endswith("shard0")
+
+    def test_shard_view_with_full_mask_is_identity(self, graph):
+        assert graph.shard_view(np.ones(graph.num_nodes, dtype=bool)) is graph
+
+
+class TestSupportBuildCounter:
+    def test_builds_counted_once_per_knob_key(self, graph):
+        before = gs.support_cache_stats()["graph_support_builds"]
+        graph.supports(2)
+        graph.supports(2)
+        graph.conv_supports(2)
+        assert gs.support_cache_stats()["graph_support_builds"] == before + 1
+        graph.supports(3)  # a different order is a genuine second build
+        assert gs.support_cache_stats()["graph_support_builds"] == before + 2
+
+    def test_counter_resets_with_the_cache(self, graph):
+        graph.supports(2)
+        gs.clear_support_cache()
+        assert gs.support_cache_stats()["graph_support_builds"] == 0

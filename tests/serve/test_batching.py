@@ -1,0 +1,105 @@
+"""Unit tests for the deadline-based dynamic micro-batcher."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EngineClosed
+from repro.serve.batching import DynamicBatcher, PendingRequest
+
+
+def make_request(tenant="default", shape=(4, 3, 2)):
+    return PendingRequest(window=np.zeros(shape), tenant=tenant)
+
+
+class TestSizeFlush:
+    def test_flush_on_max_batch_size(self):
+        batcher = DynamicBatcher(max_batch_size=3, max_delay_ms=10_000)
+        assert batcher.add(make_request()) is None
+        assert batcher.add(make_request()) is None
+        batch = batcher.add(make_request())
+        assert batch is not None and len(batch) == 3
+        assert not batch.due_to_deadline
+        assert len(batcher) == 0
+
+    def test_stack_shape(self):
+        batcher = DynamicBatcher(max_batch_size=2, max_delay_ms=10_000)
+        batcher.add(make_request())
+        batch = batcher.add(make_request())
+        assert batch.stack().shape == (2, 4, 3, 2)
+
+    def test_buckets_are_per_tenant_and_shape(self):
+        batcher = DynamicBatcher(max_batch_size=2, max_delay_ms=10_000)
+        assert batcher.add(make_request(tenant="a")) is None
+        assert batcher.add(make_request(tenant="b")) is None
+        assert batcher.add(make_request(tenant="a", shape=(5, 3, 2))) is None
+        # Only the exact (tenant, shape) pairing completes a batch.
+        batch = batcher.add(make_request(tenant="a"))
+        assert batch is not None and batch.tenant == "a"
+        assert all(r.window.shape == (4, 3, 2) for r in batch.requests)
+        assert len(batcher) == 2
+
+
+class TestDeadlineFlush:
+    def test_wait_due_returns_expired_bucket(self):
+        batcher = DynamicBatcher(max_batch_size=100, max_delay_ms=10)
+        batcher.add(make_request())
+        start = time.monotonic()
+        batches = batcher.wait_due(timeout=5.0)
+        elapsed = time.monotonic() - start
+        assert len(batches) == 1 and len(batches[0]) == 1
+        assert batches[0].due_to_deadline
+        assert elapsed >= 0.008
+
+    def test_wait_due_timeout_with_no_traffic(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_delay_ms=1)
+        assert batcher.wait_due(timeout=0.05) == []
+
+    def test_add_wakes_a_blocked_waiter(self):
+        batcher = DynamicBatcher(max_batch_size=100, max_delay_ms=5)
+        results = []
+
+        def waiter():
+            results.extend(batcher.wait_due(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)  # waiter is parked with no deadline to wait for
+        batcher.add(make_request())
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(results) == 1
+
+
+class TestCloseAndDrain:
+    def test_drain_returns_everything(self):
+        batcher = DynamicBatcher(max_batch_size=100, max_delay_ms=10_000)
+        batcher.add(make_request(tenant="a"))
+        batcher.add(make_request(tenant="b"))
+        batches = batcher.drain()
+        assert sorted(batch.tenant for batch in batches) == ["a", "b"]
+        assert len(batcher) == 0
+
+    def test_close_wakes_waiters_and_rejects_adds(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_delay_ms=10_000)
+        done = threading.Event()
+
+        def waiter():
+            batcher.wait_due()
+            done.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        batcher.close()
+        assert done.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+        with pytest.raises(EngineClosed):
+            batcher.add(make_request())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_delay_ms=-1)

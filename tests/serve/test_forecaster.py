@@ -61,9 +61,63 @@ class TestPredict:
             forecaster.predict(raw_windows, batch_size=64),
         )
 
+    def test_micro_batching_with_ragged_tail(self, forecaster, raw_windows):
+        # 5 windows at batch_size 2 -> slices 2/2/1 into one preallocated
+        # output buffer; must equal the fused call bit-for-bit.
+        assert raw_windows.shape[0] % 2 == 1
+        assert np.array_equal(
+            forecaster.predict(raw_windows, batch_size=2),
+            forecaster.predict(raw_windows, batch_size=raw_windows.shape[0]),
+        )
+
     def test_bad_rank_raises(self, forecaster):
         with pytest.raises(ShapeError):
             forecaster.predict(np.zeros((4, 4)))
+
+
+class TestPredictMany:
+    def test_groups_match_individual_predicts(self, forecaster, raw_windows):
+        stacks = {"a": raw_windows[:2], "b": raw_windows[2:5], "c": raw_windows[:1]}
+        fused = forecaster.predict_many(stacks)
+        assert set(fused) == {"a", "b", "c"}
+        for key, stack in stacks.items():
+            assert np.array_equal(fused[key], forecaster.predict(stack)), key
+
+    def test_single_windows_keep_their_shape(self, forecaster, raw_windows):
+        fused = forecaster.predict_many({"one": raw_windows[0], "many": raw_windows[:3]})
+        assert np.array_equal(fused["one"], forecaster.predict(raw_windows[0]))
+        assert fused["one"].ndim == 3
+        assert fused["many"].shape[0] == 3
+
+    def test_mixed_shapes_group_separately(self, forecaster, raw_windows, tiny_scenario):
+        # Same rank, different time lengths: grouped into two fused calls
+        # (the dilated encoder accepts any window >= its receptive field).
+        spec = tiny_scenario.spec
+        series = tiny_scenario.raw_series
+        longer = np.stack([series[0 : spec.input_steps + 2]])
+        fused = forecaster.predict_many({"w": raw_windows[:2], "x": longer})
+        assert fused["w"].shape[0] == 2
+        assert np.array_equal(fused["x"], forecaster.predict(longer))
+
+    def test_counts_model_calls(self, forecaster, raw_windows, monkeypatch):
+        calls = []
+        real = forecaster.model.predict
+
+        def counting(*args, **kwargs):
+            calls.append(args[0].shape[0])
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(forecaster.model, "predict", counting)
+        forecaster.predict_many({"a": raw_windows[:2], "b": raw_windows[2:4]})
+        # One fused forward for both same-shape stacks, not one per key.
+        assert calls == [4]
+
+    def test_empty_stack_raises(self, forecaster, raw_windows):
+        with pytest.raises(ShapeError):
+            forecaster.predict_many({"empty": raw_windows[:0]})
+
+    def test_empty_dict_is_fine(self, forecaster):
+        assert forecaster.predict_many({}) == {}
 
 
 class TestGraphOverride:
