@@ -1,34 +1,45 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: ci test bench-smoke bench-hot-path bench-spatial bench-spatial-smoke \
+.PHONY: ci test bench-smoke bench-hot-path bench-hot-path-smoke \
+	bench-spatial bench-spatial-smoke \
 	bench-serving bench-serving-smoke examples-smoke
 
 # Tier-1 gate: full unit suite, ~10-second smokes of the Fig. 7 efficiency
-# benchmark, the spatial kernel and the serving engine (catch hot-path and
-# serving regressions that unit tests miss; each records its JSON trajectory
-# per PR), plus the three runnable examples (quickstart, online forecasting,
-# serving demo) as end-to-end smokes of the public API surface.
-ci: test bench-smoke bench-spatial-smoke bench-serving-smoke examples-smoke
+# benchmark, the traced-vs-eager hot path, the spatial kernel and the
+# serving engine (catch hot-path and serving regressions that unit tests
+# miss; each records its JSON trajectory per PR), plus the three runnable
+# examples (quickstart, online forecasting, serving demo) as end-to-end
+# smokes of the public API surface.
+ci: test bench-smoke bench-hot-path-smoke bench-spatial-smoke \
+	bench-serving-smoke examples-smoke
 
 test:
 	$(PYTHON) -m pytest tests -x -q
 
 # End-to-end smokes of the documented workflows: continual training via the
-# quickstart, the predict->update->save/load serving loop, and the async
-# multi-tenant engine with concurrent predict + online update.
+# quickstart, the predict->update->save/load serving loop, the async
+# multi-tenant engine with concurrent predict + online update, and the
+# traced-vs-eager capture/replay walkthrough (asserts bit-parity).
 examples-smoke:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/online_forecasting.py
 	$(PYTHON) examples/serving_demo.py
+	$(PYTHON) examples/compiled_execution.py
 
 bench-smoke:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_fig7_efficiency.py -x -q
 
-# Full hot-path measurement (steps/sec, eval windows/sec, f32/f64 parity);
-# appends to benchmarks/results/BENCH_hot_path.json.
+# Full hot-path measurement (traced vs eager steps/sec, eval windows/sec,
+# compiled-loop throughput, f32/f64 parity); appends to
+# benchmarks/results/BENCH_hot_path.json.
 bench-hot-path:
 	$(PYTHON) benchmarks/bench_hot_path.py
+
+# Fast traced-vs-eager smoke: asserts capture/replay stays bit-identical to
+# eager on a real training loop without the full sweep.
+bench-hot-path-smoke:
+	$(PYTHON) benchmarks/bench_hot_path.py --scale smoke --steps 4 --skip-parity
 
 # Spatial-kernel sweep (CSR vs dense across node counts and densities);
 # appends to benchmarks/results/BENCH_spatial.json.

@@ -1,13 +1,29 @@
-"""Hot-path micro-benchmark: training steps/sec and eval windows/sec.
+"""Hot-path micro-benchmark: traced (compiled) vs eager, full step + hot loop.
 
-Measures the numeric hot path end to end on the Fig. 7 efficiency
-configuration (URCL on PEMS04): full training steps (forward, backward,
-gradient clipping, Adam) and batched evaluation, at float64 and float32.
-It also trains the Table 3 smoke configuration at both dtypes and checks
-that MAE/RMSE/MAPE agree within 1e-3, so the speedup never silently trades
-away accuracy.
+Measures the numeric hot path on the Fig. 7 efficiency configuration (URCL
+on PEMS04) in a 2x2 sweep — {float64, float32} x {eager, traced} — at two
+granularities:
 
-Results are printed as a table and appended to
+* **full step**: the complete URCL training step (RMIR retrieval, mixup,
+  contrastive branch, backward, clipping, Adam) plus batched evaluation.
+  RMIR's candidate scoring makes this largely numpy-compute-bound, so the
+  traced gain here is modest by construction.
+* **hot loop**: the part the tracing layer compiles — the backbone train
+  step (forward, backward, clip, Adam) and the serving-shaped single-window
+  predict — where replay removes all per-op Python dispatch.
+
+Timing methodology: shared-host CPU speed drifts minute to minute, so each
+dtype's eager and traced runs are split into *interleaved rounds* (eager
+round 1, traced round 1, eager round 2, ...) and the recorded rate is the
+best round per mode — both modes sample the same wall-clock windows and a
+slow period cannot penalise one mode only.
+
+Traced and eager runs consume identical RNG streams, so the recorded final
+losses double as a bit-parity check (``loss_bitwise_equal``).  The Table 3
+smoke configuration is also trained at both dtypes and checked to agree
+within 1e-3, so the speedups never silently trade away accuracy.
+
+Results are printed as tables and appended to
 ``benchmarks/results/BENCH_hot_path.json`` so the perf trajectory is
 recorded across PRs.
 
@@ -29,14 +45,27 @@ from repro.core.evaluation import evaluate_model
 from repro.core.trainer import ContinualTrainer
 from repro.data.loader import DataLoader
 from repro.experiments.common import make_scenario, make_training, make_urcl
-from repro.nn.optim import clip_grad_norm
 from repro.experiments.reporting import format_table
-from repro.tensor import default_dtype
+from repro.nn.losses import mae_loss
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.tensor import (
+    Tensor,
+    clear_program_cache,
+    default_dtype,
+    program_cache_stats,
+    run_compiled,
+    traced_execution,
+)
 from repro.utils.serialization import save_json
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_hot_path.json"
 
 DTYPES = ("float64", "float32")
+MODES = ("eager", "traced")
+ROUNDS = 4
+
+# Full-step f32 steps/sec before the tracing layer landed (ROADMAP item 1).
+BASELINE_F32_STEPS_PER_SEC = 8.85
 
 
 def _collect_batches(dataset, batch_size: int, steps: int, seed: int):
@@ -52,49 +81,221 @@ def _collect_batches(dataset, batch_size: int, steps: int, seed: int):
     return batches
 
 
-def bench_training(dtype: str, steps: int, seed: int, dataset: str, scale: str) -> dict:
-    """Steps/sec of the full URCL training step at ``dtype``."""
-    with default_dtype(dtype):
-        scenario = make_scenario(dataset, scale, seed=seed + 7)
-        training = make_training(scale, seed=seed)
-        model = make_urcl(scenario, scale, seed=seed)
-        trainer = ContinualTrainer(model, training)
-        base = scenario.base_set
-        batches = _collect_batches(base.train, training.batch_size, steps, seed)
+def _round_slices(count: int, rounds: int) -> list[slice]:
+    rounds = max(1, min(rounds, count))
+    size = -(-count // rounds)  # ceil division
+    return [slice(start, min(start + size, count)) for start in range(0, count, size)]
 
-        def one_step(batch):
-            # Mirrors ContinualTrainer._train_one_epoch exactly, clipping included.
-            step = model.training_step(batch.inputs, batch.targets, set_name=base.name)
-            model.zero_grad()
-            step.total_loss.backward()
-            if training.grad_clip > 0:
-                clip_grad_norm(model.parameters(), training.grad_clip)
-            trainer.optimizer.step()
-            return step
 
-        one_step(batches[0])  # warmup: builds buffers, primes the replay path
-        start = time.perf_counter()
-        for batch in batches:
-            step = one_step(batch)
-        elapsed = time.perf_counter() - start
-
-        eval_start = time.perf_counter()
-        metrics = evaluate_model(
-            model.backbone,
-            base.test,
-            batch_size=training.eval_batch_size,
-            scaler=scenario.scaler,
-            target_channel=scenario.spec.target_channel if scenario.spec else None,
-        )
-        eval_elapsed = time.perf_counter() - eval_start
-        eval_windows = len(base.test)
-
+def _cache_summary() -> dict:
+    stats = program_cache_stats()
     return {
-        "steps_per_sec": steps / elapsed,
-        "eval_windows_per_sec": eval_windows / eval_elapsed,
-        "final_loss": step.task_loss,
-        "eval_mae": metrics.mae,
+        key: stats[key]
+        for key in (
+            "captures", "replays", "backward_replays",
+            "eager_calls", "untraceable", "shape_misses",
+        )
     }
+
+
+class _FullStepRunner:
+    """One mode's full URCL training run, steppable in timed rounds."""
+
+    def __init__(self, dtype: str, steps: int, seed: int, dataset: str,
+                 scale: str, traced: bool):
+        self.dtype = dtype
+        self.traced = traced
+        with default_dtype(dtype), traced_execution(traced):
+            self.scenario = make_scenario(dataset, scale, seed=seed + 7)
+            self.training = make_training(scale, seed=seed)
+            self.model = make_urcl(self.scenario, scale, seed=seed)
+            self.trainer = ContinualTrainer(self.model, self.training)
+            self.base = self.scenario.base_set
+            self.batches = _collect_batches(
+                self.base.train, self.training.batch_size, steps, seed
+            )
+        self.last_step = None
+
+    def _one_step(self, batch):
+        # Mirrors ContinualTrainer._train_one_epoch exactly, clipping included.
+        step = self.model.training_step(
+            batch.inputs, batch.targets, set_name=self.base.name
+        )
+        self.model.zero_grad()
+        step.total_loss.backward()
+        if self.training.grad_clip > 0:
+            clip_grad_norm(self.model.parameters(), self.training.grad_clip)
+        self.trainer.optimizer.step()
+        return step
+
+    def warmup(self) -> None:
+        with default_dtype(self.dtype), traced_execution(self.traced):
+            self._one_step(self.batches[0])
+
+    def run_round(self, batch_slice: slice) -> tuple[int, float]:
+        """Run a contiguous slice of the step stream; return (steps, seconds)."""
+        batches = self.batches[batch_slice]
+        with default_dtype(self.dtype), traced_execution(self.traced):
+            start = time.perf_counter()
+            for batch in batches:
+                self.last_step = self._one_step(batch)
+            return len(batches), time.perf_counter() - start
+
+    def evaluate(self) -> tuple[int, float, float]:
+        """Batched eval over the test split; return (windows, seconds, mae)."""
+        with default_dtype(self.dtype), traced_execution(self.traced):
+            start = time.perf_counter()
+            metrics = evaluate_model(
+                self.model.backbone,
+                self.base.test,
+                batch_size=self.training.eval_batch_size,
+                scaler=self.scenario.scaler,
+                target_channel=(
+                    self.scenario.spec.target_channel if self.scenario.spec else None
+                ),
+            )
+            elapsed = time.perf_counter() - start
+        return len(self.base.test), elapsed, metrics.mae
+
+
+class _HotLoopRunner:
+    """One mode's compiled hot loop: backbone train step + serving predict.
+
+    This isolates what the tracing layer accelerates — the per-op Python
+    dispatch of the train/predict loop — from the URCL extras (RMIR
+    scoring, contrastive branch) that surround it in the full step.
+    """
+
+    def __init__(self, dtype: str, seed: int, dataset: str, scale: str,
+                 traced: bool):
+        self.dtype = dtype
+        self.traced = traced
+        with default_dtype(dtype), traced_execution(traced):
+            scenario = make_scenario(dataset, scale, seed=seed + 7)
+            training = make_training(scale, seed=seed)
+            model = make_urcl(scenario, scale, seed=seed)
+            self.backbone = model.backbone
+            batch = _collect_batches(
+                scenario.base_set.train, training.batch_size, 1, seed
+            )[0]
+            self.inputs, self.targets = batch.inputs, batch.targets
+            self.window = np.asarray(batch.inputs[:1])
+            self.grad_clip = training.grad_clip
+            self.optimizer = Adam(
+                self.backbone.parameters(),
+                lr=training.learning_rate,
+                weight_decay=training.weight_decay,
+            )
+        self.final_loss = None
+        self.prediction = None
+
+    def _one_step(self):
+        predictions = run_compiled(
+            self.backbone, self.backbone.forward, Tensor(self.inputs), kind="train"
+        )
+        loss = mae_loss(predictions, Tensor(self.targets))
+        self.backbone.zero_grad()
+        loss.backward()
+        if self.grad_clip > 0:
+            clip_grad_norm(self.backbone.parameters(), self.grad_clip)
+        self.optimizer.step()
+        return loss
+
+    def warmup(self) -> None:
+        with default_dtype(self.dtype), traced_execution(self.traced):
+            self.backbone.train(True)
+            self._one_step()
+            self.backbone.train(False)
+            self.backbone.predict(self.window)
+
+    def run_train_round(self, iters: int) -> float:
+        with default_dtype(self.dtype), traced_execution(self.traced):
+            self.backbone.train(True)
+            start = time.perf_counter()
+            for _ in range(iters):
+                loss = self._one_step()
+            elapsed = time.perf_counter() - start
+            self.final_loss = float(loss.item())
+        return elapsed
+
+    def run_predict_round(self, iters: int) -> float:
+        with default_dtype(self.dtype), traced_execution(self.traced):
+            self.backbone.train(False)
+            start = time.perf_counter()
+            for _ in range(iters):
+                self.prediction = self.backbone.predict(self.window)
+            return time.perf_counter() - start
+
+
+def bench_full_step(dtype: str, steps: int, seed: int, dataset: str,
+                    scale: str) -> dict:
+    """Interleaved eager/traced sweep of the full URCL training step."""
+    clear_program_cache()
+    runners = {
+        mode: _FullStepRunner(dtype, steps, seed, dataset, scale, mode == "traced")
+        for mode in MODES
+    }
+    for runner in runners.values():
+        runner.warmup()
+    best = {mode: 0.0 for mode in MODES}
+    for batch_slice in _round_slices(steps, ROUNDS):
+        for mode, runner in runners.items():
+            count, elapsed = runner.run_round(batch_slice)
+            best[mode] = max(best[mode], count / elapsed)
+    eval_best, eval_mae = {mode: 0.0 for mode in MODES}, {}
+    for _ in range(2):  # two interleaved eval passes, best-of
+        for mode, runner in runners.items():
+            windows, elapsed, mae = runner.evaluate()
+            eval_best[mode] = max(eval_best[mode], windows / elapsed)
+            eval_mae[mode] = mae
+    result = {}
+    for mode, runner in runners.items():
+        result[mode] = {
+            "steps_per_sec": best[mode],
+            "eval_windows_per_sec": eval_best[mode],
+            "final_loss": runner.last_step.task_loss,
+            "eval_mae": eval_mae[mode],
+        }
+    result["traced"]["program_cache"] = _cache_summary()
+    return result
+
+
+def bench_hot_loop(dtype: str, steps: int, seed: int, dataset: str,
+                   scale: str) -> dict:
+    """Interleaved eager/traced sweep of the compiled train/predict hot loop."""
+    clear_program_cache()
+    train_iters = max(steps // 2, 5)
+    predict_iters = max(5 * steps, 25)
+    runners = {
+        mode: _HotLoopRunner(dtype, seed, dataset, scale, mode == "traced")
+        for mode in MODES
+    }
+    for runner in runners.values():
+        runner.warmup()
+    train_best = {mode: 0.0 for mode in MODES}
+    predict_best = {mode: 0.0 for mode in MODES}
+    for _ in range(ROUNDS):
+        for mode, runner in runners.items():
+            train_best[mode] = max(
+                train_best[mode], train_iters / runner.run_train_round(train_iters)
+            )
+        for mode, runner in runners.items():
+            predict_best[mode] = max(
+                predict_best[mode],
+                predict_iters / runner.run_predict_round(predict_iters),
+            )
+    result = {}
+    for mode, runner in runners.items():
+        result[mode] = {
+            "train_steps_per_sec": train_best[mode],
+            "predict_windows_per_sec": predict_best[mode],
+            "final_loss": runner.final_loss,
+            "prediction_checksum": float(
+                np.asarray(runner.prediction, dtype=np.float64).sum()
+            ),
+        }
+    result["traced"]["program_cache"] = _cache_summary()
+    return result
 
 
 def bench_metric_parity(seed: int, dataset: str) -> dict:
@@ -124,7 +325,7 @@ def bench_metric_parity(seed: int, dataset: str) -> dict:
 
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--steps", type=int, default=40, help="training steps per dtype")
+    parser.add_argument("--steps", type=int, default=40, help="training steps per run")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--dataset", default="pems04", help="Fig. 7 uses PEMS04")
     parser.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"))
@@ -137,35 +338,82 @@ def main(argv=None) -> dict:
         "scale": args.scale,
         "steps": args.steps,
         "seed": args.seed,
+        "baseline_f32_steps_per_sec": BASELINE_F32_STEPS_PER_SEC,
         "timings": {},
+        "hot_loop": {},
+        "traced_speedup": {},
     }
     for dtype in DTYPES:
-        record["timings"][dtype] = bench_training(
-            dtype, steps=args.steps, seed=args.seed, dataset=args.dataset, scale=args.scale
+        record["timings"][dtype] = bench_full_step(
+            dtype, args.steps, args.seed, args.dataset, args.scale
         )
-    f64 = record["timings"]["float64"]
-    f32 = record["timings"]["float32"]
-    record["speedup_steps_per_sec"] = f32["steps_per_sec"] / f64["steps_per_sec"]
-    record["speedup_eval_windows_per_sec"] = (
-        f32["eval_windows_per_sec"] / f64["eval_windows_per_sec"]
-    )
+        record["hot_loop"][dtype] = bench_hot_loop(
+            dtype, args.steps, args.seed, args.dataset, args.scale
+        )
+        full, loop = record["timings"][dtype], record["hot_loop"][dtype]
+        record["traced_speedup"][dtype] = {
+            "full_step": full["traced"]["steps_per_sec"] / full["eager"]["steps_per_sec"],
+            "eval": (
+                full["traced"]["eval_windows_per_sec"]
+                / full["eager"]["eval_windows_per_sec"]
+            ),
+            "hot_loop_train": (
+                loop["traced"]["train_steps_per_sec"]
+                / loop["eager"]["train_steps_per_sec"]
+            ),
+            "predict": (
+                loop["traced"]["predict_windows_per_sec"]
+                / loop["eager"]["predict_windows_per_sec"]
+            ),
+            # Same seeds, same RNG streams: replay must match eager bit-for-bit.
+            "loss_bitwise_equal": (
+                full["traced"]["final_loss"] == full["eager"]["final_loss"]
+                and loop["traced"]["final_loss"] == loop["eager"]["final_loss"]
+            ),
+        }
+    f32_loop = record["hot_loop"]["float32"]["traced"]["train_steps_per_sec"]
+    f32_full = record["timings"]["float32"]["traced"]["steps_per_sec"]
+    record["f32_vs_baseline"] = {
+        "full_step": f32_full / BASELINE_F32_STEPS_PER_SEC,
+        "hot_loop_train": f32_loop / BASELINE_F32_STEPS_PER_SEC,
+    }
     if not args.skip_parity:
         record["metric_parity"] = bench_metric_parity(args.seed, args.dataset)
 
-    headers = ["dtype", "train steps/s", "eval windows/s", "final loss", "eval MAE"]
+    headers = [
+        "dtype", "mode", "full steps/s", "eval windows/s",
+        "hot-loop steps/s", "predict/s", "final loss",
+    ]
     rows = [
         [
             dtype,
-            values["steps_per_sec"],
-            values["eval_windows_per_sec"],
-            values["final_loss"],
-            values["eval_mae"],
+            mode,
+            record["timings"][dtype][mode]["steps_per_sec"],
+            record["timings"][dtype][mode]["eval_windows_per_sec"],
+            record["hot_loop"][dtype][mode]["train_steps_per_sec"],
+            record["hot_loop"][dtype][mode]["predict_windows_per_sec"],
+            record["timings"][dtype][mode]["final_loss"],
         ]
-        for dtype, values in record["timings"].items()
+        for dtype in DTYPES
+        for mode in MODES
     ]
-    print(format_table(headers, rows, title=f"Hot path — URCL on {args.dataset} ({args.scale})"))
-    print(f"float32 speedup: {record['speedup_steps_per_sec']:.2f}x training, "
-          f"{record['speedup_eval_windows_per_sec']:.2f}x eval")
+    print(format_table(
+        headers, rows,
+        title=f"Hot path — URCL on {args.dataset} ({args.scale}), traced vs eager",
+    ))
+    for dtype in DTYPES:
+        s = record["traced_speedup"][dtype]
+        print(
+            f"{dtype} traced speedup: {s['full_step']:.2f}x full step, "
+            f"{s['eval']:.2f}x eval, {s['hot_loop_train']:.2f}x hot-loop train, "
+            f"{s['predict']:.2f}x predict "
+            f"(bit-parity {'ok' if s['loss_bitwise_equal'] else 'FAILED'})"
+        )
+    base = record["f32_vs_baseline"]
+    print(
+        f"f32 vs pre-compilation baseline ({BASELINE_F32_STEPS_PER_SEC} steps/s): "
+        f"{base['full_step']:.2f}x full step, {base['hot_loop_train']:.2f}x hot-loop train"
+    )
     if "metric_parity" in record:
         diff = record["metric_parity"]["max_abs_diff"]
         print(f"metric parity (Table 3 smoke): max |f32 - f64| = {diff:.2e}")

@@ -21,29 +21,47 @@ class AddEdge(Augmentation):
     are merged in via a ``GraphDelta`` update set combined by elementwise
     maximum (``A[i, j] = max(A[i, j], w)``), both directions at once.
 
-    Note: the "distant pairs" criterion needs pairwise hop counts, which is
-    inherently an ``O(N^2)`` computation — AddEdge is the one augmentation
-    that does not scale to very large ``N`` (the delta application itself
-    still never densifies the adjacency).
+    The "distant pairs" criterion needs hop counts.  Rather than the dense
+    pairwise hop matrix (``O(N^2)`` memory), up to ``max_sources`` source
+    nodes are sampled and a truncated BFS (``min_hops`` frontier sweeps over
+    the CSR structure) marks the nodes each source cannot reach — candidate
+    pairs come from those sampled rows only, so both work and memory stay
+    ``O(max_sources * N)``.  Graphs with ``N <= max_sources`` enumerate every
+    source and recover the exact full distant-pair set.
     """
 
     name = "add_edge"
 
-    def __init__(self, add_ratio: float = 0.05, min_hops: int = 3, rng=None):
+    def __init__(self, add_ratio: float = 0.05, min_hops: int = 3,
+                 max_sources: int = 64, rng=None):
         super().__init__(rng=rng)
         check_probability("add_ratio", add_ratio)
         if min_hops < 1:
             raise ValueError("min_hops must be >= 1")
+        if max_sources < 1:
+            raise ValueError("max_sources must be >= 1")
         self.add_ratio = add_ratio
         self.min_hops = min_hops
+        self.max_sources = int(max_sources)
+
+    def _candidate_pairs(self, graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+        """Distant ``(i, j)`` pairs (``i < j``) from sampled BFS sources."""
+        n = graph.num_nodes
+        num_sources = min(n, self.max_sources)
+        sources = np.sort(self._rng.choice(n, size=num_sources, replace=False))
+        distant = graph.distant_mask(sources, self.min_hops)
+        rows, cols = np.nonzero(distant)
+        i, j = sources[rows], cols
+        keys = np.unique(np.minimum(i, j) * n + np.maximum(i, j))
+        return keys // n, keys % n
 
     def delta(self, observations: np.ndarray, graph: Graph) -> GraphDelta | None:
-        pairs = graph.distant_pairs(self.min_hops)
-        if not pairs:
+        pair_i, pair_j = self._candidate_pairs(graph)
+        if pair_i.size == 0:
             return None
-        num_added = max(1, int(round(self.add_ratio * len(pairs))))
-        num_added = min(num_added, len(pairs))
-        chosen = self._rng.choice(len(pairs), size=num_added, replace=False)
+        num_added = max(1, int(round(self.add_ratio * pair_i.size)))
+        num_added = min(num_added, pair_i.size)
+        chosen = self._rng.choice(pair_i.size, size=num_added, replace=False)
         # Node feature vectors: flatten batch/time/channel into one profile per node.
         node_features = observations.transpose(2, 0, 1, 3).reshape(observations.shape[2], -1)
         norms = np.linalg.norm(node_features, axis=1)
@@ -53,7 +71,7 @@ class AddEdge(Augmentation):
         add_cols: list[int] = []
         add_weights: list[float] = []
         for index in chosen:
-            i, j = pairs[index]
+            i, j = int(pair_i[index]), int(pair_j[index])
             denominator = max(norms[i] * norms[j], 1e-12)
             similarity = float(node_features[i] @ node_features[j]) / denominator
             weight = max(similarity, 0.0) * scale

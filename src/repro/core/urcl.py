@@ -29,7 +29,7 @@ from ..replay.sampling import RandomSampler, RMIRSampler
 from ..models.base import AutoencoderBackbone
 from ..models.registry import build_model, register
 from ..models.stsimsiam import STSimSiam
-from ..tensor import Tensor, get_default_dtype
+from ..tensor import Tensor, get_default_dtype, run_compiled
 from ..utils.random import get_rng, spawn_rng
 from .config import URCLConfig
 
@@ -268,10 +268,15 @@ class URCLModel(Module):
         targets = np.asarray(targets, dtype=dtype)
         mixed_inputs, mixed_targets, lam, replayed = self.integrate(inputs, targets)
 
-        predictions = self.backbone(Tensor(mixed_inputs), graph=graph)
+        forward = lambda t: self.backbone(t, graph=graph)  # noqa: E731
+        predictions = run_compiled(
+            self.backbone, forward, Tensor(mixed_inputs), graph=graph, kind="train"
+        )
         task_loss = mae_loss(predictions, Tensor(mixed_targets))
         if self.config.joint_current_loss and replayed > 0 and self.config.use_mixup:
-            current_predictions = self.backbone(Tensor(inputs), graph=graph)
+            current_predictions = run_compiled(
+                self.backbone, forward, Tensor(inputs), graph=graph, kind="train"
+            )
             current_loss = mae_loss(current_predictions, Tensor(targets))
             task_loss = (task_loss + current_loss) * 0.5
 

@@ -126,6 +126,7 @@ class Graph:
         self._dense: np.ndarray | None = None
         self._edge_keys: np.ndarray | None = None
         self._hops: np.ndarray | None = None
+        self._bfs_csr = None
         self._supports: dict = {}
         self._conv_supports: dict = {}
         self._transposes: dict = {}
@@ -224,6 +225,38 @@ class Graph:
         rows, cols = np.nonzero((hops > min_hops) | np.isinf(hops))
         return [(int(i), int(j)) for i, j in zip(rows, cols) if i < j]
 
+    def _bfs_structure(self):
+        """Unit-weight CSR used for hop traversal (symmetrised when undirected)."""
+        if self._bfs_csr is None:
+            structure = self._csr.copy()
+            structure.data = np.ones_like(structure.data)
+            if not self.directed:
+                structure = sp.csr_array(structure.maximum(structure.T))
+            self._bfs_csr = structure
+        return self._bfs_csr
+
+    def distant_mask(self, sources, max_hops: int) -> np.ndarray:
+        """``(len(sources), N)`` mask of nodes > ``max_hops`` hops away.
+
+        Truncated batched BFS: all source frontiers advance together through
+        ``max_hops`` sparse mat-vecs — ``O(len(sources) * nnz)`` work and
+        ``O(len(sources) * N)`` memory, never the dense hop matrix.  A node
+        is flagged when it is strictly farther than ``max_hops`` from the
+        source (unreachable included); the source itself is never flagged.
+        """
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        structure = self._bfs_structure()
+        visited = np.zeros((sources.size, self.num_nodes), dtype=bool)
+        visited[np.arange(sources.size), sources] = True
+        frontier = visited.copy()
+        for _ in range(int(max_hops)):
+            if not frontier.any():
+                break
+            reached = (frontier.astype(np.float64) @ structure) > 0
+            frontier = reached & ~visited
+            visited |= frontier
+        return ~visited
+
     # ------------------------------------------------------------------ #
     # Diffusion supports (lazily cached, invalidation-aware)
     # ------------------------------------------------------------------ #
@@ -236,6 +269,23 @@ class Graph:
             spk.get_density_threshold(),
         )
 
+    def _support_entry_nbytes(self, key) -> int:
+        total = 0
+        for store in (self._supports, self._transposes):
+            members = store.get(key)
+            if members:
+                total += sum(
+                    spk._support_nbytes(m) for m in members if m is not None
+                )
+        # conv_supports is a slice of supports — no bytes of its own.
+        return total
+
+    def _drop_support_entry(self, key) -> None:
+        """Eviction callback from the shared byte-bounded support LRU."""
+        self._supports.pop(key, None)
+        self._conv_supports.pop(key, None)
+        self._transposes.pop(key, None)
+
     def supports(self, order: int, directed: bool | None = None) -> tuple:
         """``[I, P, ..]`` diffusion supports, stored per the spatial mode.
 
@@ -243,7 +293,11 @@ class Graph:
         reused on every later call — the per-instance analogue of the global
         content-keyed cache, with no hashing at all.  Under
         ``spatial_mode("dense")`` construction runs the dense seed algebra
-        (the explicit fallback); otherwise it stays CSR-native.
+        (the explicit fallback); otherwise it stays CSR-native.  Every stored
+        set also registers with the shared byte-bounded LRU in
+        :mod:`repro.graph.sparse`, so the coldest sets are dropped — instead
+        of accumulating one per knob combination forever — once the combined
+        footprint crosses the budget.
         """
         directed = self.directed if directed is None else bool(directed)
         key = self._support_key(order, directed)
@@ -253,6 +307,9 @@ class Graph:
             cached = tuple(spk.diffusion_supports(source, order, directed=directed))
             self._supports[key] = cached
             spk._record_graph_support_build()
+            spk._graph_support_store(self, key, self._support_entry_nbytes(key))
+        else:
+            spk._graph_support_touch(self, key)
         return cached
 
     def conv_supports(self, order: int, directed: bool | None = None) -> tuple:
@@ -268,6 +325,8 @@ class Graph:
         if cached is None:
             cached = self.supports(order, directed)[1:]
             self._conv_supports[key] = cached
+        else:
+            spk._graph_support_touch(self, key)
         return cached
 
     def support_transposes(self, order: int, directed: bool | None = None) -> tuple:
@@ -286,6 +345,8 @@ class Graph:
                 for member in self.conv_supports(order, directed)
             )
             self._transposes[key] = cached
+            # Transposes grow the entry: re-register at the new footprint.
+            spk._graph_support_store(self, key, self._support_entry_nbytes(key))
         return cached
 
     def fused_conv_supports(self, order: int, directed: bool | None = None):
@@ -295,12 +356,14 @@ class Graph:
 
     def clear_caches(self) -> None:
         """Drop all derived state (supports, transposes, dense copy, hops)."""
+        spk._graph_support_forget(self)
         self._supports.clear()
         self._conv_supports.clear()
         self._transposes.clear()
         self._dense = None
         self._edge_keys = None
         self._hops = None
+        self._bfs_csr = None
 
     # ------------------------------------------------------------------ #
     # Delta application

@@ -562,6 +562,72 @@ def _register_graph(graph) -> None:
     _graph_registry.add(graph)
 
 
+# ---------------------------------------------------------------------- #
+# Byte-bounded LRU over the per-Graph support caches
+# ---------------------------------------------------------------------- #
+# Each Graph keeps its own key -> supports dicts for hash-free lookups, but
+# every stored set also registers here under ``(id(graph), key)``; when the
+# combined footprint crosses the budget the coldest set — on *any* live
+# graph — is dropped from its owner, exactly like the content-keyed digest
+# cache evicts.  Long-lived graphs under dtype/mode/threshold sweeps no
+# longer accumulate one support set per knob combination forever.
+_GRAPH_SUPPORT_MAX_ENTRIES = 256
+_GRAPH_SUPPORT_MAX_BYTES = 256 * 1024 * 1024
+
+_graph_support_lru: "OrderedDict[tuple, tuple]" = OrderedDict()
+_graph_support_bytes = 0
+_graph_support_evictions = 0
+
+
+def _graph_support_touch(graph, key) -> None:
+    token = (id(graph), key)
+    if token in _graph_support_lru:
+        _graph_support_lru.move_to_end(token)
+
+
+def _graph_support_store(graph, key, nbytes: int) -> None:
+    """(Re-)register one per-graph support set and evict past the budget."""
+    global _graph_support_bytes
+    token = (id(graph), key)
+    previous = _graph_support_lru.pop(token, None)
+    if previous is not None:
+        _graph_support_bytes -= previous[1]
+    _graph_support_lru[token] = (weakref.ref(graph), int(nbytes))
+    _graph_support_bytes += int(nbytes)
+    while _graph_support_lru and (
+        len(_graph_support_lru) > _GRAPH_SUPPORT_MAX_ENTRIES
+        or _graph_support_bytes > _GRAPH_SUPPORT_MAX_BYTES
+    ):
+        _graph_support_evict_one()
+
+
+def _graph_support_evict_one() -> None:
+    global _graph_support_bytes, _graph_support_evictions
+    (_, key), (ref, nbytes) = _graph_support_lru.popitem(last=False)
+    _graph_support_bytes -= nbytes
+    _graph_support_evictions += 1
+    owner = ref()
+    if owner is not None:
+        owner._drop_support_entry(key)
+
+
+def _graph_support_forget(graph) -> None:
+    """Drop every LRU token owned by ``graph`` (clear_caches / GC path)."""
+    global _graph_support_bytes
+    gid = id(graph)
+    for token in [t for t in _graph_support_lru if t[0] == gid]:
+        _, nbytes = _graph_support_lru.pop(token)
+        _graph_support_bytes -= nbytes
+
+
+def set_graph_support_limit(max_bytes: int) -> None:
+    """Resize the per-Graph support budget (evicting down immediately)."""
+    global _GRAPH_SUPPORT_MAX_BYTES
+    _GRAPH_SUPPORT_MAX_BYTES = int(max_bytes)
+    while _graph_support_lru and _graph_support_bytes > _GRAPH_SUPPORT_MAX_BYTES:
+        _graph_support_evict_one()
+
+
 def _record_delta(dense_fallback: bool) -> None:
     """Count one augmentation-delta application (CSR-native vs densified)."""
     global _delta_hits, _dense_fallbacks
@@ -590,13 +656,14 @@ def clear_support_cache() -> None:
     """
     global _cache_hits, _cache_misses, _cache_bytes, _identity_hits
     global _delta_hits, _dense_fallbacks, _transpose_bytes, _fuse_bytes
-    global _graph_support_builds
+    global _graph_support_builds, _graph_support_bytes, _graph_support_evictions
     _support_cache.clear()
     _identity_digests.clear()
     _transpose_cache.clear()
     _fuse_cache.clear()
     for graph in list(_graph_registry):
         graph.clear_caches()
+    _graph_support_lru.clear()
     _cache_bytes = 0
     _transpose_bytes = 0
     _fuse_bytes = 0
@@ -606,6 +673,8 @@ def clear_support_cache() -> None:
     _delta_hits = 0
     _dense_fallbacks = 0
     _graph_support_builds = 0
+    _graph_support_bytes = 0
+    _graph_support_evictions = 0
 
 
 def support_cache_stats() -> dict:
@@ -627,6 +696,10 @@ def support_cache_stats() -> dict:
         "delta_hits": _delta_hits,
         "dense_fallbacks": _dense_fallbacks,
         "graph_support_builds": _graph_support_builds,
+        "graph_support_entries": len(_graph_support_lru),
+        "graph_support_bytes": _graph_support_bytes,
+        "graph_support_limit_bytes": _GRAPH_SUPPORT_MAX_BYTES,
+        "graph_support_evictions": _graph_support_evictions,
         "transpose_entries": len(_transpose_cache),
         "fused_entries": len(_fuse_cache),
         "graphs_tracked": len(_graph_registry),

@@ -7,7 +7,7 @@ import numpy as np
 from ..exceptions import ConfigurationError, ShapeError
 from ..graph.sensor_network import SensorNetwork
 from ..nn.module import Module
-from ..tensor import Tensor, get_default_dtype, no_grad
+from ..tensor import Tensor, get_default_dtype, no_grad, run_compiled
 
 __all__ = ["STModel", "AutoencoderBackbone"]
 
@@ -101,7 +101,16 @@ class STModel(Module):
         try:
             with no_grad():
                 x = Tensor(np.asarray(inputs, dtype=get_default_dtype()))
-                outputs = self.forward(x) if graph is None else self.forward(x, graph=graph)
+                if graph is None:
+                    outputs = run_compiled(self, self.forward, x, kind="predict")
+                else:
+                    outputs = run_compiled(
+                        self,
+                        lambda t: self.forward(t, graph=graph),
+                        x,
+                        graph=graph,
+                        kind="predict",
+                    )
         finally:
             self.train(was_training)
         return outputs.data

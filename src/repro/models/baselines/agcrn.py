@@ -12,7 +12,7 @@ import numpy as np
 from ...graph.sensor_network import SensorNetwork
 from ...nn.linear import Linear
 from ...nn.module import Module
-from ...tensor import Tensor, concatenate
+from ...tensor import Tensor, concatenate, scan
 from ...tensor import functional as F
 from ...utils.random import get_rng
 from ..base import STModel
@@ -81,7 +81,6 @@ class AGCRN(STModel):
         x = self.check_input(x)
         batch, time, nodes, _ = x.shape
         hidden = Tensor(np.zeros((batch, nodes, self.hidden_dim)))
-        for step in range(time):
-            hidden = self.cell(x[:, step, :, :], hidden)
+        hidden = scan(lambda x_t, h: self.cell(x_t, h), x, hidden)
         flat = self.head(hidden)
         return flat.reshape(batch, nodes, self.output_steps, self.out_channels).transpose(0, 2, 1, 3)

@@ -16,7 +16,7 @@ from ..graph.sensor_network import SensorNetwork
 from ..nn.linear import Linear
 from ..nn.module import Module
 from ..nn.rnn import GRUCell
-from ..tensor import Tensor
+from ..tensor import Tensor, scan
 from ..utils.random import get_rng
 from .base import AutoencoderBackbone
 from .gcn import DiffusionGraphConv
@@ -57,8 +57,7 @@ class DCRNNEncoder(Module):
         mixed = self.input_conv(x, adjacency=adjacency)  # (batch, time, nodes, hidden)
         batch, time, nodes, _ = mixed.shape
         hidden = Tensor(np.zeros((batch, nodes, self.hidden_dim)))
-        for step in range(time):
-            hidden = self.cell(mixed[:, step, :, :], hidden)
+        hidden = scan(lambda x_t, h: self.cell(x_t, h), mixed, hidden)
         return self.output_proj(hidden)
 
     encode = forward

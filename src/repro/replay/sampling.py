@@ -12,7 +12,7 @@ from typing import Callable, Protocol
 import numpy as np
 
 from ..exceptions import BufferError_
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, no_grad, run_compiled
 from ..utils.random import get_rng
 from .buffer import ReplayBuffer
 
@@ -129,7 +129,7 @@ class RMIRSampler(ReplaySampler):
         """Loss of every window under the current model parameters."""
         losses = np.zeros(inputs.shape[0])
         with no_grad():
-            predictions = model.forward(Tensor(inputs))
+            predictions = run_compiled(model, model.forward, Tensor(inputs), kind="rmir")
             errors = np.abs(predictions.data - targets)
             losses = errors.reshape(errors.shape[0], -1).mean(axis=1)
         return losses
@@ -143,7 +143,8 @@ class RMIRSampler(ReplaySampler):
     ) -> list[np.ndarray]:
         """Apply the foreseen update in place; return saved originals."""
         model.zero_grad()
-        loss = loss_fn(model.forward(Tensor(inputs)), Tensor(targets))
+        predictions = run_compiled(model, model.forward, Tensor(inputs), kind="train")
+        loss = loss_fn(predictions, Tensor(targets))
         loss.backward()
         saved = []
         for parameter in model.parameters():

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import ConfigurationError, EngineClosed, QueueFull, ShapeError
+from ..tensor import program_cache_stats
 from .batching import DynamicBatcher, MicroBatch, PendingRequest
 from .forecaster import Forecaster
 from .metrics import EngineMetrics
@@ -228,18 +229,18 @@ class ServingEngine:
             raise EngineClosed("engine is closed")
         tenant = DEFAULT_TENANT if tenant is None else str(tenant)
         with self._update_lock:
-            # Pinned dirty before the mutation so a concurrent eviction
-            # can't select this entry while it is being written.
-            entry = self.pool.get_for_update(tenant)
-            with entry.lock.write():
-                try:
-                    step = entry.forecaster.update(inputs, targets, set_name=set_name)
-                finally:
-                    # Forecaster.update leaves the model in train mode;
-                    # concurrent predicts must only ever see eval.
-                    if hasattr(entry.forecaster.model, "eval"):
-                        entry.forecaster.model.eval()
-            entry.refresh_nbytes()
+            # Writer-pinned (and latched dirty) before the mutation so a
+            # concurrent eviction can't select this entry mid-step.
+            with self.pool.updating(tenant) as entry:
+                with entry.lock.write():
+                    try:
+                        step = entry.forecaster.update(inputs, targets, set_name=set_name)
+                    finally:
+                        # Forecaster.update leaves the model in train mode;
+                        # concurrent predicts must only ever see eval.
+                        if hasattr(entry.forecaster.model, "eval"):
+                            entry.forecaster.model.eval()
+                entry.refresh_nbytes()
             self.metrics.record_update()
         return step
 
@@ -356,10 +357,11 @@ class ServingEngine:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """Metrics, pool and batcher state in one JSON-serialisable dict."""
+        """Metrics, pool, batcher and compiled-program state in one dict."""
         return {
             "metrics": self.metrics.snapshot(),
             "pool": self.pool.stats(),
+            "program_cache": program_cache_stats(),
             "waiting_in_batcher": len(self._batcher),
             "closed": self._closed,
             "config": {

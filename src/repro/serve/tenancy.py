@@ -20,6 +20,7 @@ checkpoint path on the next request (a cold start, surfaced in
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -121,7 +122,7 @@ class _ReadWriteLock:
 class PoolEntry:
     """One resident tenant: forecaster, serving view, lock, byte size."""
 
-    __slots__ = ("tenant", "forecaster", "served", "lock", "nbytes", "dirty")
+    __slots__ = ("tenant", "forecaster", "served", "lock", "nbytes", "dirty", "pins")
 
     def __init__(self, tenant: str, forecaster: Forecaster, served=None):
         self.tenant = tenant
@@ -133,6 +134,11 @@ class PoolEntry:
         # not have; a dirty entry is pinned against eviction (reloading it
         # would silently discard accepted learning).
         self.dirty = False
+        # In-flight writers: while > 0 the entry is pinned regardless of
+        # dirtiness, so an eviction racing a write can never orphan the
+        # update mid-step (the write would land on an object the pool no
+        # longer serves and be silently discarded on reload).
+        self.pins = 0
 
     def refresh_nbytes(self) -> int:
         """Re-measure after an online update (the replay buffer grows)."""
@@ -286,11 +292,35 @@ class ModelPool:
         it dirty under the pool lock closes the window where a concurrent
         eviction could select the still-clean entry and then the mutation
         would land on an orphan (silently losing the update on reload).
+        Prefer :meth:`updating`, which additionally holds a writer pin for
+        the duration of the step.
         """
         with self._lock:
             entry = self.get(tenant)
             entry.mark_dirty()
             return entry
+
+    @contextlib.contextmanager
+    def updating(self, tenant: str, mark_dirty: bool = True):
+        """Writer-pinned access to ``tenant`` for one online update.
+
+        Acquires the entry under the pool lock, increments its writer pin
+        count (and by default latches it dirty) before yielding, and always
+        releases the pin afterwards.  While pinned the entry cannot be
+        selected by LRU eviction, so an update can never land on an object
+        the pool no longer serves; unlike the dirty latch the pin is
+        transient, covering exactly the in-flight step.
+        """
+        with self._lock:
+            entry = self.get(tenant)
+            entry.pins += 1
+            if mark_dirty:
+                entry.mark_dirty()
+        try:
+            yield entry
+        finally:
+            with self._lock:
+                entry.pins -= 1
 
     def forecaster(self, tenant: str) -> Forecaster:
         """Convenience: the loaded :class:`Forecaster` for ``tenant``."""
@@ -313,13 +343,15 @@ class ModelPool:
     def _evict(self) -> None:
         """Drop LRU entries until the byte bound holds.
 
-        Only *reloadable, clean* entries are evictable: a tenant without a
-        registered checkpoint path could never be served again, and a dirty
-        one (online updates since load) would silently lose accepted
-        learning — both stay pinned even over the bound, surfaced via
-        ``stats()["pinned"]``.  The evicted entry's serving view is NOT
-        closed here: a worker may be mid-predict on it; dropping the
-        reference lets it retire when the in-flight work finishes.
+        Only *reloadable, clean, writer-free* entries are evictable: a
+        tenant without a registered checkpoint path could never be served
+        again, a dirty one (online updates since load) would silently lose
+        accepted learning, and one with in-flight writers (``pins > 0``)
+        would have its update land on an orphaned object — all stay pinned
+        even over the bound, surfaced via ``stats()["pinned"]``.  The
+        evicted entry's serving view is NOT closed here: a worker may be
+        mid-predict on it; dropping the reference lets it retire when the
+        in-flight work finishes.
         """
         if self.max_bytes is None:
             return
@@ -328,7 +360,7 @@ class ModelPool:
                 (
                     tenant
                     for tenant, entry in self._entries.items()
-                    if tenant in self._paths and not entry.dirty
+                    if tenant in self._paths and not entry.dirty and entry.pins == 0
                 ),
                 None,
             )
@@ -344,12 +376,15 @@ class ModelPool:
             pinned = sum(
                 1
                 for tenant, entry in self._entries.items()
-                if entry.dirty or tenant not in self._paths
+                if entry.dirty or entry.pins > 0 or tenant not in self._paths
             )
             return {
                 "resident": len(self._entries),
                 "registered": len(self._paths),
                 "pinned": pinned,
+                "write_pinned": sum(
+                    1 for entry in self._entries.values() if entry.pins > 0
+                ),
                 "resident_bytes": self.resident_bytes,
                 "max_bytes": self.max_bytes,
                 "loads": self.loads,

@@ -7,11 +7,25 @@ implementation.  It exposes:
 * :mod:`repro.tensor.functional` — activations, softmax, dropout, cosine
   similarity and other differentiable helpers,
 * :mod:`repro.tensor.grad_check` — numerical gradient checking used by the
-  test suite.
+  test suite,
+* :mod:`repro.tensor.trace` / :mod:`repro.tensor.program` — tape capture and
+  compiled replay of the train/predict hot loop (see
+  :func:`set_traced_execution` and :func:`run_compiled`).
 """
 
 from . import functional
 from .grad_check import check_gradients, numerical_gradient
+from .trace import (
+    clear_program_cache,
+    declare_const,
+    get_traced_execution,
+    program_cache_stats,
+    run_compiled,
+    scan,
+    set_program_cache_limit,
+    set_traced_execution,
+    traced_execution,
+)
 from .tensor import (
     Tensor,
     as_tensor,
@@ -47,4 +61,13 @@ __all__ = [
     "functional",
     "check_gradients",
     "numerical_gradient",
+    "set_traced_execution",
+    "get_traced_execution",
+    "traced_execution",
+    "run_compiled",
+    "scan",
+    "declare_const",
+    "program_cache_stats",
+    "clear_program_cache",
+    "set_program_cache_limit",
 ]

@@ -11,6 +11,7 @@ import numpy as np
 from scipy import sparse as _scipy_sparse
 
 from .tensor import (
+    _TAPE,
     Tensor,
     as_tensor,
     concatenate,
@@ -54,7 +55,14 @@ def spatial_mix(support, x: Tensor, transpose=None) -> Tensor:
     """
     if _scipy_sparse.issparse(support):
         return spmm(support, x, transpose=transpose)
-    return as_tensor(support) @ as_tensor(x)
+    support = as_tensor(support)
+    tape = _TAPE.tape
+    if tape is not None and not support.requires_grad:
+        # Dense supports come from the per-graph cache and are value-stable
+        # for the graph identity the compiled program is keyed on.
+        tape.declared.add(id(support))
+        tape.keep.append(support)
+    return support @ as_tensor(x)
 
 
 def relu(x: Tensor) -> Tensor:
@@ -66,6 +74,9 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
     """Leaky ReLU with configurable negative slope."""
     x = as_tensor(x)
     mask = x.data > 0
+    tape = _TAPE.tape
+    if tape is not None:
+        tape.register_cond(mask, "greater", x, 0)
     return where(mask, x, x * negative_slope)
 
 
@@ -91,6 +102,9 @@ def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
     """Exponential linear unit."""
     x = as_tensor(x)
     mask = x.data > 0
+    tape = _TAPE.tape
+    if tape is not None:
+        tape.register_cond(mask, "greater", x, 0)
     return where(mask, x, (x.exp() - 1.0) * alpha)
 
 
@@ -104,7 +118,11 @@ def gelu(x: Tensor) -> Tensor:
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    amax = Tensor(x.data.max(axis=axis, keepdims=True))
+    tape = _TAPE.tape
+    if tape is not None:
+        tape.register_amax(amax, x, axis)
+    shifted = x - amax
     exponentials = shifted.exp()
     return exponentials / exponentials.sum(axis=axis, keepdims=True)
 
@@ -112,7 +130,11 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    amax = Tensor(x.data.max(axis=axis, keepdims=True))
+    tape = _TAPE.tape
+    if tape is not None:
+        tape.register_amax(amax, x, axis)
+    shifted = x - amax
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
@@ -122,11 +144,19 @@ def dropout(x: Tensor, rate: float, training: bool, rng: np.random.Generator | N
         return as_tensor(x)
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
-    rng = rng if rng is not None else np.random.default_rng()
+    supplied_rng = rng is not None
+    rng = rng if supplied_rng else np.random.default_rng()
     x = as_tensor(x)
     keep = 1.0 - rate
     mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
-    return x * Tensor(mask)
+    mask_tensor = Tensor(mask)
+    tape = _TAPE.tape
+    if tape is not None and supplied_rng:
+        # A module-owned generator can be rebound by path so replays draw
+        # from the same stream as eager; a throwaway default_rng cannot, so
+        # the mask stays unregistered and poisons the capture (eager path).
+        tape.register_dropout(mask_tensor, rng, keep, x.data.dtype)
+    return x * mask_tensor
 
 
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:

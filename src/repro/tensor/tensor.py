@@ -51,6 +51,21 @@ class _GradMode(threading.local):
 
 _GRAD_MODE = _GradMode()
 
+
+class _TapeHolder(threading.local):
+    """Per-thread active :class:`repro.tensor.trace.Tape` (or ``None``).
+
+    Thread-local for the same reason as the grad switch: a serving worker
+    capturing a program must never observe ops recorded by a concurrent
+    training thread.
+    """
+
+    def __init__(self):
+        self.tape = None
+
+
+_TAPE = _TapeHolder()
+
 DEFAULT_DTYPE = np.float64
 
 _ALLOWED_DTYPES = (np.float32, np.float64)
@@ -170,7 +185,15 @@ class Tensor:
         ``requires_grad`` from freshly created parameters).
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "requires_grad",
+        "grad",
+        "_backward",
+        "_parents",
+        "name",
+        "__weakref__",
+    )
 
     __array_priority__ = 100  # ensure ndarray.__mul__ defers to Tensor
 
@@ -189,6 +212,11 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        tape = _TAPE.tape
+        if tape is not None:
+            # Tensors born during capture may depend on the input, so the
+            # tape refuses to bake them in as constants unless registered.
+            tape.fresh.add(id(self))
 
     # ------------------------------------------------------------------ #
     # Basic introspection
@@ -246,12 +274,16 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
+        op: str | None = None,
+        ctx: dict | None = None,
     ) -> "Tensor":
         """Create a result tensor wired into the autograd graph.
 
         The computed dtype is preserved (only *leaf* creation consults the
         default dtype), so a model keeps its precision even when the global
-        default changes afterwards.
+        default changes afterwards.  ``op``/``ctx`` describe the operation to
+        an active capture tape; a ``_make`` without metadata poisons the tape
+        (eager fallback) instead of replaying an op it cannot reproduce.
         """
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = cls(data, requires_grad=False, dtype=data.dtype)
@@ -259,6 +291,9 @@ class Tensor:
         if requires:
             out._parents = tuple(parents)
             out._backward = backward
+        tape = _TAPE.tape
+        if tape is not None:
+            tape.record(out, parents, op, ctx)
         return out
 
     def _accumulate(self, grad: np.ndarray, fresh: bool = False) -> None:
@@ -337,7 +372,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad, self.shape))
             other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._make(data, (self, other), backward, op="add")
 
     __radd__ = __add__
 
@@ -349,7 +384,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad, self.shape))
             other._accumulate(_unbroadcast(-grad, other.shape), fresh=True)
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._make(data, (self, other), backward, op="sub")
 
     def __rsub__(self, other) -> "Tensor":
         return as_tensor(other).__sub__(self)
@@ -362,7 +397,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad * other.data, self.shape), fresh=True)
             other._accumulate(_unbroadcast(grad * self.data, other.shape), fresh=True)
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._make(data, (self, other), backward, op="mul")
 
     __rmul__ = __mul__
 
@@ -376,7 +411,7 @@ class Tensor:
                 _unbroadcast(-grad * self.data / (other.data**2), other.shape), fresh=True
             )
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._make(data, (self, other), backward, op="div")
 
     def __rtruediv__(self, other) -> "Tensor":
         return as_tensor(other).__truediv__(self)
@@ -387,7 +422,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad, fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="neg")
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -397,7 +432,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1), fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="pow", ctx={"exponent": exponent})
 
     # ------------------------------------------------------------------ #
     # Comparisons (non-differentiable, return plain arrays)
@@ -423,7 +458,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * data, fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="exp")
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
@@ -431,7 +466,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data, fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="log")
 
     def sqrt(self) -> "Tensor":
         data = np.sqrt(self.data)
@@ -439,7 +474,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / np.maximum(data, 1e-12), fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="sqrt")
 
     def abs(self) -> "Tensor":
         data = np.abs(self.data)
@@ -447,7 +482,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * np.sign(self.data), fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="abs")
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
@@ -455,7 +490,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - data**2), fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="tanh")
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-self.data))
@@ -463,7 +498,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * data * (1.0 - data), fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -472,7 +507,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask, fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="relu")
 
     def clip(self, minimum: float | None = None, maximum: float | None = None) -> "Tensor":
         data = np.clip(self.data, minimum, maximum)
@@ -485,7 +520,13 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask, fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(
+            data,
+            (self,),
+            backward,
+            op="clip",
+            ctx={"minimum": minimum, "maximum": maximum},
+        )
 
     # ------------------------------------------------------------------ #
     # Reductions
@@ -499,7 +540,9 @@ class Tensor:
                 expanded = np.expand_dims(grad, axis)
             self._accumulate(np.broadcast_to(expanded, self.shape).copy(), fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(
+            data, (self,), backward, op="sum", ctx={"axis": axis, "keepdims": keepdims}
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -528,7 +571,9 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(expanded_grad * mask / counts, fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(
+            data, (self,), backward, op="max", ctx={"axis": axis, "keepdims": keepdims}
+        )
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -550,7 +595,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original_shape))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="reshape", ctx={"shape": shape})
 
     def transpose(self, *axes) -> "Tensor":
         if not axes:
@@ -563,7 +608,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(
+            data, (self,), backward, op="transpose", ctx={"axes": axes, "inverse": inverse}
+        )
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -576,7 +623,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="expand_dims", ctx={"axis": axis})
 
     def squeeze(self, axis: int | None = None) -> "Tensor":
         data = np.squeeze(self.data, axis=axis)
@@ -585,7 +632,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original_shape))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="squeeze", ctx={"axis": axis})
 
     def flatten(self) -> "Tensor":
         return self.reshape(-1)
@@ -600,7 +647,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad[slices])
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(data, (self,), backward, op="pad", ctx={"slices": slices})
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
@@ -619,7 +666,9 @@ class Tensor:
                 np.add.at(full, index, grad)
             self._accumulate(full, fresh=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._make(
+            data, (self,), backward, op="getitem", ctx={"index": index, "basic": basic}
+        )
 
     # ------------------------------------------------------------------ #
     # Linear algebra
@@ -668,7 +717,7 @@ class Tensor:
                 grad_b = np.swapaxes(a_data, -1, -2) @ grad
                 b._accumulate(_unbroadcast(grad_b, b.shape), fresh=True)
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._make(data, (self, other), backward, op="matmul")
 
     def __rmatmul__(self, other) -> "Tensor":
         return as_tensor(other).__matmul__(self)
@@ -733,7 +782,13 @@ def spmm(matrix, x, transpose=None) -> Tensor:
         # scipy products always allocate, so the buffer is fresh.
         x._accumulate(_spmm_leading(transposed, grad), fresh=True)
 
-    return Tensor._make(data, (x,), backward)
+    return Tensor._make(
+        data,
+        (x,),
+        backward,
+        op="spmm",
+        ctx={"matrix": matrix, "transposed": transposed},
+    )
 
 
 def spmm_multi(stacked, x, count: int, transpose=None) -> Tensor:
@@ -794,7 +849,13 @@ def spmm_multi(stacked, x, count: int, transpose=None) -> Tensor:
         x_grad = np.moveaxis(x_grad.reshape(size, *lead), 0, -2)
         x._accumulate(np.ascontiguousarray(x_grad), fresh=True)
 
-    return Tensor._make(data, (x,), backward)
+    return Tensor._make(
+        data,
+        (x,),
+        backward,
+        op="spmm_multi",
+        ctx={"stacked": stacked, "transposed": transposed, "count": count},
+    )
 
 
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -810,7 +871,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             index[axis] = slice(start, stop)
             tensor._accumulate(grad[tuple(index)])
 
-    return Tensor._make(data, tensors, backward)
+    return Tensor._make(data, tensors, backward, op="concatenate", ctx={"axis": axis})
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -823,7 +884,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
         for tensor, piece in zip(tensors, pieces):
             tensor._accumulate(np.squeeze(piece, axis=axis))
 
-    return Tensor._make(data, tensors, backward)
+    return Tensor._make(data, tensors, backward, op="stack", ctx={"axis": axis})
 
 
 def where(condition: np.ndarray, a, b) -> Tensor:
@@ -837,18 +898,28 @@ def where(condition: np.ndarray, a, b) -> Tensor:
         a._accumulate(_unbroadcast(grad * condition, a.shape), fresh=True)
         b._accumulate(_unbroadcast(grad * ~condition, b.shape), fresh=True)
 
-    return Tensor._make(data, (a, b), backward)
+    return Tensor._make(
+        data, (a, b), backward, op="where", ctx={"condition_array": condition}
+    )
 
 
 def maximum(a, b) -> Tensor:
     """Differentiable elementwise maximum."""
     a = as_tensor(a)
     b = as_tensor(b)
-    return where(a.data >= b.data, a, b)
+    condition = a.data >= b.data
+    tape = _TAPE.tape
+    if tape is not None:
+        tape.register_cond(condition, "greater_equal", a, b)
+    return where(condition, a, b)
 
 
 def minimum(a, b) -> Tensor:
     """Differentiable elementwise minimum."""
     a = as_tensor(a)
     b = as_tensor(b)
-    return where(a.data <= b.data, a, b)
+    condition = a.data <= b.data
+    tape = _TAPE.tape
+    if tape is not None:
+        tape.register_cond(condition, "less_equal", a, b)
+    return where(condition, a, b)

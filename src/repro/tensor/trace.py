@@ -1,0 +1,767 @@
+"""Tape capture for compiled execution of the train/predict hot loop.
+
+On the first call for a ``(model, input-shape, dtype, graph, knobs)`` key,
+:func:`run_compiled` runs the model eagerly under a thread-local
+:class:`Tape` that records every ``Tensor._make`` site into an explicit
+op-list :class:`~repro.tensor.program.ProgramStructure`.  Subsequent calls
+replay the program through arena-bound kernels (see
+:mod:`repro.tensor.program`) — bit-identical to the untraced path, forward
+and backward — and fall back to eager execution transparently on shape
+misses, unknown ops or data-dependent constants.
+
+The cache is keyed like the diffusion-support cache (content + sparse-knob
+state + dtype) and byte-bounded with LRU eviction; same-architecture models
+(e.g. ``ModelPool`` tenants) share one compiled structure, re-bound to their
+own parameters by name.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+from . import tensor as _T
+from .program import (
+    AUX,
+    CONST,
+    INPUT,
+    INTER,
+    PARAM,
+    Node,
+    ProgramInstance,
+    ProgramStructure,
+    Slot,
+    UntraceableError,
+)
+from .tensor import Tensor, is_grad_enabled, stack
+
+__all__ = [
+    "set_traced_execution",
+    "get_traced_execution",
+    "traced_execution",
+    "run_compiled",
+    "scan",
+    "declare_const",
+    "program_cache_stats",
+    "clear_program_cache",
+    "set_program_cache_limit",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Global switches and cache state
+# ---------------------------------------------------------------------- #
+_ENABLED = True
+_LOCK = threading.RLock()
+_MAX_INSTANCES = 4  # per (model, key): joint-loss double replay + headroom
+_LIMIT_BYTES = 256 * 1024 * 1024
+_MAX_STRUCTURES = 128
+
+_MODEL_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_ENTRY_LRU: "OrderedDict[int, _Entry]" = OrderedDict()
+_STRUCTURES: "OrderedDict[tuple, ProgramStructure]" = OrderedDict()
+_cache_bytes = 0
+
+_STATS = {
+    "captures": 0,
+    "replays": 0,
+    "forward_replays": 0,
+    "backward_replays": 0,
+    "eager_calls": 0,
+    "untraceable": 0,
+    "shape_misses": 0,
+    "structure_hits": 0,
+    "instance_builds": 0,
+    "overflow_fallbacks": 0,
+    "evictions": 0,
+}
+
+
+def set_traced_execution(enabled: bool) -> bool:
+    """Globally enable/disable tape capture + replay (the eager escape hatch)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+def get_traced_execution() -> bool:
+    return _ENABLED
+
+
+@contextlib.contextmanager
+def traced_execution(enabled: bool):
+    """Context manager that temporarily flips traced execution."""
+    previous = set_traced_execution(enabled)
+    try:
+        yield
+    finally:
+        set_traced_execution(previous)
+
+
+def set_program_cache_limit(max_bytes: int) -> None:
+    global _LIMIT_BYTES
+    _LIMIT_BYTES = int(max_bytes)
+    with _LOCK:
+        _evict()
+
+
+def program_cache_stats() -> dict:
+    """Counters + sizes of the compiled-program cache (mirrors support_cache_stats)."""
+    with _LOCK:
+        stats = dict(_STATS)
+        stats["entries"] = len(_ENTRY_LRU)
+        stats["structures"] = len(_STRUCTURES)
+        stats["bytes"] = _cache_bytes
+        stats["limit_bytes"] = _LIMIT_BYTES
+        stats["fused_elementwise"] = sum(
+            s.num_fused_elementwise for s in _STRUCTURES.values()
+        )
+        stats["enabled"] = _ENABLED
+    return stats
+
+
+def clear_program_cache() -> None:
+    global _cache_bytes
+    with _LOCK:
+        _MODEL_CACHE.clear()
+        _ENTRY_LRU.clear()
+        _STRUCTURES.clear()
+        _cache_bytes = 0
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+def _knob_token() -> tuple:
+    """Sparse-knob + dtype state; any change invalidates compiled programs."""
+    token = (str(_T.get_default_dtype()),)
+    try:
+        from ..graph import sparse as spk
+
+        token += (
+            spk.get_spatial_mode(),
+            spk.get_density_threshold(),
+            spk.get_fused_spmm(),
+        )
+    except Exception:
+        pass
+    return token
+
+
+# ---------------------------------------------------------------------- #
+# The tape
+# ---------------------------------------------------------------------- #
+class Tape:
+    """Records the ``Tensor._make`` graph of one model call as an op list."""
+
+    def __init__(self, model):
+        self.model = model
+        self.ok = True
+        self.reason = None
+        self.slots: list[Slot] = []
+        self.nodes: list[Node] = []
+        self.tensor_slots: dict[int, int] = {}
+        self.array_slots: dict[int, int] = {}
+        self.cond_slots: dict[int, int] = {}
+        self.node_of: dict[int, int] = {}
+        self.parents_map: dict[int, tuple] = {}
+        self.fresh: set[int] = set()
+        self.declared: set[int] = set()
+        self.keep: list = []  # strong refs: keeps ids stable during capture
+        self.input_slot: int | None = None
+        self.rng_paths: dict[int, object] = {}
+        self.shareable = True
+        self._rng_name_map = self._collect_rngs(model)
+        self._in_loop: list[Node] | None = None
+
+    @staticmethod
+    def _collect_rngs(model) -> dict[int, str]:
+        names: dict[int, str] = {}
+        try:
+            for prefix, module in model.named_modules():
+                for attr, value in vars(module).items():
+                    if isinstance(value, np.random.Generator):
+                        names[id(value)] = f"{prefix}.{attr}" if prefix else attr
+        except Exception:
+            pass
+        return names
+
+    # -------------------------------------------------------------- #
+    def poison(self, reason: str) -> None:
+        self.ok = False
+        if self.reason is None:
+            self.reason = reason
+
+    def _sink(self) -> list[Node]:
+        return self.nodes if self._in_loop is None else self._in_loop
+
+    def _new_slot(self, kind, shape, dtype, **kw) -> int:
+        slot = Slot(len(self.slots), kind, shape, dtype, **kw)
+        self.slots.append(slot)
+        return slot.index
+
+    def _bind(self, tensor: Tensor, index: int) -> None:
+        self.tensor_slots[id(tensor)] = index
+        self.array_slots[id(tensor.data)] = index
+        self.keep.append(tensor)
+
+    def declare_input(self, tensor: Tensor) -> None:
+        index = self._new_slot(INPUT, tensor.shape, tensor.dtype)
+        self.input_slot = index
+        self._bind(tensor, index)
+
+    def new_aux(self, shape, dtype) -> int:
+        return self._new_slot(AUX, shape, dtype)
+
+    # -------------------------------------------------------------- #
+    def resolve(self, tensor: Tensor) -> int | None:
+        index = self.tensor_slots.get(id(tensor))
+        if index is not None:
+            return index
+        index = self.array_slots.get(id(tensor.data))
+        if index is not None and self.slots[index].shape == tensor.shape:
+            # detach()/Tensor(x.data): a new wrapper over a traced buffer.
+            self._bind(tensor, index)
+            return index
+        if tensor.requires_grad:
+            if tensor._parents or tensor._backward is not None:
+                self.poison("input graph crosses the capture boundary")
+                return None
+            index = self._new_slot(
+                PARAM, tensor.shape, tensor.dtype, leaf=tensor
+            )
+            self._bind(tensor, index)
+            return index
+        # Constant: allowed when value-stable — pre-existing tensors, scalars
+        # and explicitly declared constants.  A non-scalar tensor created
+        # during capture may depend on the input, so it poisons the tape
+        # (transparent eager fallback) instead of replaying stale data.
+        if (
+            id(tensor) in self.declared
+            or tensor.data.ndim == 0
+            or id(tensor) not in self.fresh
+        ):
+            index = self._new_slot(
+                CONST, tensor.shape, tensor.dtype, array=tensor.data
+            )
+            self._bind(tensor, index)
+            return index
+        self.poison("data-dependent constant tensor created during capture")
+        return None
+
+    # -------------------------------------------------------------- #
+    def record(self, out: Tensor, parents, op: str | None, ctx: dict | None) -> None:
+        if not self.ok:
+            return
+        if op is None:
+            self.poison("operation without trace metadata")
+            return
+        ins = []
+        for parent in parents:
+            index = self.resolve(parent)
+            if index is None:
+                return
+            ins.append(index)
+        params = self._translate(op, ctx or {}, out)
+        if params is None:
+            return
+        out_index = self._new_slot(INTER, out.shape, out.dtype)
+        self._bind(out, out_index)
+        node = Node(
+            op,
+            ins,
+            out_index,
+            params=params,
+            differentiable=bool(out.requires_grad),
+            in_requires=tuple(p.requires_grad for p in parents),
+        )
+        sink = self._sink()
+        sink.append(node)
+        if sink is self.nodes:
+            self.node_of[id(out)] = len(self.nodes) - 1
+            self.parents_map[id(out)] = tuple(parents)
+
+    def _translate(self, op: str, ctx: dict, out: Tensor) -> dict | None:
+        params = dict(ctx)
+        if op == "relu":
+            params["mask"] = self.new_aux(out.shape, bool)
+        elif op == "clip":
+            params["mask"] = self.new_aux(out.shape, out.dtype)
+            params["scratch"] = self.new_aux(out.shape, bool)
+        elif op == "where":
+            condition = params.pop("condition_array")
+            index = self.cond_slots.get(id(condition))
+            if index is None:
+                self.poison("where() condition is not a traced mask")
+                return None
+            params["condition"] = index
+        return params
+
+    # -------------------------------------------------------------- #
+    # Refresh hooks (data-dependent auxiliaries recomputed per replay)
+    # -------------------------------------------------------------- #
+    def register_cond(self, cond: np.ndarray, ufunc: str, a: Tensor, b=None) -> None:
+        """Register a boolean mask as ``ufunc(a[, b])``, refreshed on replay."""
+        if not self.ok:
+            return
+        a_slot = self.resolve(a)
+        if a_slot is None:
+            return
+        ins = [a_slot]
+        params = {"ufunc": ufunc}
+        if isinstance(b, Tensor):
+            b_slot = self.resolve(b)
+            if b_slot is None:
+                return
+            ins.append(b_slot)
+        else:
+            params["scalar"] = b
+        index = self.new_aux(cond.shape, bool)
+        self.cond_slots[id(cond)] = index
+        self.keep.append(cond)
+        self._sink().append(Node("refresh_cond", ins, index, params=params))
+
+    def register_amax(self, shift: Tensor, source: Tensor, axis) -> None:
+        """Register a detached ``max(source, axis, keepdims)`` shift tensor."""
+        if not self.ok:
+            return
+        src = self.resolve(source)
+        if src is None:
+            return
+        index = self.new_aux(shift.shape, shift.dtype)
+        self._bind(shift, index)
+        self._sink().append(
+            Node("refresh_amax", (src,), index, params={"axis": axis})
+        )
+
+    def register_dropout(
+        self, mask: Tensor, rng: np.random.Generator, keep: float, draw_dtype
+    ) -> None:
+        """Register an inverted-dropout mask re-drawn from ``rng`` per replay."""
+        if not self.ok:
+            return
+        index = self.new_aux(mask.shape, mask.dtype)
+        self._bind(mask, index)
+        path = self._rng_name_map.get(id(rng))
+        if path is None:
+            self.shareable = False
+            self.rng_paths[index] = rng
+        else:
+            self.rng_paths[index] = path
+        self._sink().append(
+            Node(
+                "refresh_dropout",
+                (),
+                index,
+                params={"keep": keep, "dtype": np.dtype(draw_dtype)},
+            )
+        )
+
+    # -------------------------------------------------------------- #
+    # Captured-loop primitive (recorded recurrent body)
+    # -------------------------------------------------------------- #
+    def record_scan(self, body, xs: Tensor, h0: Tensor, length: int, collect: bool):
+        if self._in_loop is not None:
+            self.poison("nested scan capture")
+            return _eager_scan(body, xs, h0, length, collect)
+        xs_slot = self.resolve(xs)
+        h0_slot = self.resolve(h0) if self.ok else None
+        if xs_slot is None or h0_slot is None or not self.ok:
+            return _eager_scan(body, xs, h0, length, collect)
+
+        x_shape = (xs.shape[0],) + xs.shape[2:]
+        x_in = self.new_aux(x_shape, xs.dtype)
+        h_in = self.new_aux(h0.shape, h0.dtype)
+        x_t = Tensor(np.array(xs.data[:, 0]), dtype=xs.dtype)
+        h_t = Tensor(np.array(h0.data), dtype=h0.dtype)
+        self._bind(x_t, x_in)
+        self._bind(h_t, h_in)
+
+        body_nodes: list[Node] = []
+        self._in_loop = body_nodes
+        try:
+            h_out = body(x_t, h_t)
+        finally:
+            self._in_loop = None
+        h_out_slot = self.tensor_slots.get(id(h_out)) if isinstance(h_out, Tensor) else None
+        if not self.ok or h_out_slot is None or not body_nodes:
+            # Body could not be captured: finish the remaining iterations
+            # eagerly so the caller still gets correct values.
+            self.poison("scan body is untraceable")
+            return _finish_scan(body, xs, h_out, length, collect)
+
+        params = {
+            "length": length,
+            "xs": xs_slot,
+            "x_in": x_in,
+            "h_in": h_in,
+            "h_out": h_out_slot,
+            "h0": h0_slot,
+            "body": body_nodes,
+            "collect": None,
+        }
+        if collect:
+            out_shape = (xs.shape[0], length) + h_out.shape[1:]
+            collected = Tensor(
+                np.empty(out_shape, dtype=h_out.dtype), dtype=h_out.dtype
+            )
+            out_index = self._new_slot(INTER, out_shape, h_out.dtype)
+            self._bind(collected, out_index)
+            params["collect"] = out_index
+            result = collected
+        else:
+            result = h_out
+        self.nodes.append(Node("loop", (xs_slot, h0_slot), self.tensor_slots[id(result)], params=params))
+        self.node_of[id(result)] = len(self.nodes) - 1
+        self.parents_map[id(result)] = (xs, h0)
+
+        # Materialise the remaining iterations' values (tape suspended) so
+        # downstream capture sees the final hidden state / stacked outputs.
+        previous = _TAPE.tape
+        _TAPE.tape = None
+        try:
+            if collect:
+                result.data[:, 0] = h_out.data
+            h = Tensor(h_out.data.copy(), dtype=h_out.dtype)
+            for step in range(1, length):
+                h = body(Tensor(np.array(xs.data[:, step]), dtype=xs.dtype), h)
+                if collect:
+                    result.data[:, step] = h.data
+            if not collect:
+                np.copyto(h_out.data, h.data)
+        finally:
+            _TAPE.tape = previous
+        return result
+
+    # -------------------------------------------------------------- #
+    def finalize(self, out: Tensor, model) -> ProgramStructure | None:
+        if not self.ok or not isinstance(out, Tensor):
+            return None
+        out_slot = self.tensor_slots.get(id(out))
+        if out_slot is None or not self.nodes or out_slot == self.input_slot:
+            return None
+        if self.slots[out_slot].kind != INTER:
+            return None
+        names = {id(p): name for name, p in model.named_parameters()}
+        shareable = self.shareable
+        for slot in self.slots:
+            if slot.kind == PARAM:
+                slot.name = names.get(id(slot.leaf))
+                if slot.name is None:
+                    shareable = False
+
+        # Simulate Tensor.backward's DFS to pin the exact closure order.
+        order: list = []
+        visited: set[int] = set()
+        work: list[tuple] = [(out, False)]
+        while work:
+            node, processed = work.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            work.append((node, True))
+            for parent in self.parents_map.get(id(node), ()):
+                if parent.requires_grad and id(parent) not in visited:
+                    work.append((parent, False))
+        backward_order = [
+            self.node_of[id(t)]
+            for t in reversed(order)
+            if id(t) in self.node_of and self.nodes[self.node_of[id(t)]].differentiable
+        ]
+        return ProgramStructure(
+            self.slots,
+            self.nodes,
+            self.input_slot,
+            out_slot,
+            backward_order,
+            differentiable=bool(out.requires_grad),
+            shareable=shareable,
+            rng_paths=self.rng_paths,
+        )
+
+
+# Thread-local active-tape holder, installed into tensor.py's hook point.
+_TAPE = _T._TAPE
+
+
+def active_tape() -> Tape | None:
+    return _TAPE.tape
+
+
+def declare_const(tensor: Tensor) -> Tensor:
+    """Mark a freshly created tensor as value-stable for the active tape.
+
+    Recurrent models create zero hidden-state initialisers inside
+    ``forward``; declaring them constant lets the tape capture them as
+    shared const slots instead of rejecting them as data-dependent.
+    """
+    tape = _TAPE.tape
+    if tape is not None:
+        tape.declared.add(id(tensor))
+        tape.keep.append(tensor)
+    return tensor
+
+
+# ---------------------------------------------------------------------- #
+# scan: the captured-loop primitive
+# ---------------------------------------------------------------------- #
+def _eager_scan(body, xs, h0, length, collect):
+    h = h0
+    outs = []
+    for step in range(length):
+        h = body(xs[:, step], h)
+        if collect:
+            outs.append(h)
+    return stack(outs, axis=1) if collect else h
+
+
+def _finish_scan(body, xs, h, length, collect):
+    outs = [h] if collect else None
+    for step in range(1, length):
+        h = body(xs[:, step], h)
+        if collect:
+            outs.append(h)
+    return stack(outs, axis=1) if collect else h
+
+
+def scan(body, xs: Tensor, h0: Tensor, collect: bool = False) -> Tensor:
+    """Run ``h = body(xs[:, t], h)`` over the time axis of ``xs``.
+
+    Eagerly identical to the plain Python loop; under no-grad tape capture
+    the body is recorded once and replayed ``T`` times by the compiled
+    program (Dr.Jit-style symbolic loop), so recurrent models do not unroll
+    into ``T`` copies of the trace.  With ``collect=True`` the per-step
+    hidden states are stacked along axis 1.
+    """
+    length = xs.shape[1]
+    tape = _TAPE.tape
+    h0 = declare_const(h0)
+    if tape is None or is_grad_enabled() or not tape.ok:
+        return _eager_scan(body, xs, h0, length, collect)
+    return tape.record_scan(body, xs, h0, length, collect)
+
+
+# ---------------------------------------------------------------------- #
+# Program cache + run_compiled
+# ---------------------------------------------------------------------- #
+class _Entry:
+    __slots__ = ("structure", "status", "instances", "graph", "nbytes", "token")
+
+    def __init__(self, token, graph):
+        self.structure: ProgramStructure | None = None
+        self.status = "empty"  # empty | ready | untraceable
+        self.instances: list[ProgramInstance] = []
+        self.graph = graph  # strong ref keeps the id() key stable
+        self.nbytes = 0
+        self.token = token
+
+
+def _touch(entry: _Entry) -> None:
+    _ENTRY_LRU[entry.token] = entry  # re-registers entries dropped by _evict
+    _ENTRY_LRU.move_to_end(entry.token)
+
+
+def _evict() -> None:
+    global _cache_bytes
+    while _cache_bytes > _LIMIT_BYTES and len(_ENTRY_LRU) > 1:
+        token, entry = _ENTRY_LRU.popitem(last=False)
+        _cache_bytes -= entry.nbytes
+        entry.nbytes = 0
+        entry.instances.clear()
+        entry.status = "empty"
+        entry.structure = None
+        _STATS["evictions"] += 1
+    while len(_STRUCTURES) > _MAX_STRUCTURES:
+        _STRUCTURES.popitem(last=False)
+
+
+def _entry_for(model, key, graph) -> _Entry:
+    per_model = _MODEL_CACHE.get(model)
+    if per_model is None:
+        per_model = {}
+        _MODEL_CACHE[model] = per_model
+    entry = per_model.get(key)
+    if entry is None:
+        _STATS["shape_misses"] += 1
+        entry = _Entry((id(model), key), graph)
+        per_model[key] = entry
+        _ENTRY_LRU[entry.token] = entry
+    _touch(entry)
+    return entry
+
+
+def _graph_digest(graph):
+    """Content token for a graph — shared structures bake its supports as consts."""
+    if graph is None:
+        return None
+    source = getattr(graph, "csr", None)
+    if source is None:
+        source = getattr(graph, "adjacency", None)
+    if source is None:
+        return ("id", id(graph))
+    try:
+        from ..graph import sparse as _sparse
+
+        return _sparse._cached_digest(source)
+    except Exception:
+        return ("id", id(graph))
+
+
+def _fingerprint(model, key, graph):
+    try:
+        signature = tuple(
+            (name, p.shape, str(p.dtype)) for name, p in model.named_parameters()
+        )
+    except Exception:
+        return None
+    # A structure's CONST slots bake the diffusion supports of both the
+    # explicitly passed graph and the model's own network graph, so sharing
+    # is only sound between models whose graphs have identical content.
+    own = _graph_digest(getattr(getattr(model, "network", None), "graph", None))
+    return (type(model).__qualname__, signature, key, own, _graph_digest(graph))
+
+
+def _acquire(entry: _Entry, model) -> ProgramInstance | None:
+    for instance in entry.instances:
+        if not instance.busy:
+            instance.busy = True
+            return instance
+    if len(entry.instances) >= _MAX_INSTANCES:
+        _STATS["overflow_fallbacks"] += 1
+        return None
+    global _cache_bytes
+    try:
+        instance = ProgramInstance(entry.structure, model)
+    except UntraceableError:
+        entry.status = "untraceable"
+        _STATS["untraceable"] += 1
+        return None
+    _STATS["instance_builds"] += 1
+    instance.busy = True
+    entry.instances.append(instance)
+    added = instance.arena_nbytes()
+    entry.nbytes += added
+    _cache_bytes += added
+    _evict()
+    return instance
+
+
+def _capture(model, fn, x):
+    tape = Tape(model)
+    tape.declare_input(x)
+    _TAPE.tape = tape
+    try:
+        out = fn(x)
+    finally:
+        _TAPE.tape = None
+    _STATS["captures"] += 1
+    if not isinstance(out, Tensor):
+        return out, None
+    structure = tape.finalize(out, model)
+    return out, structure
+
+
+def _replay(entry: _Entry, instance: ProgramInstance, x: Tensor) -> Tensor:
+    structure = entry.structure
+    out_buffer = instance.run_forward(x.data)
+    _STATS["replays"] += 1
+    _STATS["forward_replays"] += 1
+    if structure.differentiable and is_grad_enabled():
+        released = [False]
+
+        def _release():
+            if not released[0]:
+                released[0] = True
+                instance.busy = False
+
+        def backward(grad: np.ndarray) -> None:
+            try:
+                instance.run_backward(grad)
+                _STATS["backward_replays"] += 1
+            finally:
+                _release()
+
+        boundary = Tensor._make(out_buffer, instance.leaves, backward)
+        weakref.finalize(boundary, _release)
+        return boundary
+    out = Tensor(out_buffer.copy(), dtype=out_buffer.dtype)
+    instance.busy = False
+    return out
+
+
+def run_compiled(model, fn, x, *, graph=None, kind="forward", enabled=None):
+    """Execute ``fn(x)`` through the compiled-program cache for ``model``.
+
+    Transparent: eager on the first call per key (capturing), on shape/dtype
+    misses, on untraceable graphs, while another capture is active, and
+    whenever traced execution is disabled.  ``graph`` pins the program to a
+    specific :class:`repro.graph.Graph` identity so augmented/evolved graphs
+    never replay against stale supports.
+    """
+    gate = _ENABLED if enabled is None else enabled
+    if (
+        not gate
+        or not isinstance(x, Tensor)
+        or x.requires_grad
+        or _TAPE.tape is not None
+    ):
+        _STATS["eager_calls"] += 1
+        return fn(x)
+    key = (
+        kind,
+        x.shape,
+        str(x.dtype),
+        bool(getattr(model, "training", False)),
+        is_grad_enabled(),
+        id(graph) if graph is not None else None,
+        _knob_token(),
+    )
+    with _LOCK:
+        entry = _entry_for(model, key, graph)
+        if entry.status == "untraceable":
+            _STATS["eager_calls"] += 1
+            return fn(x)
+        if entry.structure is None:
+            fingerprint = _fingerprint(model, key, graph)
+            shared = _STRUCTURES.get(fingerprint) if fingerprint else None
+            if shared is not None and shared.shareable:
+                try:
+                    ProgramInstance(shared, model)  # validates binding
+                    entry.structure = shared
+                    entry.status = "ready"
+                    _STATS["structure_hits"] += 1
+                    _STRUCTURES.move_to_end(fingerprint)
+                except UntraceableError:
+                    entry.structure = None
+        if entry.structure is not None:
+            instance = _acquire(entry, model)
+            if instance is None:
+                _STATS["eager_calls"] += 1
+                return fn(x)
+            try:
+                return _replay(entry, instance, x)
+            except Exception:
+                instance.busy = False
+                raise
+        fingerprint = _fingerprint(model, key, graph)
+
+    # Capture outside the lock: it runs the full eager forward.
+    out, structure = _capture(model, fn, x)
+    with _LOCK:
+        if structure is None:
+            entry.status = "untraceable"
+            _STATS["untraceable"] += 1
+        else:
+            entry.structure = structure
+            entry.status = "ready"
+            if structure.shareable and fingerprint is not None:
+                _STRUCTURES[fingerprint] = structure
+                _evict()
+    return out

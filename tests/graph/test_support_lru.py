@@ -1,0 +1,87 @@
+"""Truncated-BFS distant masks and the byte-bounded per-Graph support LRU."""
+
+import numpy as np
+import pytest
+
+from repro.graph import sparse as gs
+from repro.graph.generators import grid_network, random_geometric_network
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    gs.clear_support_cache()
+    yield
+    gs.clear_support_cache()
+
+
+class TestDistantMask:
+    def test_matches_dense_hop_matrix(self):
+        graph = random_geometric_network(40, rng=3).graph
+        hops = graph.hop_matrix()
+        sources = np.arange(graph.num_nodes)
+        for max_hops in (1, 2, 3, 5):
+            mask = graph.distant_mask(sources, max_hops)
+            expected = (hops > max_hops) | np.isinf(hops)
+            np.testing.assert_array_equal(mask, expected)
+
+    def test_source_subset_rows(self):
+        graph = grid_network(4, 4, rng=0).graph
+        sources = np.array([0, 5, 11])
+        mask = graph.distant_mask(sources, 2)
+        hops = graph.hop_matrix()
+        np.testing.assert_array_equal(mask, (hops[sources] > 2) | np.isinf(hops[sources]))
+
+    def test_sources_never_flag_themselves(self):
+        graph = grid_network(3, 3, rng=1).graph
+        mask = graph.distant_mask(np.arange(graph.num_nodes), 1)
+        assert not mask.diagonal().any()
+
+
+class TestGraphSupportLRU:
+    def test_supports_register_and_rebuild_after_eviction(self):
+        graph = grid_network(4, 4, rng=0).graph
+        first = graph.supports(2)
+        graph.support_transposes(2)
+        stats = gs.support_cache_stats()
+        assert stats["graph_support_entries"] == 1
+        assert stats["graph_support_bytes"] > 0
+
+        # Same key: identity-stable, still one entry.
+        assert graph.supports(2) is first
+        assert gs.support_cache_stats()["graph_support_entries"] == 1
+
+        gs.set_graph_support_limit(1)  # force the entry out
+        stats = gs.support_cache_stats()
+        assert stats["graph_support_entries"] == 0
+        assert stats["graph_support_evictions"] == 1
+        gs.set_graph_support_limit(256 * 1024 * 1024)
+
+        rebuilt = graph.supports(2)  # transparently rebuilt
+        assert rebuilt is not first
+        for a, b in zip(first, rebuilt):
+            dense_a = a.toarray() if hasattr(a, "toarray") else np.asarray(a)
+            dense_b = b.toarray() if hasattr(b, "toarray") else np.asarray(b)
+            np.testing.assert_array_equal(dense_a, dense_b)
+
+    def test_eviction_is_lru_across_graphs(self):
+        cold = grid_network(4, 4, rng=0).graph
+        hot = grid_network(4, 4, rng=1).graph
+        cold.supports(2)
+        hot.supports(2)
+        cold_bytes = gs.support_cache_stats()["graph_support_bytes"]
+        cold.supports(2)  # touch: hot is now the LRU entry
+        gs.set_graph_support_limit(cold_bytes // 2 + 1)
+        try:
+            assert cold._supports  # recently used survives
+            assert not hot._supports  # coldest entry was dropped
+        finally:
+            gs.set_graph_support_limit(256 * 1024 * 1024)
+
+    def test_clear_caches_forgets_lru_tokens(self):
+        graph = grid_network(3, 3, rng=2).graph
+        graph.supports(2)
+        assert gs.support_cache_stats()["graph_support_entries"] == 1
+        graph.clear_caches()
+        stats = gs.support_cache_stats()
+        assert stats["graph_support_entries"] == 0
+        assert stats["graph_support_bytes"] == 0

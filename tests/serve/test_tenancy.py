@@ -157,6 +157,30 @@ class TestLRUEviction:
         assert "tenant-1" not in bounded.resident
         assert bounded.stats()["pinned"] == 1
 
+    def test_in_flight_writer_pin_blocks_eviction(self, tenant_dirs):
+        pool = ModelPool()
+        for tenant, path in tenant_dirs.items():
+            pool.register(tenant, path)
+        per_tenant = forecaster_nbytes(pool.forecaster("tenant-0"))
+
+        bounded = ModelPool(max_bytes=int(per_tenant * 1.5))
+        for tenant, path in tenant_dirs.items():
+            bounded.register(tenant, path)
+        with bounded.updating("tenant-0", mark_dirty=False) as entry:
+            assert entry.pins == 1
+            assert bounded.stats()["write_pinned"] == 1
+            for tenant in ("tenant-1", "tenant-2"):
+                bounded.get(tenant)
+            # tenant-0 is LRU and clean, but a writer is mid-step on it:
+            # the clean middle tenant must go instead.
+            assert "tenant-0" in bounded.resident
+            assert "tenant-1" not in bounded.resident
+        # Pin released with the step: the next pressure may evict it.
+        assert entry.pins == 0
+        assert bounded.stats()["write_pinned"] == 0
+        bounded.get("tenant-1")
+        assert "tenant-0" not in bounded.resident
+
     def test_put_only_tenant_is_never_evicted(self, tiny_scenario, tiny_urcl_config,
                                               tenant_dirs):
         anchor = make_forecaster(tiny_scenario, tiny_urcl_config, 9)

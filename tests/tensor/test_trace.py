@@ -1,0 +1,198 @@
+"""Traced (tape capture + replay) vs eager bit-parity across the model zoo.
+
+The compiled path must be invisible: forward, backward and optimizer steps
+replayed from a captured program have to produce bit-identical arrays to
+the untraced closures, shape misses must fall back transparently, knob
+changes (spatial mode, default dtype) must re-key the program cache, and
+structure sharing must only ever happen between models on the same graph.
+"""
+
+import numpy as np
+import pytest
+
+import repro  # noqa: F401 - registers the model zoo
+from repro.graph import sparse as gs
+from repro.graph.generators import grid_network
+from repro.models.registry import build_model
+from repro.nn.optim import SGD
+from repro.tensor import (
+    Tensor,
+    clear_program_cache,
+    default_dtype,
+    program_cache_stats,
+    run_compiled,
+    traced_execution,
+)
+
+ZOO = ("graphwavenet", "dcrnn", "geoman", "stgcn", "mtgnn", "agcrn", "stgode")
+
+SHAPES = {"in_channels": 2, "input_steps": 12, "output_steps": 3, "out_channels": 1}
+
+
+@pytest.fixture(autouse=True)
+def fresh_program_cache():
+    clear_program_cache()
+    yield
+    clear_program_cache()
+
+
+def _build(name, network, seed=1):
+    return build_model(name, dict(SHAPES), network, rng=seed)
+
+
+def _inputs(network, batch=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(
+        (batch, SHAPES["input_steps"], network.num_nodes, SHAPES["in_channels"])
+    )
+
+
+def _targets(network, batch=2, seed=5):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(
+        (batch, SHAPES["output_steps"], network.num_nodes, SHAPES["out_channels"])
+    )
+
+
+def _eager_predict(model, x):
+    with traced_execution(False):
+        return model.predict(x)
+
+
+def _train_steps(model, x, y, steps=3, traced=True):
+    """SGD steps returning (loss, grads, params) snapshots per step."""
+    optimizer = SGD(model.parameters(), lr=0.05)
+    model.train(True)
+    records = []
+    with traced_execution(traced):
+        for _ in range(steps):
+            out = run_compiled(model, model.forward, Tensor(x), kind="train")
+            diff = out - Tensor(y)
+            loss = (diff * diff).sum()
+            model.zero_grad()
+            loss.backward()
+            grads = [
+                None if p.grad is None else p.grad.copy() for p in model.parameters()
+            ]
+            optimizer.step()
+            records.append(
+                (float(loss.item()), grads, [p.data.copy() for p in model.parameters()])
+            )
+    return records
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("name", ZOO)
+    def test_capture_and_replay_match_eager(self, small_network, name):
+        model = _build(name, small_network)
+        x = _inputs(small_network)
+        eager = _eager_predict(model, x)
+        captured = model.predict(x)
+        replayed = model.predict(x)
+        stats = program_cache_stats()
+        assert np.array_equal(captured, eager)
+        assert np.array_equal(replayed, eager)
+        assert stats["untraceable"] == 0
+        assert stats["captures"] == 1
+        assert stats["replays"] >= 1
+
+
+class TestTrainingParity:
+    @pytest.mark.parametrize("name", ZOO)
+    def test_loss_grads_and_params_bitwise(self, small_network, name):
+        x, y = _inputs(small_network), _targets(small_network)
+        eager = _train_steps(_build(name, small_network), x, y, traced=False)
+        clear_program_cache()
+        traced = _train_steps(_build(name, small_network), x, y, traced=True)
+        stats = program_cache_stats()
+        assert stats["untraceable"] == 0
+        # Step 1 captures; steps 2-3 replay forward AND backward.
+        assert stats["backward_replays"] >= 1
+        for (le, ge, pe), (lt, gt, pt) in zip(eager, traced):
+            assert le == lt
+            for a, b in zip(ge, gt):
+                if a is None or b is None:
+                    assert a is None and b is None
+                else:
+                    assert np.array_equal(a, b)
+            for a, b in zip(pe, pt):
+                assert np.array_equal(a, b)
+
+
+class TestFallbacksAndInvalidation:
+    def test_shape_miss_recaptures_and_both_programs_stay_live(self, small_network):
+        model = _build("stgcn", small_network)
+        x2 = _inputs(small_network, batch=2)
+        x3 = _inputs(small_network, batch=3, seed=1)
+        e2, e3 = _eager_predict(model, x2), _eager_predict(model, x3)
+        assert np.array_equal(model.predict(x2), e2)
+        assert np.array_equal(model.predict(x3), e3)  # new shape -> new program
+        stats = program_cache_stats()
+        assert stats["captures"] == 2
+        assert stats["shape_misses"] >= 1
+        assert np.array_equal(model.predict(x2), e2)
+        assert np.array_equal(model.predict(x3), e3)
+        assert program_cache_stats()["captures"] == 2  # replays, not recaptures
+
+    def test_escape_hatch_disables_capture(self, small_network):
+        model = _build("stgcn", small_network)
+        x = _inputs(small_network)
+        with traced_execution(False):
+            out = model.predict(x)
+        stats = program_cache_stats()
+        assert stats["captures"] == 0
+        assert stats["entries"] == 0
+        assert np.array_equal(model.predict(x), out)
+
+    def test_spatial_mode_change_rekeys(self, small_network):
+        model = _build("stgcn", small_network)
+        x = _inputs(small_network)
+        base = model.predict(x)
+        assert program_cache_stats()["captures"] == 1
+        with gs.spatial_mode("dense"):
+            eager_dense = _eager_predict(model, x)
+            assert np.array_equal(model.predict(x), eager_dense)
+            assert program_cache_stats()["captures"] == 2
+        # Back on the original knobs: the first program replays untouched.
+        assert np.array_equal(model.predict(x), base)
+        assert program_cache_stats()["captures"] == 2
+
+    def test_dtype_change_rekeys(self, small_network):
+        model = _build("stgcn", small_network)
+        x = _inputs(small_network)
+        out64 = model.predict(x)
+        with default_dtype("float32"):
+            eager32 = _eager_predict(model, x)
+            assert np.array_equal(model.predict(x), eager32)
+            assert np.array_equal(model.predict(x), eager32)
+            assert program_cache_stats()["captures"] == 2
+        assert np.array_equal(model.predict(x), out64)
+        assert program_cache_stats()["captures"] == 2
+
+
+class TestStructureSharing:
+    def test_same_graph_models_share_one_structure(self, small_network):
+        x = _inputs(small_network)
+        first = _build("stgcn", small_network, seed=1)
+        second = _build("stgcn", small_network, seed=2)
+        e1, e2 = _eager_predict(first, x), _eager_predict(second, x)
+        assert np.array_equal(first.predict(x), e1)
+        assert np.array_equal(second.predict(x), e2)  # adopts the shared structure
+        assert np.array_equal(second.predict(x), e2)
+        stats = program_cache_stats()
+        assert stats["captures"] == 1
+        assert stats["structure_hits"] == 1
+
+    def test_cross_graph_models_never_share(self):
+        n1 = grid_network(3, 3, rng=7)
+        n2 = grid_network(3, 3, rng=99)
+        x = _inputs(n1)
+        m1, m2 = _build("stgcn", n1, seed=1), _build("stgcn", n2, seed=1)
+        e1, e2 = _eager_predict(m1, x), _eager_predict(m2, x)
+        assert not np.array_equal(e1, e2)  # the graphs genuinely differ
+        assert np.array_equal(m1.predict(x), e1)
+        assert np.array_equal(m2.predict(x), e2)
+        assert np.array_equal(m2.predict(x), e2)
+        stats = program_cache_stats()
+        assert stats["captures"] == 2
+        assert stats["structure_hits"] == 0
