@@ -3,29 +3,33 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: ci test bench-smoke bench-hot-path bench-hot-path-smoke \
 	bench-spatial bench-spatial-smoke \
-	bench-serving bench-serving-smoke examples-smoke
+	bench-serving bench-serving-smoke \
+	bench-resilience bench-resilience-smoke examples-smoke
 
 # Tier-1 gate: full unit suite, ~10-second smokes of the Fig. 7 efficiency
-# benchmark, the traced-vs-eager hot path, the spatial kernel and the
-# serving engine (catch hot-path and serving regressions that unit tests
-# miss; each records its JSON trajectory per PR), plus the three runnable
-# examples (quickstart, online forecasting, serving demo) as end-to-end
-# smokes of the public API surface.
+# benchmark, the traced-vs-eager hot path, the spatial kernel, the serving
+# engine and the fault-storm resilience harness (catch hot-path and serving
+# regressions that unit tests miss; each records its JSON trajectory per
+# PR), plus the runnable examples (quickstart, online forecasting, serving
+# demo, compiled execution, resilience demo) as end-to-end smokes of the
+# public API surface.
 ci: test bench-smoke bench-hot-path-smoke bench-spatial-smoke \
-	bench-serving-smoke examples-smoke
+	bench-serving-smoke bench-resilience-smoke examples-smoke
 
 test:
 	$(PYTHON) -m pytest tests -x -q
 
 # End-to-end smokes of the documented workflows: continual training via the
 # quickstart, the predict->update->save/load serving loop, the async
-# multi-tenant engine with concurrent predict + online update, and the
-# traced-vs-eager capture/replay walkthrough (asserts bit-parity).
+# multi-tenant engine with concurrent predict + online update, the
+# traced-vs-eager capture/replay walkthrough (asserts bit-parity), and the
+# fault-injection / graceful-degradation walkthrough.
 examples-smoke:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/online_forecasting.py
 	$(PYTHON) examples/serving_demo.py
 	$(PYTHON) examples/compiled_execution.py
+	$(PYTHON) examples/resilience_demo.py
 
 bench-smoke:
 	REPRO_BENCH_SCALE=smoke $(PYTHON) -m pytest benchmarks/bench_fig7_efficiency.py -x -q
@@ -57,3 +61,12 @@ bench-serving:
 
 bench-serving-smoke:
 	$(PYTHON) benchmarks/bench_serving.py --scale smoke
+
+# Resilience harness (clean vs seeded fault-storm closed loops, recovery
+# time); appends to benchmarks/results/BENCH_resilience.json and asserts
+# retry bit-parity, zero lost futures and post-storm recovery.
+bench-resilience:
+	$(PYTHON) benchmarks/bench_resilience.py
+
+bench-resilience-smoke:
+	$(PYTHON) benchmarks/bench_resilience.py --scale smoke

@@ -31,7 +31,9 @@ from .utils.serialization import save_json
 
 __all__ = ["build_parser", "build_serve_parser", "main"]
 
-_SERVE_COMMANDS = ("train", "resume", "predict", "serve", "bench-serving")
+_SERVE_COMMANDS = (
+    "train", "resume", "predict", "serve", "bench-serving", "bench-resilience",
+)
 
 
 def _add_dtype_flag(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +158,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0, help="random seed")
     bench.add_argument("--output", default=None, help="optional JSON dump of the sweep")
     _add_dtype_flag(bench)
+
+    chaos = commands.add_parser(
+        "bench-resilience",
+        help="drive a seeded fault storm through the engine and measure recovery",
+    )
+    chaos.add_argument("--tenants", type=int, default=2, help="synthetic tenants")
+    chaos.add_argument("--concurrency", type=int, default=8, help="closed-loop clients")
+    chaos.add_argument("--requests", type=int, default=128, help="requests per phase")
+    chaos.add_argument("--nodes", type=int, default=12, help="synthetic sensor count")
+    chaos.add_argument("--seed", type=int, default=0, help="fault plan + fixture seed")
+    chaos.add_argument("--output", default=None, help="optional JSON dump of the record")
+    _add_dtype_flag(chaos)
     return parser
 
 
@@ -370,6 +384,47 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_resilience(args: argparse.Namespace) -> int:
+    _apply_dtype(args.dtype)
+    from .serve import FaultPlan, build_synthetic_tenants
+    from .serve.loadgen import run_fault_storm
+
+    pool, windows, _ = build_synthetic_tenants(
+        num_tenants=args.tenants, num_nodes=args.nodes, seed=args.seed,
+        request_windows=min(args.requests, 64),
+    )
+    record = run_fault_storm(
+        pool, windows, tenants=pool.resident,
+        plan=FaultPlan.storm(seed=args.seed),
+        concurrency=args.concurrency, total_requests=args.requests,
+    )
+    for phase in ("clean", "storm", "post_recovery"):
+        _print_serving_stats(phase, record[phase])
+    faults = record["faults"]
+    print(
+        f"injected: {faults.get('crashes', 0)} crashes, "
+        f"{faults.get('stalls', 0)} stalls, "
+        f"{faults.get('corrupted_windows', 0)} corrupted windows, "
+        f"{faults.get('dropped_node_windows', 0)} node dropouts"
+    )
+    print(
+        f"recovery: {record['metrics']['worker_restarts']} worker restarts, "
+        f"{record['metrics']['retried']} retried, "
+        f"time-to-recover {record['recovery']['time_to_recover_seconds'] * 1e3:.0f} ms, "
+        f"post-recovery throughput {record['recovered_throughput_ratio']:.2f}x clean"
+    )
+    if args.output:
+        path = save_json(args.output, record)
+        print(f"resilience record written to {path}")
+    if record["lost_requests"] != 0:
+        print(f"{record['lost_requests']} futures never resolved", file=sys.stderr)
+        return 1
+    if not record["recovery"]["recovered"]:
+        print("engine did not recover after the storm was disarmed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -381,6 +436,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             "predict": _cmd_predict,
             "serve": _cmd_serve,
             "bench-serving": _cmd_bench_serving,
+            "bench-resilience": _cmd_bench_resilience,
         }
         return handler[args.command](args)
 

@@ -1,10 +1,18 @@
-"""Exception hierarchy for the URCL reproduction library."""
+"""Exception hierarchy for the URCL reproduction library.
+
+Serving errors are *structured*: beyond the human-readable message they
+carry machine-readable fields (tenant, pending, limit, deadline, ...) so
+clients and the engine's metrics can branch on what actually happened
+instead of parsing strings.  Fields default to ``None`` when a raise site
+has nothing to report.
+"""
 
 from __future__ import annotations
 
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "CheckpointError",
     "ShapeError",
     "DataError",
     "GraphError",
@@ -12,7 +20,11 @@ __all__ = [
     "TrainingError",
     "ServingError",
     "QueueFull",
+    "RateLimited",
     "EngineClosed",
+    "DeadlineExceeded",
+    "CircuitOpen",
+    "InjectedFault",
 ]
 
 
@@ -22,6 +34,22 @@ class ReproError(Exception):
 
 class ConfigurationError(ReproError):
     """Raised when a configuration object is internally inconsistent."""
+
+
+class CheckpointError(ConfigurationError):
+    """Raised when a checkpoint bundle on disk is unreadable or inconsistent.
+
+    Subclasses :class:`ConfigurationError` so existing handlers keep
+    working; carries the offending ``path`` and a short ``reason`` tag
+    (``"missing"``, ``"truncated"``, ``"version"``, ``"mixed"``,
+    ``"injected"``) for structured handling.
+    """
+
+    def __init__(self, message: str = "checkpoint is unreadable", *,
+                 path=None, reason: str | None = None):
+        self.path = None if path is None else str(path)
+        self.reason = reason
+        super().__init__(message)
 
 
 class ShapeError(ReproError):
@@ -46,16 +74,89 @@ class TrainingError(ReproError):
 
 
 class ServingError(ReproError):
-    """Base class for serving-engine errors."""
+    """Base class for serving-engine errors.
+
+    Every subclass takes its message positionally (back-compatible) and
+    its structured fields as keywords; :meth:`fields` returns them as a
+    plain dict for logging / JSON dumps.
+    """
+
+    _FIELDS: tuple[str, ...] = ("tenant",)
+
+    def __init__(self, message: str = "", **fields):
+        unknown = set(fields) - set(self._FIELDS)
+        if unknown:
+            raise TypeError(f"{type(self).__name__} got unknown fields {sorted(unknown)}")
+        for name in self._FIELDS:
+            setattr(self, name, fields.get(name))
+        super().__init__(message)
+
+    def fields(self) -> dict:
+        """The structured payload (only fields that were actually set)."""
+        return {
+            name: getattr(self, name)
+            for name in self._FIELDS
+            if getattr(self, name) is not None
+        }
 
 
 class QueueFull(ServingError):
     """Raised when the engine's pending-request bound is exceeded.
 
     Explicit backpressure: clients must shed or retry with backoff instead
-    of growing an unbounded queue inside the process.
+    of growing an unbounded queue inside the process.  Fields: ``tenant``,
+    ``pending`` (outstanding requests at rejection time), ``limit``
+    (the configured ``max_pending``).
     """
+
+    _FIELDS = ("tenant", "pending", "limit")
+
+
+class RateLimited(QueueFull):
+    """Raised when a tenant exceeds its token-bucket admission rate.
+
+    Subclasses :class:`QueueFull` so retry-with-backoff clients treat both
+    uniformly; ``rate`` carries the configured requests/second.
+    """
+
+    _FIELDS = ("tenant", "pending", "limit", "rate")
 
 
 class EngineClosed(ServingError):
-    """Raised when a request reaches an engine that has been closed."""
+    """Raised when a request reaches an engine that has been closed.
+
+    Fields: ``tenant``, ``pending`` (requests outstanding at close).
+    """
+
+    _FIELDS = ("tenant", "pending")
+
+
+class DeadlineExceeded(ServingError):
+    """Raised (via the request's future) when a deadline passes in queue.
+
+    Fields: ``tenant``, ``deadline_ms`` (the budget the caller gave),
+    ``waited_ms`` (how long the request actually sat before expiring).
+    """
+
+    _FIELDS = ("tenant", "deadline_ms", "waited_ms")
+
+
+class CircuitOpen(ServingError):
+    """Raised when a tenant's circuit breaker is open and no fallback exists.
+
+    Fields: ``tenant``, ``failures`` (consecutive failures that tripped
+    it), ``retry_after_s`` (seconds until the breaker half-opens).
+    """
+
+    _FIELDS = ("tenant", "failures", "retry_after_s")
+
+
+class InjectedFault(ServingError):
+    """A deliberately injected failure (see :mod:`repro.serve.faults`).
+
+    Never raised in production paths — only when a
+    :class:`~repro.serve.faults.FaultInjector` is armed.  ``kind`` names
+    the injected fault (``"worker_crash"``, ...).
+    """
+
+    _FIELDS = ("tenant", "kind")

@@ -34,11 +34,19 @@ per-shard predictions bit-exactly in the default ``replicate`` mode.
 
 from .batching import DynamicBatcher, MicroBatch, PendingRequest
 from .engine import EngineConfig, ServingEngine
-from .forecaster import Forecaster
-from .loadgen import build_synthetic_tenants, run_closed_loop
+from .faults import FaultInjector, FaultPlan
+from .forecaster import Forecaster, impute_missing
+from .loadgen import build_synthetic_tenants, run_closed_loop, run_fault_storm
 from .metrics import EngineMetrics
 from .sharding import Shard, ShardedForecaster, ShardPlan, ShardPlanner
-from .tenancy import ModelPool, PoolEntry, forecaster_nbytes
+from .tenancy import (
+    CircuitBreaker,
+    ModelPool,
+    PoolEntry,
+    TokenBucket,
+    forecaster_nbytes,
+    historical_average,
+)
 
 __all__ = [
     "Forecaster",
@@ -51,10 +59,17 @@ __all__ = [
     "ModelPool",
     "PoolEntry",
     "forecaster_nbytes",
+    "FaultPlan",
+    "FaultInjector",
+    "CircuitBreaker",
+    "TokenBucket",
+    "historical_average",
+    "impute_missing",
     "Shard",
     "ShardPlan",
     "ShardPlanner",
     "ShardedForecaster",
     "run_closed_loop",
     "build_synthetic_tenants",
+    "run_fault_storm",
 ]

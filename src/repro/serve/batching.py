@@ -33,12 +33,25 @@ __all__ = ["PendingRequest", "MicroBatch", "DynamicBatcher"]
 
 @dataclass
 class PendingRequest:
-    """One accepted single-window request travelling through the engine."""
+    """One accepted single-window request travelling through the engine.
+
+    ``deadline`` is an absolute ``time.monotonic`` instant after which the
+    request should be failed instead of served; ``attempts`` counts
+    dispatches (a batch requeued after a worker crash re-increments it);
+    ``started``/``settled`` are engine-side latches so a request duplicated
+    across batches (wedge recovery, close-time sweeps) is resolved and
+    counted exactly once.
+    """
 
     window: np.ndarray
     tenant: str
     future: Future = field(default_factory=Future)
     submitted: float = field(default_factory=time.perf_counter)
+    deadline: float | None = None
+    deadline_ms: float | None = None
+    attempts: int = 0
+    started: bool = False
+    settled: bool = False
 
 
 @dataclass
@@ -157,6 +170,53 @@ class DynamicBatcher:
                         return []
                     wait = remaining if wait is None else min(wait, remaining)
                 self._cond.wait(wait)
+
+    def pop_expired(self, now: float | None = None) -> list[PendingRequest]:
+        """Remove and return queued requests whose deadline has passed.
+
+        Only requests still waiting in a bucket can expire here; once a
+        batch is flushed, expiry is the worker's business.  Buckets left
+        empty are dropped so their flush deadline stops waking the flusher.
+        """
+        now = time.monotonic() if now is None else now
+        expired: list[PendingRequest] = []
+        with self._cond:
+            emptied = []
+            for key, bucket in self._buckets.items():
+                keep = []
+                for request in bucket.requests:
+                    if request.deadline is not None and request.deadline <= now:
+                        expired.append(request)
+                    else:
+                        keep.append(request)
+                if len(keep) != len(bucket.requests):
+                    bucket.requests = keep
+                    if not keep:
+                        emptied.append(key)
+            for key in emptied:
+                del self._buckets[key]
+        return expired
+
+    def shed_oldest(self) -> PendingRequest | None:
+        """Pop the single oldest queued request (overload shedding).
+
+        Returns ``None`` when nothing is queued — the overload is entirely
+        in-flight and there is nothing safe to drop.
+        """
+        with self._cond:
+            oldest_key = None
+            oldest = None
+            for key, bucket in self._buckets.items():
+                head = bucket.requests[0]
+                if oldest is None or head.submitted < oldest.submitted:
+                    oldest, oldest_key = head, key
+            if oldest is None:
+                return None
+            bucket = self._buckets[oldest_key]
+            bucket.requests.pop(0)
+            if not bucket.requests:
+                del self._buckets[oldest_key]
+            return oldest
 
     def drain(self) -> list[MicroBatch]:
         """Pop every queued request as batches (used on engine close)."""

@@ -1,4 +1,4 @@
-"""The serving engine: async micro-batched, multi-tenant, shard-capable.
+"""The serving engine: async micro-batched, multi-tenant, fault-tolerant.
 
 :class:`ServingEngine` is the process-level serving loop on top of
 :class:`~repro.serve.forecaster.Forecaster`:
@@ -12,7 +12,33 @@
   its oldest request has waited ``max_delay_ms`` — whichever comes first.
 * **Backpressure is explicit**: beyond ``max_pending`` accepted-but-
   unresolved requests, :meth:`submit` raises
-  :class:`~repro.exceptions.QueueFull` instead of queueing unboundedly.
+  :class:`~repro.exceptions.QueueFull` (or sheds the oldest queued request
+  under ``overload_policy="shed_oldest"``); per-tenant token buckets
+  (``tenant_rate_limit``) reject floods with
+  :class:`~repro.exceptions.RateLimited` before they consume queue space.
+* **Deadlines**: ``submit(..., deadline_ms=...)`` bounds how long a request
+  may wait; the supervisor expires overdue requests still in the batcher
+  and workers drop overdue requests from flushed batches, both with a
+  structured :class:`~repro.exceptions.DeadlineExceeded`.
+* **Fault tolerance**: a supervisor thread detects dead workers (crashed
+  serving a batch) and wedged workers (in flight longer than
+  ``wedge_timeout_s``), replaces them, and requeues their batches with
+  capped exponential backoff up to ``max_retries`` per request — safe
+  because ``predict`` is side-effect-free, and every request resolves
+  exactly once regardless of how many times its batch was dispatched.
+* **Graceful degradation**: per-tenant circuit breakers trip open after
+  ``breaker_failures`` consecutive batch failures (exceptions or
+  non-finite outputs) and fail fast with
+  :class:`~repro.exceptions.CircuitOpen` — or route to a registered
+  fallback forecaster / the model-free historical-average baseline when
+  ``fallback="ha"`` — then half-open and probe their way closed.
+  NaN-damaged inbound windows are mask-and-imputed (or rejected) per
+  ``nan_policy``.
+* **Fault injection** (:mod:`repro.serve.faults`) exercises all of the
+  above deterministically: pass a :class:`~repro.serve.faults.FaultPlan`
+  and the engine crashes/stalls its own workers, corrupts inbound windows
+  and fails checkpoint loads on seeded schedules.  With no plan installed
+  every hook is a ``None`` check — the production path pays nothing.
 * **Multi-tenancy** routes each request's tenant id through a
   :class:`~repro.serve.tenancy.ModelPool` (byte-bounded LRU of per-tenant
   checkpoints, one shared graph).
@@ -20,34 +46,48 @@
   :class:`~repro.serve.sharding.ShardedForecaster` (bit-exact in the
   default ``replicate`` mode).
 * **Online updates** go through a serialized update lane
-  (:meth:`update`): one update at a time engine-wide, and a per-tenant
+  (:meth:`update`): one update at a time engine-wide, a per-tenant
   readers/writer lock keeps in-flight predicts from observing
-  half-stepped parameters while the optimizer writes in place.
+  half-stepped parameters, and a failed step rolls the model and
+  optimizer back to their pre-step state (``update_rollback``).
 
 Worker threads pull flushed batches off a FIFO queue, run the fused
 forward under the tenant's read lock and resolve each request's future; a
 flusher thread sweeps deadline-expired buckets.  :meth:`close` drains by
 default — everything accepted is answered — or fails the still-queued
-requests with :class:`~repro.exceptions.EngineClosed` when asked not to.
+requests with :class:`~repro.exceptions.EngineClosed` when asked not to;
+``drain_timeout`` bounds how long a wedged worker can hold up shutdown.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
-from concurrent.futures import Future
-from dataclasses import dataclass, field
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, EngineClosed, QueueFull, ShapeError
+from ..exceptions import (
+    CircuitOpen,
+    ConfigurationError,
+    DataError,
+    DeadlineExceeded,
+    EngineClosed,
+    QueueFull,
+    RateLimited,
+    ServingError,
+    ShapeError,
+)
 from ..tensor import program_cache_stats
 from .batching import DynamicBatcher, MicroBatch, PendingRequest
-from .forecaster import Forecaster
+from .faults import FaultInjector, FaultPlan
+from .forecaster import Forecaster, impute_missing
 from .metrics import EngineMetrics
 from .sharding import ShardedForecaster
-from .tenancy import ModelPool, PoolEntry
+from .tenancy import CircuitBreaker, ModelPool, PoolEntry, TokenBucket, historical_average
 
 __all__ = ["EngineConfig", "ServingEngine"]
 
@@ -78,6 +118,42 @@ class EngineConfig:
         Node shards per tenant (1 disables sharding).
     shard_mode:
         ``"replicate"`` (exact) or ``"partition"`` (approximate).
+    deadline_default_ms:
+        Deadline applied to requests that pass none (``None``: no default).
+    overload_policy:
+        At ``max_pending``: ``"reject"`` the new request or
+        ``"shed_oldest"`` — drop the oldest *queued* request to admit the
+        new one (fresh data beats stale data on a live stream).
+    max_retries:
+        Re-dispatches allowed per request after worker crashes / failed
+        checkpoint loads before its future fails with the original error.
+    retry_backoff_ms / retry_backoff_max_ms:
+        Capped exponential backoff between re-dispatches.
+    wedge_timeout_s:
+        In-flight time after which the supervisor declares a worker wedged,
+        abandons it and requeues its batch on a fresh worker.
+    supervise_interval_s:
+        Supervisor polling period (restart/retry/expiry latency floor).
+    tenant_rate_limit / tenant_burst:
+        Per-tenant token-bucket admission (requests/second and burst);
+        ``None`` disables.
+    breaker_failures / breaker_reset_s / breaker_probes:
+        Per-tenant circuit breaker: consecutive batch failures to trip,
+        open hold time, half-open probe count.  ``breaker_failures=None``
+        disables breakers entirely.
+    nan_policy:
+        Non-finite inbound windows: ``"impute"`` (mask-and-impute per
+        node/channel), ``"reject"`` (:class:`~repro.exceptions.DataError`
+        at submit) or ``"propagate"`` (serve as-is).
+    nonfinite_output:
+        ``"fail"`` treats non-finite model outputs as a batch failure
+        (breaker event + fallback/error); ``"return"`` hands them back.
+    fallback:
+        When a batch cannot be served healthily: ``"none"`` fails the
+        requests, ``"ha"`` answers with the tenant's registered fallback
+        forecaster or the historical-average baseline.
+    update_rollback:
+        Roll model+optimizer back when an online update step raises.
     """
 
     max_batch_size: int = 32
@@ -87,6 +163,22 @@ class EngineConfig:
     predict_batch_size: int = 256
     shards: int = 1
     shard_mode: str = "replicate"
+    deadline_default_ms: float | None = None
+    overload_policy: str = "reject"
+    max_retries: int = 2
+    retry_backoff_ms: float = 10.0
+    retry_backoff_max_ms: float = 500.0
+    wedge_timeout_s: float = 30.0
+    supervise_interval_s: float = 0.05
+    tenant_rate_limit: float | None = None
+    tenant_burst: float | None = None
+    breaker_failures: int | None = 5
+    breaker_reset_s: float = 5.0
+    breaker_probes: int = 1
+    nan_policy: str = "impute"
+    nonfinite_output: str = "fail"
+    fallback: str = "none"
+    update_rollback: bool = True
 
     def __post_init__(self):
         if self.max_pending < 1:
@@ -99,6 +191,76 @@ class EngineConfig:
             raise ConfigurationError(
                 f"shard_mode must be 'replicate' or 'partition', got {self.shard_mode!r}"
             )
+        if self.deadline_default_ms is not None and self.deadline_default_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_default_ms must be positive, got {self.deadline_default_ms}"
+            )
+        if self.overload_policy not in ("reject", "shed_oldest"):
+            raise ConfigurationError(
+                "overload_policy must be 'reject' or 'shed_oldest', "
+                f"got {self.overload_policy!r}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_ms < 0 or self.retry_backoff_max_ms < 0:
+            raise ConfigurationError("retry backoff times must be >= 0")
+        if self.wedge_timeout_s <= 0:
+            raise ConfigurationError(
+                f"wedge_timeout_s must be positive, got {self.wedge_timeout_s}"
+            )
+        if self.supervise_interval_s <= 0:
+            raise ConfigurationError(
+                f"supervise_interval_s must be positive, got {self.supervise_interval_s}"
+            )
+        if self.tenant_rate_limit is not None and self.tenant_rate_limit <= 0:
+            raise ConfigurationError(
+                f"tenant_rate_limit must be positive, got {self.tenant_rate_limit}"
+            )
+        if self.breaker_failures is not None and self.breaker_failures < 1:
+            raise ConfigurationError(
+                f"breaker_failures must be >= 1 (or None), got {self.breaker_failures}"
+            )
+        if self.breaker_reset_s <= 0:
+            raise ConfigurationError(
+                f"breaker_reset_s must be positive, got {self.breaker_reset_s}"
+            )
+        if self.breaker_probes < 1:
+            raise ConfigurationError(
+                f"breaker_probes must be >= 1, got {self.breaker_probes}"
+            )
+        if self.nan_policy not in ("impute", "reject", "propagate"):
+            raise ConfigurationError(
+                "nan_policy must be 'impute', 'reject' or 'propagate', "
+                f"got {self.nan_policy!r}"
+            )
+        if self.nonfinite_output not in ("fail", "return"):
+            raise ConfigurationError(
+                f"nonfinite_output must be 'fail' or 'return', got {self.nonfinite_output!r}"
+            )
+        if self.fallback not in ("none", "ha"):
+            raise ConfigurationError(
+                f"fallback must be 'none' or 'ha', got {self.fallback!r}"
+            )
+
+
+class _Worker:
+    """One serving thread plus the supervisor's view of it.
+
+    ``batch``/``started_at`` form the heartbeat (what it is serving, since
+    when); ``crashed`` is set by the worker itself on the way down so the
+    supervisor can recover the batch; ``abandoned`` tells a wedged worker
+    that has been replaced to exit instead of pulling more work.
+    """
+
+    __slots__ = ("thread", "abandoned", "batch", "started_at", "crashed", "error")
+
+    def __init__(self):
+        self.thread: threading.Thread | None = None
+        self.abandoned = threading.Event()
+        self.batch: MicroBatch | None = None
+        self.started_at: float | None = None
+        self.crashed = False
+        self.error: BaseException | None = None
 
 
 class ServingEngine:
@@ -111,9 +273,14 @@ class ServingEngine:
         ``"default"`` tenant id) or a prebuilt :class:`ModelPool`.
     config:
         Engine knobs; defaults are sized for interactive serving.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` or
+        :class:`~repro.serve.faults.FaultInjector` for chaos testing; the
+        engine then injects worker crashes/stalls, window corruption and
+        checkpoint-load failures on the plan's seeded schedule.
     """
 
-    def __init__(self, source, config: EngineConfig | None = None):
+    def __init__(self, source, config: EngineConfig | None = None, faults=None):
         self.config = config or EngineConfig()
         self._owns_pool = isinstance(source, Forecaster)
         if isinstance(source, ModelPool):
@@ -125,6 +292,20 @@ class ServingEngine:
             raise ConfigurationError(
                 f"ServingEngine serves a Forecaster or a ModelPool, got {type(source).__name__}"
             )
+        if faults is None:
+            self.injector: FaultInjector | None = None
+        elif isinstance(faults, FaultInjector):
+            self.injector = faults
+        elif isinstance(faults, FaultPlan):
+            self.injector = FaultInjector(faults) if faults.any_faults() else None
+        else:
+            raise ConfigurationError(
+                f"faults must be a FaultPlan or FaultInjector, got {type(faults).__name__}"
+            )
+        self._installed_load_hook = False
+        if self.injector is not None and self.pool._load_hook is None:
+            self.pool._load_hook = self.injector.on_checkpoint_load
+            self._installed_load_hook = True
         if self.config.shards > 1:
             if self.pool._decorate is not None:
                 raise ConfigurationError(
@@ -153,31 +334,56 @@ class ServingEngine:
         # to close(): otherwise a size-flushed batch could land in the
         # worker queue after the stop sentinels and hang its futures.
         self._dispatch_lock = threading.Lock()
+        # Exactly-once resolution: a request duplicated across batches
+        # (wedge recovery, close-time sweeps) settles under this lock.
+        self._settle_lock = threading.Lock()
+        self._deadlines_used = False
+        self._breaker_lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._bucket_lock = threading.Lock()
+        self._tenant_buckets: dict[str, TokenBucket] = {}
+        # Per-tenant (per-window output shape, target channel) learned from
+        # the last healthy batch — what the HA fallback needs to produce
+        # drop-in shaped answers.
+        self._fallback_ctx: dict[str, tuple[tuple, int]] = {}
+        # Batches awaiting a retry re-dispatch: [(due_monotonic, batch)].
+        self._delayed_lock = threading.Lock()
+        self._delayed: list[tuple[float, MicroBatch]] = []
+        self.supervisor_errors = 0
         self._flusher = threading.Thread(
             target=self._flush_loop, name="repro-serve-flusher", daemon=True
         )
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"repro-serve-worker-{index}", daemon=True
-            )
-            for index in range(self.config.num_workers)
-        ]
+        self._workers_lock = threading.Lock()
+        self._worker_seq = itertools.count()
+        self._workers: list[_Worker] = []
+        with self._workers_lock:
+            for _ in range(self.config.num_workers):
+                self._spawn_worker()
+        self._supervisor_stop = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="repro-serve-supervisor", daemon=True
+        )
         self._flusher.start()
-        for worker in self._workers:
-            worker.start()
+        self._supervisor.start()
 
     # ------------------------------------------------------------------ #
     # Request path
     # ------------------------------------------------------------------ #
-    def submit(self, window: np.ndarray, tenant: str | None = None) -> Future:
+    def submit(self, window: np.ndarray, tenant: str | None = None,
+               deadline_ms: float | None = None) -> Future:
         """Accept one raw window; resolve its future with the prediction.
 
-        Raises :class:`~repro.exceptions.QueueFull` beyond ``max_pending``
-        outstanding requests and :class:`~repro.exceptions.EngineClosed`
-        after :meth:`close`.
+        ``deadline_ms`` bounds the request's total wait: once exceeded in
+        queue (or found exceeded at service time) its future fails with
+        :class:`~repro.exceptions.DeadlineExceeded` instead of being
+        served late.  Raises :class:`~repro.exceptions.QueueFull` beyond
+        ``max_pending`` outstanding requests,
+        :class:`~repro.exceptions.RateLimited` beyond the tenant's
+        admission rate and :class:`~repro.exceptions.EngineClosed` after
+        :meth:`close`.
         """
         if self._closed:
-            raise EngineClosed("engine is closed")
+            raise EngineClosed("engine is closed", tenant=tenant)
         window = np.asarray(window, dtype=float)
         if window.ndim != 3:
             raise ShapeError(
@@ -186,17 +392,67 @@ class ServingEngine:
         tenant = DEFAULT_TENANT if tenant is None else str(tenant)
         if tenant not in self.pool:
             raise ConfigurationError(f"unknown tenant {tenant!r}")
-        with self._pending_lock:
-            # Check-and-count under one lock so concurrent submitters cannot
-            # overshoot the bound.
-            if self.metrics.pending >= self.config.max_pending:
-                self.metrics.record_rejected()
-                raise QueueFull(
-                    f"{self.metrics.pending} requests pending "
-                    f"(max_pending={self.config.max_pending})"
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_default_ms
+        elif deadline_ms <= 0:
+            raise ConfigurationError(f"deadline_ms must be positive, got {deadline_ms}")
+        if self.injector is not None:
+            window = self.injector.corrupt(window, tenant=tenant)
+        if self.config.nan_policy != "propagate" and not np.isfinite(window).all():
+            if self.config.nan_policy == "reject":
+                self.metrics.record_nan_rejected()
+                raise DataError(
+                    "window contains non-finite values and nan_policy='reject'"
                 )
-            self.metrics.record_submit()
+            window, imputed = impute_missing(window)
+            if imputed:
+                self.metrics.record_imputed()
+        if self.config.tenant_rate_limit is not None:
+            if not self._bucket_for(tenant).try_acquire():
+                self.metrics.record_throttled()
+                raise RateLimited(
+                    f"tenant {tenant!r} exceeded its admission rate "
+                    f"({self.config.tenant_rate_limit:g} req/s)",
+                    tenant=tenant, rate=self.config.tenant_rate_limit,
+                )
+        shed_attempts = 0
+        while True:
+            with self._pending_lock:
+                # Check-and-count under one lock so concurrent submitters
+                # cannot overshoot the bound.
+                pending = self.metrics.pending
+                if pending < self.config.max_pending:
+                    self.metrics.record_submit()
+                    break
+                victim = None
+                if (self.config.overload_policy == "shed_oldest"
+                        and shed_attempts <= 2 * self.config.max_pending):
+                    victim = self._batcher.shed_oldest()
+                if victim is None:
+                    self.metrics.record_rejected()
+                    raise QueueFull(
+                        f"{pending} requests pending "
+                        f"(max_pending={self.config.max_pending})",
+                        tenant=tenant, pending=pending,
+                        limit=self.config.max_pending,
+                    )
+            # Settle outside the lock: resolving a future can run client
+            # callbacks, which must be free to call submit() again.
+            shed_attempts += 1
+            self._settle_error(
+                victim,
+                QueueFull(
+                    "shed under overload to admit newer work",
+                    tenant=victim.tenant, pending=pending,
+                    limit=self.config.max_pending,
+                ),
+                kind="shed",
+            )
         request = PendingRequest(window=window, tenant=tenant)
+        if deadline_ms is not None:
+            request.deadline = time.monotonic() + deadline_ms / 1e3
+            request.deadline_ms = float(deadline_ms)
+            self._deadlines_used = True
         try:
             with self._dispatch_lock:
                 batch = self._batcher.add(request)
@@ -210,9 +466,100 @@ class ServingEngine:
         return request.future
 
     def predict(self, window: np.ndarray, tenant: str | None = None,
-                timeout: float | None = None) -> np.ndarray:
+                timeout: float | None = None,
+                deadline_ms: float | None = None) -> np.ndarray:
         """Synchronous convenience: ``submit`` + ``Future.result``."""
-        return self.submit(window, tenant=tenant).result(timeout=timeout)
+        return self.submit(window, tenant=tenant, deadline_ms=deadline_ms).result(
+            timeout=timeout
+        )
+
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        with self._bucket_lock:
+            bucket = self._tenant_buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.config.tenant_rate_limit, burst=self.config.tenant_burst
+                )
+                self._tenant_buckets[tenant] = bucket
+            return bucket
+
+    def _breaker_for(self, tenant: str) -> CircuitBreaker | None:
+        if self.config.breaker_failures is None:
+            return None
+        with self._breaker_lock:
+            breaker = self._breakers.get(tenant)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.config.breaker_failures,
+                    reset_timeout_s=self.config.breaker_reset_s,
+                    half_open_probes=self.config.breaker_probes,
+                )
+                self._breakers[tenant] = breaker
+            return breaker
+
+    # ------------------------------------------------------------------ #
+    # Exactly-once settlement
+    # ------------------------------------------------------------------ #
+    def _mark_settled(self, request: PendingRequest) -> bool:
+        with self._settle_lock:
+            if request.settled:
+                return False
+            request.settled = True
+            return True
+
+    def _settle_result(self, request: PendingRequest, value) -> None:
+        if not self._mark_settled(request):
+            return
+        try:
+            request.future.set_result(value)
+        except InvalidStateError:
+            self.metrics.record_cancelled()
+            return
+        self.metrics.record_done(time.perf_counter() - request.submitted)
+
+    def _settle_error(self, request: PendingRequest, exc: BaseException,
+                      kind: str | None = None) -> None:
+        if not self._mark_settled(request):
+            return
+        try:
+            request.future.set_exception(exc)
+        except InvalidStateError:
+            self.metrics.record_cancelled()
+            return
+        self.metrics.record_done(
+            time.perf_counter() - request.submitted, failed=True, kind=kind
+        )
+
+    def _claim(self, request: PendingRequest) -> bool:
+        """Move the request to RUNNING exactly once; False when cancelled
+        or already settled (a duplicate dispatch lost the race)."""
+        cancelled = False
+        with self._settle_lock:
+            if request.settled:
+                return False
+            if not request.started:
+                request.started = True
+                if not request.future.set_running_or_notify_cancel():
+                    request.settled = True
+                    cancelled = True
+        if cancelled:
+            self.metrics.record_cancelled()
+            return False
+        return True
+
+    def _expire(self, request: PendingRequest) -> None:
+        waited_ms = (time.perf_counter() - request.submitted) * 1e3
+        deadline_ms = request.deadline_ms
+        self._settle_error(
+            request,
+            DeadlineExceeded(
+                f"request expired after {waited_ms:.1f} ms in queue "
+                f"(deadline {deadline_ms:g} ms)" if deadline_ms is not None
+                else f"request expired after {waited_ms:.1f} ms in queue",
+                tenant=request.tenant, deadline_ms=deadline_ms, waited_ms=waited_ms,
+            ),
+            kind="expired",
+        )
 
     # ------------------------------------------------------------------ #
     # Online update lane
@@ -223,18 +570,31 @@ class ServingEngine:
 
         Serialized engine-wide (one update at a time) and exclusive with
         that tenant's predicts via the per-tenant write lock; the model is
-        returned to eval mode before readers resume.
+        returned to eval mode before readers resume.  When
+        ``update_rollback`` is on (default), a step that raises restores
+        the model and optimizer to their pre-step state bit-for-bit, so a
+        poisoned online batch can never leave half-stepped weights
+        serving traffic.
         """
         if self._closed:
-            raise EngineClosed("engine is closed")
+            raise EngineClosed("engine is closed", tenant=tenant)
         tenant = DEFAULT_TENANT if tenant is None else str(tenant)
         with self._update_lock:
             # Writer-pinned (and latched dirty) before the mutation so a
             # concurrent eviction can't select this entry mid-step.
             with self.pool.updating(tenant) as entry:
                 with entry.lock.write():
+                    snapshot = (
+                        entry.forecaster.snapshot_state()
+                        if self.config.update_rollback else None
+                    )
                     try:
                         step = entry.forecaster.update(inputs, targets, set_name=set_name)
+                    except BaseException:
+                        if snapshot is not None:
+                            entry.forecaster.restore_state(snapshot)
+                            self.metrics.record_rollback()
+                        raise
                     finally:
                         # Forecaster.update leaves the model in train mode;
                         # concurrent predicts must only ever see eval.
@@ -256,39 +616,249 @@ class ServingEngine:
                 self.metrics.record_flush(len(batch), due_to_deadline=True)
                 self._queue.put(batch)
 
-    def _worker_loop(self) -> None:
+    def _spawn_worker(self) -> _Worker:
+        """Create, register and start one worker (callers hold _workers_lock)."""
+        worker = _Worker()
+        worker.thread = threading.Thread(
+            target=self._worker_loop, args=(worker,),
+            name=f"repro-serve-worker-{next(self._worker_seq)}", daemon=True,
+        )
+        self._workers.append(worker)
+        worker.thread.start()
+        return worker
+
+    def _worker_loop(self, worker: _Worker) -> None:
         while True:
             batch = self._queue.get()
             if batch is _STOP:
                 return
-            self._run_batch(batch)
+            with self._workers_lock:
+                worker.batch = batch
+                worker.started_at = time.monotonic()
+            for request in batch.requests:
+                request.attempts += 1
+            try:
+                if self.injector is not None:
+                    self.injector.on_worker_batch(tenant=batch.tenant)
+                self._run_batch(batch)
+            except BaseException as exc:  # noqa: BLE001 - die visibly for the supervisor
+                with self._workers_lock:
+                    worker.error = exc
+                    worker.crashed = True
+                return
+            with self._workers_lock:
+                worker.batch = None
+                worker.started_at = None
+            if worker.abandoned.is_set():
+                return
 
     def _run_batch(self, batch: MicroBatch) -> None:
+        now = time.monotonic()
         live = []
         for request in batch.requests:
-            if request.future.set_running_or_notify_cancel():
+            if request.deadline is not None and request.deadline <= now:
+                self._expire(request)
+            elif self._claim(request):
                 live.append(request)
-            else:
-                self.metrics.record_cancelled()
         if not live:
             return
+        tenant = batch.tenant
+        breaker = self._breaker_for(tenant)
+        if breaker is not None and not breaker.allow():
+            self.metrics.record_breaker_fast_fail(len(live))
+            self._serve_degraded(
+                tenant, live,
+                CircuitOpen(
+                    f"circuit breaker for tenant {tenant!r} is open",
+                    tenant=tenant, failures=breaker.failures,
+                    retry_after_s=breaker.retry_after_s(),
+                ),
+            )
+            return
         try:
-            entry: PoolEntry = self.pool.get(batch.tenant)
-            stacked = np.stack([request.window for request in live])
+            entry: PoolEntry = self.pool.get(tenant)
+        except BaseException as exc:  # noqa: BLE001 - checkpoint load can fail
+            # A failed (re)load is plausibly transient — IO hiccup, injected
+            # fault, a checkpoint mid-rewrite — so it goes through the
+            # retry path before the requests fail.
+            if breaker is not None and breaker.record_failure():
+                self.metrics.record_breaker_open()
+            self._retry_or_fail(MicroBatch(tenant=tenant, requests=live), exc)
+            return
+        stacked = np.stack([request.window for request in live])
+        try:
             with entry.lock.read():
                 predictions = entry.served.predict(
                     stacked, batch_size=self.config.predict_batch_size
                 )
         except BaseException as exc:  # noqa: BLE001 - resolve, never hang
-            now = time.perf_counter()
-            for request in live:
-                request.future.set_exception(exc)
-                self.metrics.record_done(now - request.submitted, failed=True)
+            # Deterministic model errors would fail identically on retry;
+            # degrade (fallback or structured error) instead.
+            if breaker is not None and breaker.record_failure():
+                self.metrics.record_breaker_open()
+            self._serve_degraded(tenant, live, exc)
             return
-        now = time.perf_counter()
+        if (self.config.nonfinite_output == "fail"
+                and not np.isfinite(predictions).all()):
+            self.metrics.record_nonfinite_batch()
+            if breaker is not None and breaker.record_failure():
+                self.metrics.record_breaker_open()
+            self._serve_degraded(
+                tenant, live,
+                ServingError(
+                    f"model for tenant {tenant!r} produced non-finite predictions",
+                    tenant=tenant,
+                ),
+            )
+            return
+        if breaker is not None:
+            breaker.record_success()
+        self._fallback_ctx[tenant] = (
+            tuple(predictions.shape[1:]),
+            getattr(entry.forecaster, "target_channel", 0),
+        )
         for index, request in enumerate(live):
-            request.future.set_result(predictions[index])
-            self.metrics.record_done(now - request.submitted)
+            self._settle_result(request, predictions[index])
+
+    # ------------------------------------------------------------------ #
+    # Degradation and retry
+    # ------------------------------------------------------------------ #
+    def _serve_degraded(self, tenant: str, requests: list[PendingRequest],
+                        exc: BaseException) -> None:
+        """Answer ``requests`` via a fallback predictor or fail them with ``exc``."""
+        if self._serve_fallback(tenant, requests):
+            return
+        for request in requests:
+            self._settle_error(request, exc)
+
+    def _serve_fallback(self, tenant: str, requests: list[PendingRequest]) -> bool:
+        """Degraded answers: the tenant's registered fallback forecaster,
+        else the model-free historical average (when ``fallback="ha"`` and
+        a healthy batch has taught us the output shape)."""
+        fallback = self.pool.fallback_for(tenant)
+        if fallback is None and self.config.fallback == "none":
+            return False
+        stacked = np.stack([request.window for request in requests])
+        try:
+            if fallback is not None:
+                predictions = fallback.predict(
+                    stacked, batch_size=self.config.predict_batch_size
+                )
+            else:
+                ctx = self._fallback_ctx.get(tenant)
+                if ctx is None:
+                    return False
+                out_shape, target_channel = ctx
+                predictions = historical_average(stacked, out_shape, target_channel)
+            if not np.isfinite(predictions).all():
+                return False
+        except BaseException:  # noqa: BLE001 - a broken fallback must not mask exc
+            return False
+        self.metrics.record_fallback(len(requests))
+        for index, request in enumerate(requests):
+            self._settle_result(request, predictions[index])
+        return True
+
+    def _retry_or_fail(self, batch: MicroBatch, exc: BaseException) -> None:
+        """Requeue a failed batch's unresolved requests with backoff, or
+        fail the ones whose retry budget is spent."""
+        retry = []
+        for request in batch.requests:
+            if request.settled or request.future.done():
+                continue
+            if request.attempts > self.config.max_retries:
+                self._settle_error(request, exc)
+            else:
+                retry.append(request)
+        if not retry:
+            return
+        if self._closed:
+            # Workers are on their way out; a requeue could hang forever.
+            for request in retry:
+                self._settle_error(request, exc)
+            return
+        self.metrics.record_retry(len(retry))
+        attempts = max(request.attempts for request in retry)
+        backoff = min(
+            self.config.retry_backoff_ms * (2 ** max(attempts - 1, 0)),
+            self.config.retry_backoff_max_ms,
+        ) / 1e3
+        requeued = MicroBatch(
+            tenant=batch.tenant, requests=retry, due_to_deadline=batch.due_to_deadline
+        )
+        with self._delayed_lock:
+            self._delayed.append((time.monotonic() + backoff, requeued))
+
+    # ------------------------------------------------------------------ #
+    # Supervisor
+    # ------------------------------------------------------------------ #
+    def _supervise_loop(self) -> None:
+        while not self._supervisor_stop.wait(self.config.supervise_interval_s):
+            try:
+                self._supervise_once()
+            except Exception:  # noqa: BLE001 - the supervisor must survive anything
+                self.supervisor_errors += 1
+
+    def _supervise_once(self) -> None:
+        now = time.monotonic()
+        # 1. Re-dispatch retry batches whose backoff elapsed.
+        due = []
+        with self._delayed_lock:
+            keep = []
+            for due_at, batch in self._delayed:
+                (due if due_at <= now else keep).append((due_at, batch))
+            self._delayed[:] = keep
+        for _, batch in due:
+            self._queue.put(batch)
+        # 2. Expire requests still waiting in the batcher past their deadline.
+        if self._deadlines_used:
+            for request in self._batcher.pop_expired(now):
+                self._expire(request)
+        # 3. Replace dead and wedged workers; recover their batches.
+        with self._workers_lock:
+            dead = [
+                worker for worker in self._workers
+                if worker.crashed or not worker.thread.is_alive()
+            ]
+            wedged = [
+                worker for worker in self._workers
+                if worker not in dead
+                and worker.batch is not None and worker.started_at is not None
+                and now - worker.started_at > self.config.wedge_timeout_s
+            ]
+            orphaned: list[tuple[MicroBatch, BaseException | None]] = []
+            for worker in dead:
+                self._workers.remove(worker)
+                if worker.batch is not None:
+                    orphaned.append((worker.batch, worker.error))
+                    worker.batch = None
+            duplicated: list[MicroBatch] = []
+            for worker in wedged:
+                # Python threads can't be killed: abandon it (it exits after
+                # its batch, if ever) and serve a duplicate — the settle
+                # latch makes double completion harmless.
+                self._workers.remove(worker)
+                worker.abandoned.set()
+                if worker.batch is not None:
+                    duplicated.append(worker.batch)
+            for _ in range(len(dead) + len(wedged)):
+                self._spawn_worker()
+        for _ in range(len(dead) + len(wedged)):
+            self.metrics.record_worker_restart()
+        for batch, error in orphaned:
+            self._retry_or_fail(
+                batch,
+                error if error is not None
+                else ServingError("worker died while serving the batch"),
+            )
+        for batch in duplicated:
+            self._retry_or_fail(
+                batch,
+                ServingError(
+                    f"worker exceeded wedge_timeout_s="
+                    f"{self.config.wedge_timeout_s:g} serving the batch"
+                ),
+            )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -297,16 +867,20 @@ class ServingEngine:
     def closed(self) -> bool:
         return self._closed
 
-    def close(self, drain: bool = True) -> None:
+    def close(self, drain: bool = True, drain_timeout: float | None = None) -> None:
         """Stop the engine.
 
         ``drain=True`` (default) answers everything already accepted: the
         batcher's residual buckets are flushed, workers finish the queue,
         then exit.  ``drain=False`` fails still-buffered requests with
         :class:`~repro.exceptions.EngineClosed` (batches already dispatched
-        to workers still complete).  A pool the engine built itself (from a
-        bare ``Forecaster``) is closed; a caller-supplied pool survives,
-        minus any shard views this engine attached.  Idempotent.
+        to workers still complete).  ``drain_timeout`` (seconds) bounds the
+        wait on worker exit: past it, wedged workers are abandoned and
+        everything still unanswered fails with ``EngineClosed`` — a stuck
+        forward can no longer hang shutdown.  A pool the engine built
+        itself (from a bare ``Forecaster``) is closed; a caller-supplied
+        pool survives, minus any shard views this engine attached.
+        Idempotent.
         """
         with self._close_lock:
             if self._closed:
@@ -322,32 +896,76 @@ class ServingEngine:
             # yet enqueued, and those must land ahead of the sentinels or
             # their futures would hang forever.
             self._flusher.join()
+            self._supervisor_stop.set()
+            self._supervisor.join()
+            closing_error = EngineClosed("engine closed before the batch was served")
             remainder = self._batcher.drain()
+            with self._delayed_lock:
+                delayed = [batch for _, batch in self._delayed]
+                self._delayed.clear()
             if drain:
                 for batch in remainder:
                     self.metrics.record_flush(len(batch), due_to_deadline=True)
                     self._queue.put(batch)
+                for batch in delayed:
+                    self._queue.put(batch)
             else:
-                now = time.perf_counter()
-                for batch in remainder:
-                    for request in batch.requests:
-                        if request.future.set_running_or_notify_cancel():
-                            request.future.set_exception(
-                                EngineClosed("engine closed before the batch was served")
-                            )
-                            self.metrics.record_done(now - request.submitted, failed=True)
-                        else:
-                            self.metrics.record_cancelled()
-            for _ in self._workers:
+                for batch in remainder + delayed:
+                    self._fail_batch(batch, closing_error)
+            with self._workers_lock:
+                workers = list(self._workers)
+            for _ in workers:
                 self._queue.put(_STOP)
-            for worker in self._workers:
-                worker.join()
+            join_deadline = (
+                None if drain_timeout is None
+                else time.monotonic() + drain_timeout
+            )
+            for worker in workers:
+                if join_deadline is None:
+                    worker.thread.join()
+                else:
+                    worker.thread.join(max(join_deadline - time.monotonic(), 0.0))
+            stuck = [worker for worker in workers if worker.thread.is_alive()]
+            for worker in stuck:
+                worker.abandoned.set()
+            timed_out = bool(stuck)
+            # Whatever is still queued: crashed workers may have left
+            # batches behind (plus their own unconsumed sentinels), and a
+            # timed-out close stops serving entirely.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    continue
+                if drain and not timed_out:
+                    self._run_batch(item)
+                else:
+                    self._fail_batch(item, closing_error)
+            # In-flight batches of workers that died (or are being
+            # abandoned right now) never made it back to the queue.
+            for worker in workers:
+                batch = worker.batch
+                worker.batch = None
+                if batch is None:
+                    continue
+                if drain and not timed_out and not worker.thread.is_alive():
+                    self._run_batch(batch)
+                else:
+                    self._fail_batch(batch, closing_error)
+            if self._installed_load_hook:
+                self.pool._load_hook = None
             if self._owns_pool:
                 self.pool.close()
             elif self.config.shards > 1:
                 # The sharding decorator was ours; hand the caller's pool
                 # back undecorated (and shut the shard executors down).
                 self.pool.reset_views()
+
+    def _fail_batch(self, batch: MicroBatch, exc: BaseException) -> None:
+        for request in batch.requests:
+            self._settle_error(request, exc)
 
     def __enter__(self) -> "ServingEngine":
         return self
@@ -356,14 +974,63 @@ class ServingEngine:
         self.close()
 
     # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """Liveness summary: workers, breakers, queue depth, verdict.
+
+        ``status`` is ``"ok"`` (all workers alive, all breakers closed),
+        ``"degraded"`` (a worker is down/wedged or a breaker is open or
+        half-open) or ``"closed"``.
+        """
+        now = time.monotonic()
+        with self._workers_lock:
+            workers = list(self._workers)
+            alive = sum(
+                1 for worker in workers
+                if worker.thread.is_alive() and not worker.crashed
+            )
+            wedged = sum(
+                1 for worker in workers
+                if worker.batch is not None and worker.started_at is not None
+                and now - worker.started_at > self.config.wedge_timeout_s
+            )
+        with self._breaker_lock:
+            breakers = {
+                tenant: breaker.snapshot()
+                for tenant, breaker in self._breakers.items()
+            }
+        unhealthy_breakers = sum(
+            1 for snapshot in breakers.values() if snapshot["state"] != "closed"
+        )
+        with self._delayed_lock:
+            delayed = len(self._delayed)
+        degraded = (
+            alive < self.config.num_workers or wedged > 0 or unhealthy_breakers > 0
+        )
+        return {
+            "status": "closed" if self._closed
+            else ("degraded" if degraded else "ok"),
+            "workers": {
+                "configured": self.config.num_workers,
+                "alive": alive,
+                "wedged": wedged,
+                "restarts": self.metrics.worker_restarts,
+            },
+            "breakers": breakers,
+            "pending": self.metrics.pending,
+            "queued_batches": self._queue.qsize(),
+            "delayed_batches": delayed,
+            "supervisor_errors": self.supervisor_errors,
+        }
+
     def stats(self) -> dict:
         """Metrics, pool, batcher and compiled-program state in one dict."""
-        return {
+        stats = {
             "metrics": self.metrics.snapshot(),
             "pool": self.pool.stats(),
             "program_cache": program_cache_stats(),
             "waiting_in_batcher": len(self._batcher),
             "closed": self._closed,
+            "health": self.health(),
             "config": {
                 "max_batch_size": self.config.max_batch_size,
                 "max_delay_ms": self.config.max_delay_ms,
@@ -371,5 +1038,14 @@ class ServingEngine:
                 "num_workers": self.config.num_workers,
                 "shards": self.config.shards,
                 "shard_mode": self.config.shard_mode,
+                "overload_policy": self.config.overload_policy,
+                "max_retries": self.config.max_retries,
+                "wedge_timeout_s": self.config.wedge_timeout_s,
+                "breaker_failures": self.config.breaker_failures,
+                "nan_policy": self.config.nan_policy,
+                "fallback": self.config.fallback,
             },
         }
+        if self.injector is not None:
+            stats["faults"] = self.injector.stats()
+        return stats

@@ -1,0 +1,270 @@
+"""Seeded, deterministic fault injection for the serving stack.
+
+The paper's setting — continual forecasting on live sensor streams — is
+exactly the regime where sensors drop out, workers wedge and checkpoints
+get half-written.  This module makes those failures *injectable on
+purpose* so the engine's recovery machinery (supervisor restarts, retries,
+deadlines, circuit breakers, fallbacks) can be exercised and measured
+instead of merely hoped for:
+
+* :class:`FaultPlan` declares *what* to inject: per-batch worker crash and
+  stall probabilities, per-window corruption (NaN cells and whole-node
+  dropout, the shape real sensor faults take), and a number of checkpoint
+  loads to fail.  A plan is a frozen value object; :meth:`FaultPlan.storm`
+  is the default "fault storm" the resilience benchmark and the chaos CI
+  job run.
+* :class:`FaultInjector` executes a plan with *independent seeded RNG
+  streams per fault type*, so the decision sequence of each stream is
+  reproducible run-to-run regardless of how the other streams are
+  consumed.  :meth:`FaultInjector.disarm` turns all injection off (used to
+  measure time-to-recover after a storm).
+
+The engine calls the injector behind ``if self._injector is not None``
+hooks, so a production engine with no plan installed pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import CheckpointError, ConfigurationError, InjectedFault
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; each fault type draws from its own child stream.
+    worker_crash_rate:
+        Per-batch probability that the serving worker dies before running
+        the batch (the supervisor must restart it and requeue the batch).
+    worker_stall_rate:
+        Per-batch probability that the worker wedges for ``stall_ms``
+        before serving (long stalls trip the wedge detector).
+    stall_ms:
+        How long an injected stall sleeps.
+    corrupt_rate:
+        Per-window probability that ``corrupt_cell_fraction`` of the
+        window's cells are overwritten with NaN (sensor glitches).
+    corrupt_cell_fraction:
+        Fraction of cells NaN'd in a corrupted window.
+    node_dropout_rate:
+        Per-window probability that ``node_dropout_fraction`` of the nodes
+        go fully NaN (a sensor dropping off the network).
+    node_dropout_fraction:
+        Fraction of nodes silenced in a dropout window.
+    checkpoint_failures:
+        Number of :class:`~repro.serve.tenancy.ModelPool` checkpoint loads
+        to fail (first N loads raise
+        :class:`~repro.exceptions.CheckpointError`).
+    worker_fault_limit:
+        Total number of worker faults (crashes + stalls) to inject before
+        the worker streams go quiet; ``None`` means unlimited.  Bounding
+        the storm keeps recovery measurable and tests deterministic.
+    """
+
+    seed: int = 0
+    worker_crash_rate: float = 0.0
+    worker_stall_rate: float = 0.0
+    stall_ms: float = 50.0
+    corrupt_rate: float = 0.0
+    corrupt_cell_fraction: float = 0.05
+    node_dropout_rate: float = 0.0
+    node_dropout_fraction: float = 0.25
+    checkpoint_failures: int = 0
+    worker_fault_limit: int | None = None
+
+    def __post_init__(self):
+        for name in ("worker_crash_rate", "worker_stall_rate", "corrupt_rate",
+                     "corrupt_cell_fraction", "node_dropout_rate",
+                     "node_dropout_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.stall_ms < 0:
+            raise ConfigurationError(f"stall_ms must be >= 0, got {self.stall_ms}")
+        if self.checkpoint_failures < 0:
+            raise ConfigurationError(
+                f"checkpoint_failures must be >= 0, got {self.checkpoint_failures}"
+            )
+        if self.worker_fault_limit is not None and self.worker_fault_limit < 0:
+            raise ConfigurationError(
+                f"worker_fault_limit must be >= 0, got {self.worker_fault_limit}"
+            )
+
+    @classmethod
+    def storm(cls, seed: int = 0, worker_fault_limit: int | None = 8) -> "FaultPlan":
+        """The default fault storm: crashes + stalls + corruption + one
+        failed checkpoint load, bounded so recovery can be measured."""
+        return cls(
+            seed=seed,
+            worker_crash_rate=0.06,
+            worker_stall_rate=0.06,
+            stall_ms=40.0,
+            corrupt_rate=0.12,
+            corrupt_cell_fraction=0.08,
+            node_dropout_rate=0.06,
+            node_dropout_fraction=0.25,
+            checkpoint_failures=1,
+            worker_fault_limit=worker_fault_limit,
+        )
+
+    def any_faults(self) -> bool:
+        return bool(
+            self.worker_crash_rate or self.worker_stall_rate or self.corrupt_rate
+            or self.node_dropout_rate or self.checkpoint_failures
+        )
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` with per-stream seeded determinism.
+
+    Thread-safe: worker threads and submitters draw concurrently.  Each
+    fault type owns an independent ``np.random.Generator`` child stream,
+    so e.g. the window-corruption decision sequence is identical between
+    two runs even if the worker streams are consumed in a different
+    interleaving.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        root = np.random.SeedSequence(plan.seed)
+        crash_seq, stall_seq, corrupt_seq, dropout_seq = root.spawn(4)
+        self._crash_rng = np.random.default_rng(crash_seq)
+        self._stall_rng = np.random.default_rng(stall_seq)
+        self._corrupt_rng = np.random.default_rng(corrupt_seq)
+        self._dropout_rng = np.random.default_rng(dropout_seq)
+        self._armed = True
+        self._checkpoint_failures_left = int(plan.checkpoint_failures)
+        self._worker_faults_left = plan.worker_fault_limit
+        self.crashes = 0
+        self.stalls = 0
+        self.corrupted_windows = 0
+        self.dropped_node_windows = 0
+        self.checkpoint_failures = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    def disarm(self) -> None:
+        """Stop injecting anything (the storm is over; measure recovery)."""
+        with self._lock:
+            self._armed = False
+
+    def rearm(self) -> None:
+        with self._lock:
+            self._armed = True
+
+    def _take_worker_fault(self) -> bool:
+        if self._worker_faults_left is None:
+            return True
+        if self._worker_faults_left <= 0:
+            return False
+        self._worker_faults_left -= 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Hooks (called by the engine; no-ops when disarmed)
+    # ------------------------------------------------------------------ #
+    def on_worker_batch(self, tenant: str | None = None) -> None:
+        """Maybe crash or stall the worker that is about to serve a batch.
+
+        A crash raises :class:`~repro.exceptions.InjectedFault`, which the
+        worker loop treats as fatal (the supervisor restarts the worker
+        and requeues the batch); a stall sleeps ``plan.stall_ms`` *inside*
+        the worker, long enough to trip the wedge detector when the
+        timeout is configured below it.
+        """
+        stall_s = 0.0
+        with self._lock:
+            if not self._armed:
+                return
+            crash = (
+                self.plan.worker_crash_rate > 0
+                and self._crash_rng.random() < self.plan.worker_crash_rate
+            )
+            stall = (
+                self.plan.worker_stall_rate > 0
+                and self._stall_rng.random() < self.plan.worker_stall_rate
+            )
+            if crash and self._take_worker_fault():
+                self.crashes += 1
+                raise InjectedFault(
+                    "injected worker crash", tenant=tenant, kind="worker_crash"
+                )
+            if stall and self._take_worker_fault():
+                self.stalls += 1
+                stall_s = self.plan.stall_ms / 1e3
+        if stall_s > 0:
+            time.sleep(stall_s)
+
+    def corrupt(self, window: np.ndarray, tenant: str | None = None) -> np.ndarray:
+        """Maybe corrupt one inbound ``(time, nodes, channels)`` window.
+
+        Two shapes of sensor damage: random NaN cells (glitches) and whole
+        nodes going NaN (dropout).  Returns a copy when corrupting, the
+        original array otherwise.
+        """
+        with self._lock:
+            if not self._armed:
+                return window
+            glitch = (
+                self.plan.corrupt_rate > 0
+                and self._corrupt_rng.random() < self.plan.corrupt_rate
+            )
+            dropout = (
+                self.plan.node_dropout_rate > 0
+                and self._dropout_rng.random() < self.plan.node_dropout_rate
+            )
+            if not glitch and not dropout:
+                return window
+            corrupted = np.array(window, dtype=float, copy=True)
+            if glitch:
+                self.corrupted_windows += 1
+                cells = max(int(round(corrupted.size * self.plan.corrupt_cell_fraction)), 1)
+                flat = self._corrupt_rng.choice(corrupted.size, size=cells, replace=False)
+                corrupted.reshape(-1)[flat] = np.nan
+            if dropout:
+                self.dropped_node_windows += 1
+                num_nodes = corrupted.shape[1]
+                silenced = max(int(round(num_nodes * self.plan.node_dropout_fraction)), 1)
+                nodes = self._dropout_rng.choice(num_nodes, size=silenced, replace=False)
+                corrupted[:, nodes, :] = np.nan
+            return corrupted
+
+    def on_checkpoint_load(self, tenant: str, path) -> None:
+        """Fail the first ``plan.checkpoint_failures`` pool checkpoint loads."""
+        with self._lock:
+            if not self._armed or self._checkpoint_failures_left <= 0:
+                return
+            self._checkpoint_failures_left -= 1
+            self.checkpoint_failures += 1
+        raise CheckpointError(
+            f"injected checkpoint load failure for tenant {tenant!r}",
+            path=path, reason="injected",
+        )
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Injection counts so far (JSON-serialisable)."""
+        with self._lock:
+            return {
+                "armed": self._armed,
+                "crashes": self.crashes,
+                "stalls": self.stalls,
+                "corrupted_windows": self.corrupted_windows,
+                "dropped_node_windows": self.dropped_node_windows,
+                "checkpoint_failures": self.checkpoint_failures,
+            }

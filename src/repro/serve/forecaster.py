@@ -35,7 +35,35 @@ from ..nn.optim import Adam, Optimizer, clip_grad_norm
 from ..tensor import traced_execution
 from ..utils.checkpoint import Checkpoint
 
-__all__ = ["Forecaster"]
+__all__ = ["Forecaster", "impute_missing"]
+
+
+def impute_missing(window: np.ndarray) -> tuple[np.ndarray, int]:
+    """Mask-and-impute NaN/Inf cells in one ``(time, nodes, channels)`` window.
+
+    Each corrupt cell is replaced by its node/channel's mean over the
+    window's *finite* time steps — the standard last-resort imputation for
+    a sensor that glitched mid-window.  A node/channel with no finite
+    observation at all (sensor fully dark) imputes to 0, which is the
+    scaled-space mean for standardised data and keeps the model's input
+    finite either way.
+
+    Returns ``(window, imputed_cells)``; the input array is returned
+    untouched when it is already finite, a repaired copy otherwise.
+    """
+    window = np.asarray(window, dtype=float)
+    mask = ~np.isfinite(window)
+    count = int(mask.sum())
+    if count == 0:
+        return window, 0
+    finite = np.where(mask, 0.0, window)
+    observed = (~mask).sum(axis=0)                       # (nodes, channels)
+    sums = finite.sum(axis=0)
+    means = np.divide(sums, np.maximum(observed, 1))
+    means = np.where(observed > 0, means, 0.0)
+    repaired = window.copy()
+    repaired[mask] = np.broadcast_to(means, window.shape)[mask]
+    return repaired, count
 
 
 class Forecaster:
@@ -304,6 +332,29 @@ class Forecaster:
             clip_grad_norm(self.model.parameters(), self.training.grad_clip)
         self.optimizer.step()
         return step
+
+    # ------------------------------------------------------------------ #
+    # In-memory rollback state
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        """Copy the mutable learned state (parameters + optimizer slots).
+
+        Taken by the serving engine under the tenant's write lock before
+        every online update, so a crash mid-step can roll back with
+        :meth:`restore_state` and never publish half-stepped Adam moments.
+        Deliberately excludes the replay buffer: extra buffered windows
+        after a failed step are harmless, while torn weights are not.
+        """
+        state = {"model": self.model.state_dict()}
+        if self._optimizer is not None:
+            state["optimizer"] = self._optimizer.state_dict()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` copy in place (bit-exact)."""
+        self.model.load_state_dict(state["model"])
+        if "optimizer" in state and self._optimizer is not None:
+            self._optimizer.load_state_dict(state["optimizer"])
 
     # ------------------------------------------------------------------ #
     # Durable state

@@ -13,6 +13,13 @@ future resolution), throughput and rejection counts.
 benchmark and the CLI smoke share: one synthetic scenario, ``T``
 independently initialised forecasters over its single shared graph, and a
 stack of raw request windows drawn from the stream.
+
+:func:`run_fault_storm` is the resilience harness: the same closed loop
+driven three times over one pool — clean baseline, under a seeded
+:class:`~repro.serve.faults.FaultPlan` storm, and again after the storm is
+disarmed — with the time from disarm to sustained healthy service measured
+in between.  Zero lost futures (a future that never resolves) is the
+harness's core invariant; the count is in the returned record.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import asdict
 
 import numpy as np
 
@@ -30,11 +39,18 @@ from ..data.streaming import build_streaming_scenario
 from ..exceptions import QueueFull
 from ..models.stencoder import STEncoderConfig
 from .engine import EngineConfig, ServingEngine
+from .faults import FaultPlan
 from .forecaster import Forecaster
 from .metrics import percentiles
 from .tenancy import ModelPool
 
-__all__ = ["run_closed_loop", "serving_sweep_point", "build_synthetic_tenants"]
+__all__ = [
+    "run_closed_loop",
+    "serving_sweep_point",
+    "build_synthetic_tenants",
+    "resilience_config",
+    "run_fault_storm",
+]
 
 
 def run_closed_loop(
@@ -44,29 +60,35 @@ def run_closed_loop(
     total_requests: int = 256,
     tenants=None,
     timeout: float = 120.0,
+    deadline_ms: float | None = None,
 ) -> dict:
     """Drive ``engine`` with ``concurrency`` synchronous clients.
 
     ``windows`` is a ``(n, time, nodes, channels)`` stack cycled
     round-robin; ``tenants`` (ids, ``None`` entries meaning the default
     tenant) are cycled the same way so multi-tenant traffic interleaves.
-    Requests rejected with :class:`~repro.exceptions.QueueFull` are counted
-    and retried after a short backoff — a closed loop must not lose its
-    clients to backpressure.
+    Requests rejected with :class:`~repro.exceptions.QueueFull` (including
+    :class:`~repro.exceptions.RateLimited`) are counted and retried after
+    a short backoff — a closed loop must not lose its clients to
+    backpressure.  ``deadline_ms`` is attached to every request when set.
 
-    Returns a JSON-serialisable dict: completed/failed/rejected counts,
-    wall-clock duration, throughput (completed requests per second) and
-    client-observed latency percentiles in milliseconds.
+    Returns a JSON-serialisable dict: completed/failed/rejected counts, an
+    ``errors`` breakdown by exception type, the number of ``lost`` futures
+    (``Future.result`` timed out — the engine broke its answer-everything
+    contract), wall-clock duration, throughput (completed requests per
+    second) and client-observed latency percentiles in milliseconds.
     """
     tenant_cycle = list(tenants) if tenants else [None]
     ticket = itertools.count()
     lock = threading.Lock()
     latencies: list[float] = []
+    errors: dict[str, int] = {}
     rejected = 0
     failed = 0
+    lost = 0
 
     def client() -> None:
-        nonlocal rejected, failed
+        nonlocal rejected, failed, lost
         while True:
             index = next(ticket)
             if index >= total_requests:
@@ -76,7 +98,8 @@ def run_closed_loop(
             issued = time.perf_counter()
             while True:
                 try:
-                    future = engine.submit(window, tenant=tenant)
+                    future = engine.submit(window, tenant=tenant,
+                                           deadline_ms=deadline_ms)
                 except QueueFull:
                     with lock:
                         rejected += 1
@@ -85,9 +108,17 @@ def run_closed_loop(
                 break
             try:
                 future.result(timeout=timeout)
-            except Exception:
+            except FutureTimeoutError:
+                # The future never resolved: a dropped request, the one
+                # failure mode the engine promises can't happen.
+                with lock:
+                    lost += 1
+                continue
+            except Exception as exc:
                 with lock:
                     failed += 1
+                    name = type(exc).__name__
+                    errors[name] = errors.get(name, 0) + 1
                 continue
             with lock:
                 latencies.append(time.perf_counter() - issued)
@@ -108,6 +139,8 @@ def run_closed_loop(
         "total_requests": int(total_requests),
         "completed": completed,
         "failed": failed,
+        "lost": lost,
+        "errors": errors,
         "rejected_retries": rejected,
         "duration_seconds": duration,
         "throughput_rps": completed / duration if duration > 0 else 0.0,
@@ -162,6 +195,137 @@ def serving_sweep_point(
         }
     )
     return result
+
+
+def resilience_config(num_workers: int = 2, **overrides) -> EngineConfig:
+    """The engine configuration the resilience benchmark and chaos CI use.
+
+    Aggressive recovery knobs so a short storm exercises every mechanism:
+    fast supervision, small capped backoff, a sensitive circuit breaker
+    that re-closes quickly, NaN imputation and the historical-average
+    fallback.  ``overrides`` land on top.
+    """
+    settings = dict(
+        num_workers=num_workers,
+        max_retries=3,
+        retry_backoff_ms=5.0,
+        retry_backoff_max_ms=50.0,
+        wedge_timeout_s=1.0,
+        supervise_interval_s=0.02,
+        breaker_failures=4,
+        breaker_reset_s=0.25,
+        nan_policy="impute",
+        fallback="ha",
+    )
+    settings.update(overrides)
+    return EngineConfig(**settings)
+
+
+def _measure_recovery(
+    engine,
+    windows: np.ndarray,
+    tenants=None,
+    ok_needed: int = 5,
+    max_probes: int = 500,
+    probe_timeout: float = 30.0,
+) -> dict:
+    """Sequential probes from disarm until ``ok_needed`` consecutive
+    successes: the crude but honest time-to-recover measurement."""
+    tenant_cycle = list(tenants) if tenants else [None]
+    start = time.perf_counter()
+    consecutive = probes = failures = 0
+    while consecutive < ok_needed and probes < max_probes:
+        window = windows[probes % len(windows)]
+        tenant = tenant_cycle[probes % len(tenant_cycle)]
+        probes += 1
+        try:
+            engine.predict(window, tenant=tenant, timeout=probe_timeout)
+        except Exception:
+            failures += 1
+            consecutive = 0
+            time.sleep(0.01)
+            continue
+        consecutive += 1
+    recovered = consecutive >= ok_needed
+    return {
+        "recovered": recovered,
+        "time_to_recover_seconds": (
+            time.perf_counter() - start if recovered else float("nan")
+        ),
+        "probes": probes,
+        "failed_probes": failures,
+    }
+
+
+def run_fault_storm(
+    pool: ModelPool,
+    windows: np.ndarray,
+    tenants=None,
+    plan: FaultPlan | None = None,
+    config: EngineConfig | None = None,
+    concurrency: int = 8,
+    total_requests: int = 192,
+    recovery_ok_probes: int = 5,
+    timeout: float = 120.0,
+) -> dict:
+    """Clean baseline → seeded fault storm → disarm → recovery, one record.
+
+    Three closed loops over the same ``pool``: a fault-free engine for the
+    clean baseline, then an engine with ``plan`` injected (default
+    :meth:`FaultPlan.storm`) driven through the storm, disarmed, probed
+    until service is healthy again (time-to-recover) and driven once more
+    for the post-recovery curve.  The returned record carries all three
+    result dicts, the injector's fault counts, the engine's resilience
+    metrics and health, total ``lost_requests`` (must be 0) and the
+    post-recovery/clean throughput ratio.
+    """
+    plan = FaultPlan.storm() if plan is None else plan
+    config = resilience_config() if config is None else config
+    clean_engine = ServingEngine(pool, config)
+    try:
+        clean = run_closed_loop(
+            clean_engine, windows, concurrency=concurrency,
+            total_requests=total_requests, tenants=tenants, timeout=timeout,
+        )
+    finally:
+        clean_engine.close()
+    engine = ServingEngine(pool, config, faults=plan)
+    try:
+        storm = run_closed_loop(
+            engine, windows, concurrency=concurrency,
+            total_requests=total_requests, tenants=tenants, timeout=timeout,
+        )
+        storm_health = engine.health()
+        faults = engine.injector.stats() if engine.injector is not None else {}
+        if engine.injector is not None:
+            engine.injector.disarm()
+        recovery = _measure_recovery(
+            engine, windows, tenants=tenants, ok_needed=recovery_ok_probes,
+        )
+        post = run_closed_loop(
+            engine, windows, concurrency=concurrency,
+            total_requests=total_requests, tenants=tenants, timeout=timeout,
+        )
+        metrics = engine.metrics.snapshot()
+        final_health = engine.health()
+    finally:
+        engine.close(drain_timeout=30.0)
+    clean_rps = clean["throughput_rps"]
+    return {
+        "plan": asdict(plan),
+        "clean": clean,
+        "storm": storm,
+        "recovery": recovery,
+        "post_recovery": post,
+        "faults": faults,
+        "storm_health": storm_health,
+        "final_health": final_health,
+        "metrics": metrics,
+        "lost_requests": clean["lost"] + storm["lost"] + post["lost"],
+        "recovered_throughput_ratio": (
+            post["throughput_rps"] / clean_rps if clean_rps > 0 else float("nan")
+        ),
+    }
 
 
 def build_synthetic_tenants(

@@ -55,6 +55,20 @@ class EngineMetrics:
         self.deadline_flushes = 0
         self.size_flushes = 0
         self.updates = 0
+        # Resilience counters: terminal error kinds (each also counts in
+        # ``failed``), recovery actions, and graceful-degradation events.
+        self.expired = 0            # deadline passed before service
+        self.shed = 0               # dropped oldest under overload
+        self.throttled = 0          # token-bucket admission refusals
+        self.retried = 0            # requests re-dispatched after a failure
+        self.worker_restarts = 0    # dead/wedged workers replaced
+        self.breaker_opens = 0      # circuit-breaker trips
+        self.breaker_fast_fails = 0 # requests refused/redirected while open
+        self.fallbacks = 0          # requests served by a fallback predictor
+        self.imputed_windows = 0    # NaN windows repaired on admission
+        self.rejected_nan_windows = 0  # NaN windows refused on admission
+        self.nonfinite_batches = 0  # model outputs caught non-finite
+        self.rollbacks = 0          # online updates rolled back mid-step
 
     # ------------------------------------------------------------------ #
     def record_submit(self) -> None:
@@ -94,13 +108,69 @@ class EngineMetrics:
             else:
                 self.size_flushes += 1
 
-    def record_done(self, latency_seconds: float, failed: bool = False) -> None:
+    def record_done(self, latency_seconds: float, failed: bool = False,
+                    kind: str | None = None) -> None:
+        """Terminal resolution of one request.
+
+        ``kind`` tags error resolutions for the typed counters:
+        ``"expired"`` (deadline), ``"shed"`` (overload) — anything else
+        counts only in ``failed``.
+        """
         with self._lock:
             if failed:
                 self.failed += 1
+                if kind == "expired":
+                    self.expired += 1
+                elif kind == "shed":
+                    self.shed += 1
             else:
                 self.completed += 1
             self._latencies.append(float(latency_seconds))
+
+    # ------------------------------------------------------------------ #
+    # Resilience events
+    # ------------------------------------------------------------------ #
+    def record_throttled(self) -> None:
+        with self._lock:
+            self.throttled += 1
+            self.rejected += 1
+
+    def record_retry(self, requests: int = 1) -> None:
+        with self._lock:
+            self.retried += int(requests)
+
+    def record_worker_restart(self) -> None:
+        with self._lock:
+            self.worker_restarts += 1
+
+    def record_breaker_open(self) -> None:
+        with self._lock:
+            self.breaker_opens += 1
+
+    def record_breaker_fast_fail(self, requests: int = 1) -> None:
+        with self._lock:
+            self.breaker_fast_fails += int(requests)
+
+    def record_fallback(self, requests: int = 1) -> None:
+        with self._lock:
+            self.fallbacks += int(requests)
+
+    def record_imputed(self) -> None:
+        with self._lock:
+            self.imputed_windows += 1
+
+    def record_nan_rejected(self) -> None:
+        with self._lock:
+            self.rejected_nan_windows += 1
+            self.rejected += 1
+
+    def record_nonfinite_batch(self) -> None:
+        with self._lock:
+            self.nonfinite_batches += 1
+
+    def record_rollback(self) -> None:
+        with self._lock:
+            self.rollbacks += 1
 
     # ------------------------------------------------------------------ #
     @property
@@ -130,6 +200,18 @@ class EngineMetrics:
                 "deadline_flushes": self.deadline_flushes,
                 "size_flushes": self.size_flushes,
                 "updates": self.updates,
+                "expired": self.expired,
+                "shed": self.shed,
+                "throttled": self.throttled,
+                "retried": self.retried,
+                "worker_restarts": self.worker_restarts,
+                "breaker_opens": self.breaker_opens,
+                "breaker_fast_fails": self.breaker_fast_fails,
+                "fallbacks": self.fallbacks,
+                "imputed_windows": self.imputed_windows,
+                "rejected_nan_windows": self.rejected_nan_windows,
+                "nonfinite_batches": self.nonfinite_batches,
+                "rollbacks": self.rollbacks,
                 "latency_ms": {k: v * 1e3 for k, v in latency.items()},
                 "throughput_rps": self.completed / elapsed if elapsed > 0 else 0.0,
                 "elapsed_seconds": elapsed,
@@ -145,3 +227,7 @@ class EngineMetrics:
             self.batches = self.batched_requests = 0
             self.deadline_flushes = self.size_flushes = 0
             self.updates = 0
+            self.expired = self.shed = self.throttled = self.retried = 0
+            self.worker_restarts = self.breaker_opens = self.breaker_fast_fails = 0
+            self.fallbacks = self.imputed_windows = self.rejected_nan_windows = 0
+            self.nonfinite_batches = self.rollbacks = 0

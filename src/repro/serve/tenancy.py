@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 
@@ -30,7 +31,14 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from .forecaster import Forecaster
 
-__all__ = ["forecaster_nbytes", "PoolEntry", "ModelPool"]
+__all__ = [
+    "forecaster_nbytes",
+    "PoolEntry",
+    "ModelPool",
+    "CircuitBreaker",
+    "TokenBucket",
+    "historical_average",
+]
 
 
 def forecaster_nbytes(forecaster) -> int:
@@ -53,6 +61,180 @@ def forecaster_nbytes(forecaster) -> int:
         inputs, targets = buffer.as_arrays()
         total += inputs.nbytes + targets.nbytes
     return int(total)
+
+
+def historical_average(
+    stacked: np.ndarray, out_shape: tuple, target_channel: int = 0
+) -> np.ndarray:
+    """Model-free fallback forecast: per-node historical average.
+
+    ``stacked`` is a ``(batch, time, nodes, channels)`` request stack;
+    the forecast repeats each node's NaN-robust mean of the target channel
+    over every output step.  ``out_shape`` is the per-window prediction
+    shape the model would have produced (``(horizon, nodes, 1)``), so the
+    degraded answer is drop-in shaped for callers.  This is the paper's HA
+    baseline reduced to a single window — always available, never NaN.
+    """
+    values = np.asarray(stacked, dtype=float)[..., target_channel]  # (batch, time, nodes)
+    finite = np.isfinite(values)
+    sums = np.where(finite, values, 0.0).sum(axis=1)
+    counts = finite.sum(axis=1)
+    means = sums / np.maximum(counts, 1)
+    means = np.where(counts > 0, means, 0.0)  # a fully-dark node forecasts 0
+    batch = values.shape[0]
+    return np.broadcast_to(
+        means[:, None, :, None], (batch,) + tuple(out_shape)
+    ).copy()
+
+
+class TokenBucket:
+    """Per-tenant admission control: ``rate`` tokens/second, ``burst`` cap.
+
+    ``try_acquire`` refills lazily from a monotonic clock and either takes
+    a token or reports rejection — no background thread, O(1) per call,
+    thread-safe.  The engine keeps one bucket per tenant when
+    ``EngineConfig.tenant_rate_limit`` is set.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None):
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(2.0 * rate, 1.0)
+        if self.burst < 1.0:
+            raise ConfigurationError(f"burst must be >= 1, got {self.burst}")
+        self._tokens = self.burst
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+
+class CircuitBreaker:
+    """Per-tenant circuit breaker: fail fast instead of hammering a sick model.
+
+    Classic three-state machine.  *Closed*: traffic flows; consecutive
+    failures (exceptions or non-finite outputs) count up and trip it open
+    at ``failure_threshold``.  *Open*: :meth:`allow` refuses everything
+    (the engine fails fast with :class:`~repro.exceptions.CircuitOpen` or
+    routes to a fallback) until ``reset_timeout_s`` passes.  *Half-open*:
+    up to ``half_open_probes`` requests are let through; if they all
+    succeed the breaker closes, a single failure re-opens it.
+
+    Thread-safe; one fused micro-batch counts as one success/failure
+    event, so a tenant flooding the engine cannot trip its breaker faster
+    by batching less.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout_s: float = 5.0,
+                 half_open_probes: int = 1):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ConfigurationError(
+                f"reset_timeout_s must be positive, got {reset_timeout_s}"
+            )
+        if half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_probes = int(half_open_probes)
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_out = 0
+        self._probe_successes = 0
+        self.opened_total = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open(time.monotonic())
+            return self._state
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def retry_after_s(self) -> float:
+        """Seconds until an open breaker half-opens (0 when not open)."""
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            return max(self._opened_at + self.reset_timeout_s - time.monotonic(), 0.0)
+
+    def _maybe_half_open(self, now: float) -> None:
+        if self._state == self.OPEN and now >= self._opened_at + self.reset_timeout_s:
+            self._state = self.HALF_OPEN
+            self._probes_out = 0
+            self._probe_successes = 0
+
+    def allow(self) -> bool:
+        """May a request proceed right now?  (Half-open admits probes.)"""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            self._maybe_half_open(time.monotonic())
+            if self._state == self.OPEN:
+                return False
+            if self._probes_out < self.half_open_probes:
+                self._probes_out += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = self.CLOSED
+                    self._failures = 0
+            else:
+                self._failures = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this one tripped it open."""
+        with self._lock:
+            now = time.monotonic()
+            if self._state == self.HALF_OPEN:
+                # A failed probe re-opens immediately.
+                self._state = self.OPEN
+                self._opened_at = now
+                self.opened_total += 1
+                return True
+            self._failures += 1
+            if self._state == self.CLOSED and self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = now
+                self.opened_total += 1
+                return True
+            return False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open(time.monotonic())
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "opened_total": self.opened_total,
+            }
 
 
 class _ReadWriteLock:
@@ -172,14 +354,19 @@ class ModelPool:
         through this).
     """
 
-    def __init__(self, max_bytes: int | None = None, network=None, decorate=None):
+    def __init__(self, max_bytes: int | None = None, network=None, decorate=None,
+                 load_hook=None):
         if max_bytes is not None and max_bytes <= 0:
             raise ConfigurationError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
         self._network = network
         self._decorate = decorate
+        # Called as ``load_hook(tenant, path)`` before every checkpoint
+        # load; raising aborts the load.  The fault injector plugs in here.
+        self._load_hook = load_hook
         self._paths: dict[str, Path] = {}
         self._entries: "OrderedDict[str, PoolEntry]" = OrderedDict()
+        self._fallbacks: dict[str, Forecaster] = {}
         self._lock = threading.RLock()
         # Per-tenant guards so one cold checkpoint load neither blocks the
         # whole pool nor runs twice for concurrent misses on one tenant.
@@ -187,6 +374,7 @@ class ModelPool:
         self.loads = 0
         self.hits = 0
         self.evictions = 0
+        self.load_failures = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -266,7 +454,7 @@ class ModelPool:
             if shared is None:
                 # Startup path: this load defines the shared graph, and a
                 # racing first load must not define a second one.
-                forecaster = Forecaster.load(path, network=None)
+                forecaster = self._load(tenant, path, None)
                 self.loads += 1
                 self._network = forecaster.network
                 return self._activate(tenant, forecaster)
@@ -279,11 +467,39 @@ class ModelPool:
                     self.hits += 1
                     self._entries.move_to_end(tenant)
                     return entry
-            forecaster = Forecaster.load(path, network=shared)
+            forecaster = self._load(tenant, path, shared)
             with self._lock:
                 self.loads += 1
                 self._loading.pop(tenant, None)
                 return self._activate(tenant, forecaster)
+
+    def _load(self, tenant: str, path, shared) -> Forecaster:
+        """One checkpoint load, counted on failure and hookable for faults."""
+        try:
+            hook = self._load_hook
+            if hook is not None:
+                hook(tenant, path)
+            return Forecaster.load(path, network=shared)
+        except BaseException:
+            with self._lock:
+                self.load_failures += 1
+            raise
+
+    # ------------------------------------------------------------------ #
+    def set_fallback(self, tenant: str, forecaster: Forecaster) -> None:
+        """Register a degraded-mode forecaster for ``tenant``.
+
+        Typically a last-known-good checkpoint loaded on the shared
+        network.  When the tenant's circuit breaker is open the engine
+        serves from this instead of failing fast; the fallback is never
+        online-updated and never evicted (it is not a pool entry).
+        """
+        with self._lock:
+            self._fallbacks[str(tenant)] = forecaster
+
+    def fallback_for(self, tenant: str) -> Forecaster | None:
+        with self._lock:
+            return self._fallbacks.get(str(tenant))
 
     def get_for_update(self, tenant: str) -> PoolEntry:
         """Like :meth:`get`, but pin the entry dirty *before* returning.
@@ -390,6 +606,8 @@ class ModelPool:
                 "loads": self.loads,
                 "hits": self.hits,
                 "evictions": self.evictions,
+                "load_failures": self.load_failures,
+                "fallbacks": len(self._fallbacks),
             }
 
     def reset_views(self) -> None:

@@ -25,7 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import CheckpointError
 from .serialization import load_json, save_json
 
 __all__ = ["CHECKPOINT_FORMAT_VERSION", "Checkpoint", "is_checkpoint_dir"]
@@ -102,28 +102,60 @@ class Checkpoint:
 
     @classmethod
     def load(cls, path) -> "Checkpoint":
-        """Read a bundle previously written by :meth:`save`."""
+        """Read a bundle previously written by :meth:`save`.
+
+        The bundle is validated on the way in: an unreadable JSON header,
+        a truncated or corrupt ``arrays.npz`` (e.g. from a kill while an
+        external tool was rewriting it — :meth:`save` itself can never
+        leave one) and a metadata/arrays pair from different saves all
+        raise a structured :class:`~repro.exceptions.CheckpointError`
+        instead of surfacing as ``zipfile``/``json`` internals.
+        """
         path = Path(path)
         meta_path = path / _META_FILE
         if not meta_path.is_file():
-            raise ConfigurationError(f"no checkpoint found at {path}")
-        meta = load_json(meta_path)
+            raise CheckpointError(
+                f"no checkpoint found at {path}", path=path, reason="missing"
+            )
+        try:
+            meta = load_json(meta_path)
+        except (ValueError, OSError) as exc:
+            raise CheckpointError(
+                f"checkpoint metadata at {meta_path} is unreadable: {exc}",
+                path=path, reason="truncated",
+            ) from exc
+        if not isinstance(meta, dict):
+            raise CheckpointError(
+                f"checkpoint metadata at {meta_path} is not a JSON object",
+                path=path, reason="truncated",
+            )
         version = meta.get("format_version")
         if version != CHECKPOINT_FORMAT_VERSION:
-            raise ConfigurationError(
+            raise CheckpointError(
                 f"unsupported checkpoint format version {version!r} "
-                f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+                f"(this build reads version {CHECKPOINT_FORMAT_VERSION})",
+                path=path, reason="version",
             )
         arrays: dict[str, np.ndarray] = {}
         arrays_path = path / _ARRAYS_FILE
         if arrays_path.is_file():
-            with np.load(arrays_path) as archive:
-                arrays = {key: archive[key] for key in archive.files}
+            try:
+                with np.load(arrays_path) as archive:
+                    arrays = {key: archive[key] for key in archive.files}
+            except Exception as exc:
+                # zipfile.BadZipFile on truncation, ValueError/OSError on a
+                # corrupted member — all mean the same thing to a caller.
+                raise CheckpointError(
+                    f"checkpoint archive at {arrays_path} is truncated or "
+                    f"corrupt: {exc}",
+                    path=path, reason="truncated",
+                ) from exc
         stored_id = arrays.pop("__bundle_id__", None)
         expected_id = meta.get("bundle_id")
         if stored_id is not None and expected_id is not None and str(stored_id) != expected_id:
-            raise ConfigurationError(
+            raise CheckpointError(
                 f"checkpoint at {path} is inconsistent (metadata and arrays come "
-                "from different saves — likely an interrupted write)"
+                "from different saves — likely an interrupted write)",
+                path=path, reason="mixed",
             )
         return cls(meta=meta, arrays=arrays)

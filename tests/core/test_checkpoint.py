@@ -6,7 +6,7 @@ import pytest
 from repro.core.config import TrainingConfig
 from repro.core.trainer import ContinualTrainer
 from repro.core.urcl import URCLModel
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
 from repro.utils.checkpoint import Checkpoint, is_checkpoint_dir
 
 
@@ -147,6 +147,29 @@ class TestCheckpointIO:
         names = {p.name for p in (tmp_path / "ckpt").iterdir()}
         assert names == {"checkpoint.json", "arrays.npz"}
         assert Checkpoint.load(tmp_path / "ckpt").meta["kind"] == "test"
+
+    def test_truncated_array_archive_raises_structured_error(self, tmp_path, rng):
+        # Simulate a kill while an external tool rewrote the archive: the
+        # loader must refuse with a structured CheckpointError, never serve
+        # half a model.
+        checkpoint = Checkpoint(meta={})
+        checkpoint.add_arrays("model", {"w": rng.normal(size=(64, 64))})
+        checkpoint.save(tmp_path / "ckpt")
+        archive = tmp_path / "ckpt" / "arrays.npz"
+        archive.write_bytes(archive.read_bytes()[: archive.stat().st_size // 2])
+        with pytest.raises(CheckpointError) as excinfo:
+            Checkpoint.load(tmp_path / "ckpt")
+        assert excinfo.value.reason == "truncated"
+        assert excinfo.value.path == str(tmp_path / "ckpt")
+
+    def test_truncated_metadata_raises_structured_error(self, tmp_path):
+        checkpoint = Checkpoint(meta={"kind": "test"})
+        checkpoint.save(tmp_path / "ckpt")
+        meta = tmp_path / "ckpt" / "checkpoint.json"
+        meta.write_text(meta.read_text()[:10])
+        with pytest.raises(CheckpointError) as excinfo:
+            Checkpoint.load(tmp_path / "ckpt")
+        assert excinfo.value.reason == "truncated"
 
     def test_mixed_bundle_halves_are_rejected(self, tmp_path, rng):
         # Simulate a kill between the two renames: metadata from one save,

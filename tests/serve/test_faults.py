@@ -1,0 +1,187 @@
+"""Fault injection: seeded determinism, corruption shapes, hook semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError, ConfigurationError, InjectedFault
+from repro.serve import FaultInjector, FaultPlan, historical_average, impute_missing
+
+
+@pytest.fixture
+def windows(rng):
+    return rng.normal(size=(12, 6, 8, 2))  # (count, time, nodes, channels)
+
+
+def crash_sequence(injector, calls=40):
+    """Which of the next ``calls`` worker-batch draws crash (True/False)."""
+    decisions = []
+    for _ in range(calls):
+        try:
+            injector.on_worker_batch(tenant="t")
+            decisions.append(False)
+        except InjectedFault:
+            decisions.append(True)
+    return decisions
+
+
+class TestFaultPlan:
+    @pytest.mark.parametrize("field, value", [
+        ("worker_crash_rate", -0.1),
+        ("worker_crash_rate", 1.5),
+        ("corrupt_rate", 2.0),
+        ("corrupt_cell_fraction", -1.0),
+        ("node_dropout_rate", 1.01),
+        ("node_dropout_fraction", -0.5),
+        ("stall_ms", -1.0),
+        ("checkpoint_failures", -1),
+        ("worker_fault_limit", -2),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: value})
+
+    def test_any_faults(self):
+        assert not FaultPlan().any_faults()
+        assert FaultPlan(corrupt_rate=0.1).any_faults()
+        assert FaultPlan(checkpoint_failures=1).any_faults()
+        assert FaultPlan.storm().any_faults()
+
+
+class TestSeededDeterminism:
+    """Same plan + seed => the same fault decisions, run to run."""
+
+    def test_crash_sequence_reproducible(self):
+        plan = FaultPlan(seed=7, worker_crash_rate=0.4)
+        first = crash_sequence(FaultInjector(plan))
+        second = crash_sequence(FaultInjector(plan))
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_different_seeds_diverge(self):
+        a = crash_sequence(FaultInjector(FaultPlan(seed=0, worker_crash_rate=0.4)))
+        b = crash_sequence(FaultInjector(FaultPlan(seed=1, worker_crash_rate=0.4)))
+        assert a != b
+
+    def test_corruption_reproducible(self, windows):
+        plan = FaultPlan(seed=3, corrupt_rate=0.5, node_dropout_rate=0.3)
+        first = [FaultInjector(plan), []]
+        second = [FaultInjector(plan), []]
+        for injector, out in (first, second):
+            for window in windows:
+                out.append(injector.corrupt(window))
+        for a, b in zip(first[1], second[1]):
+            assert np.array_equal(a, b, equal_nan=True)
+        assert any(np.isnan(w).any() for w in first[1])
+
+    def test_streams_are_independent(self, windows):
+        """Draining the worker streams must not shift the corruption stream."""
+        plan = FaultPlan(seed=5, worker_crash_rate=0.3, worker_stall_rate=0.2,
+                         stall_ms=0.0, corrupt_rate=0.5)
+        baseline = FaultInjector(plan)
+        expected = [baseline.corrupt(w) for w in windows]
+        noisy = FaultInjector(plan)
+        crash_sequence(noisy, calls=25)  # consume crash + stall streams first
+        observed = [noisy.corrupt(w) for w in windows]
+        for a, b in zip(expected, observed):
+            assert np.array_equal(a, b, equal_nan=True)
+
+
+class TestWorkerFaults:
+    def test_fault_limit_bounds_the_storm(self):
+        plan = FaultPlan(seed=0, worker_crash_rate=1.0, worker_fault_limit=3)
+        injector = FaultInjector(plan)
+        decisions = crash_sequence(injector, calls=10)
+        assert decisions == [True] * 3 + [False] * 7
+        assert injector.stats()["crashes"] == 3
+
+    def test_disarm_and_rearm(self, windows):
+        plan = FaultPlan(seed=0, worker_crash_rate=1.0, corrupt_rate=1.0)
+        injector = FaultInjector(plan)
+        injector.disarm()
+        assert not injector.armed
+        injector.on_worker_batch()  # no raise
+        window = windows[0]
+        assert injector.corrupt(window) is window
+        assert injector.stats()["crashes"] == 0
+        injector.rearm()
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.on_worker_batch(tenant="alpha")
+        assert excinfo.value.kind == "worker_crash"
+        assert excinfo.value.tenant == "alpha"
+
+
+class TestCorruption:
+    def test_cell_glitches(self, windows):
+        plan = FaultPlan(seed=0, corrupt_rate=1.0, corrupt_cell_fraction=0.1)
+        corrupted = FaultInjector(plan).corrupt(windows[0])
+        assert corrupted is not windows[0]
+        assert np.isfinite(windows[0]).all()  # original untouched
+        expected_cells = round(windows[0].size * 0.1)
+        assert np.isnan(corrupted).sum() == expected_cells
+
+    def test_node_dropout_silences_whole_nodes(self, windows):
+        plan = FaultPlan(seed=0, node_dropout_rate=1.0, node_dropout_fraction=0.25)
+        corrupted = FaultInjector(plan).corrupt(windows[0])
+        nan_nodes = np.isnan(corrupted).all(axis=(0, 2))  # (nodes,)
+        assert nan_nodes.sum() == round(windows[0].shape[1] * 0.25)
+        assert np.isfinite(corrupted[:, ~nan_nodes, :]).all()
+
+    def test_zero_rates_pass_through(self, windows):
+        injector = FaultInjector(FaultPlan(seed=0))
+        window = windows[0]
+        assert injector.corrupt(window) is window
+
+
+class TestCheckpointHook:
+    def test_first_n_loads_fail_then_recover(self, tmp_path):
+        injector = FaultInjector(FaultPlan(seed=0, checkpoint_failures=2))
+        for _ in range(2):
+            with pytest.raises(CheckpointError) as excinfo:
+                injector.on_checkpoint_load("alpha", tmp_path / "bundle")
+            assert excinfo.value.reason == "injected"
+        injector.on_checkpoint_load("alpha", tmp_path / "bundle")  # healed
+        assert injector.stats()["checkpoint_failures"] == 2
+
+
+class TestImputeMissing:
+    def test_finite_window_untouched(self, windows):
+        repaired, count = impute_missing(windows[0])
+        assert count == 0
+        assert repaired is windows[0] or np.array_equal(repaired, windows[0])
+
+    def test_glitched_cell_gets_node_channel_mean(self):
+        window = np.arange(12, dtype=float).reshape(4, 3, 1)
+        window[1, 2, 0] = np.nan
+        repaired, count = impute_missing(window)
+        assert count == 1
+        finite = [window[t, 2, 0] for t in (0, 2, 3)]
+        assert repaired[1, 2, 0] == pytest.approx(np.mean(finite))
+        assert np.isnan(window[1, 2, 0])  # input not mutated
+        assert np.isfinite(repaired).all()
+
+    def test_fully_dark_node_imputes_to_zero(self):
+        window = np.ones((4, 3, 2))
+        window[:, 1, :] = np.nan
+        repaired, count = impute_missing(window)
+        assert count == 8
+        assert np.array_equal(repaired[:, 1, :], np.zeros((4, 2)))
+        assert np.array_equal(repaired[:, [0, 2], :], window[:, [0, 2], :])
+
+
+class TestHistoricalAverage:
+    def test_shape_and_values(self):
+        stacked = np.zeros((2, 4, 3, 2))
+        stacked[0, :, 0, 0] = [1.0, 2.0, 3.0, 4.0]
+        stacked[..., 1] = 99.0  # non-target channel must be ignored
+        out = historical_average(stacked, out_shape=(5, 3, 1), target_channel=0)
+        assert out.shape == (2, 5, 3, 1)
+        assert np.allclose(out[0, :, 0, 0], 2.5)
+        assert np.allclose(out[1], 0.0)
+
+    def test_nan_robust(self):
+        stacked = np.full((1, 4, 2, 1), np.nan)
+        stacked[0, :2, 0, 0] = [2.0, 4.0]
+        out = historical_average(stacked, out_shape=(3, 2, 1))
+        assert np.isfinite(out).all()
+        assert np.allclose(out[0, :, 0, 0], 3.0)
+        assert np.allclose(out[0, :, 1, 0], 0.0)  # fully dark node
