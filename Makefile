@@ -3,7 +3,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: ci test bench-smoke bench-hot-path bench-hot-path-smoke \
 	bench-spatial bench-spatial-smoke \
-	bench-serving bench-serving-smoke \
+	bench-serving bench-serving-smoke bench-serving-proc-smoke \
 	bench-resilience bench-resilience-smoke examples-smoke
 
 # Tier-1 gate: full unit suite, ~10-second smokes of the Fig. 7 efficiency
@@ -14,7 +14,8 @@ export PYTHONPATH := src:$(PYTHONPATH)
 # demo, compiled execution, resilience demo) as end-to-end smokes of the
 # public API surface.
 ci: test bench-smoke bench-hot-path-smoke bench-spatial-smoke \
-	bench-serving-smoke bench-resilience-smoke examples-smoke
+	bench-serving-smoke bench-serving-proc-smoke bench-resilience-smoke \
+	examples-smoke
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -60,7 +61,12 @@ bench-serving:
 	$(PYTHON) benchmarks/bench_serving.py
 
 bench-serving-smoke:
-	$(PYTHON) benchmarks/bench_serving.py --scale smoke
+	$(PYTHON) benchmarks/bench_serving.py --scale smoke --engine thread
+
+# Process-engine smoke: shared-memory worker processes, per-run output
+# asserted bit-identical to direct predict and to the in-process engine.
+bench-serving-proc-smoke:
+	$(PYTHON) benchmarks/bench_serving.py --scale smoke --engine process
 
 # Resilience harness (clean vs seeded fault-storm closed loops, recovery
 # time); appends to benchmarks/results/BENCH_resilience.json and asserts

@@ -138,8 +138,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
     serve.add_argument("--concurrency", type=int, default=8, help="closed-loop clients")
     serve.add_argument("--max-batch-size", type=int, default=16, help="micro-batch flush size")
     serve.add_argument("--max-delay-ms", type=float, default=5.0, help="micro-batch flush deadline")
-    serve.add_argument("--workers", type=int, default=2, help="engine worker threads")
+    serve.add_argument("--workers", type=int, default=2, help="engine workers (threads or processes)")
     serve.add_argument("--shards", type=int, default=1, help="node shards (replicate mode)")
+    serve.add_argument(
+        "--engine", choices=("thread", "process"), default="thread",
+        help="worker plane: in-process threads or shared-memory worker processes",
+    )
+    serve.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+        help="multiprocessing start method for --engine process "
+        "(default: REPRO_PROC_START_METHOD or fork)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop offered rate in req/s (default: closed loop at --concurrency)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="sustained run: keep issuing for this many seconds instead of "
+        "stopping at --requests",
+    )
     serve.add_argument(
         "--num-windows", type=int, default=16,
         help="distinct request windows replayed from the checkpoint's stream",
@@ -156,6 +174,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
     bench.add_argument("--requests", type=int, default=256, help="requests per sweep point")
     bench.add_argument("--nodes", type=int, default=12, help="synthetic sensor count")
     bench.add_argument("--seed", type=int, default=0, help="random seed")
+    bench.add_argument(
+        "--engine", choices=("thread", "process"), default="thread",
+        help="worker plane to sweep (process = shared-memory worker processes)",
+    )
+    bench.add_argument(
+        "--start-method", choices=("fork", "spawn", "forkserver"), default=None,
+        help="multiprocessing start method for --engine process",
+    )
     bench.add_argument("--output", default=None, help="optional JSON dump of the sweep")
     _add_dtype_flag(bench)
 
@@ -318,7 +344,14 @@ def _print_serving_stats(label: str, result: dict) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import EngineConfig, Forecaster, ServingEngine, run_closed_loop
+    from .serve import (
+        EngineConfig,
+        Forecaster,
+        ProcessServingEngine,
+        ServingEngine,
+        run_closed_loop,
+        run_open_loop,
+    )
     from .utils.checkpoint import Checkpoint
 
     checkpoint = Checkpoint.load(args.checkpoint_dir)
@@ -334,15 +367,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         shards=args.shards,
     )
-    with ServingEngine(forecaster, config) as engine:
-        result = run_closed_loop(
-            engine,
-            windows,
-            concurrency=args.concurrency,
-            total_requests=args.requests,
+    if args.engine == "process":
+        engine = ProcessServingEngine(
+            forecaster, config, sample_windows=windows[:1],
+            start_method=args.start_method,
         )
+    else:
+        engine = ServingEngine(forecaster, config)
+    with engine:
+        if args.rate is not None:
+            result = run_open_loop(
+                engine, windows, rate_rps=args.rate,
+                duration_s=args.duration,
+                total_requests=None if args.duration is not None else args.requests,
+            )
+        else:
+            result = run_closed_loop(
+                engine,
+                windows,
+                concurrency=args.concurrency,
+                total_requests=None if args.duration is not None else args.requests,
+                duration_s=args.duration,
+            )
         stats = engine.stats()
-    _print_serving_stats("serve", result)
+    label = f"serve[{args.engine}]"
+    if result.get("mode") == "open":
+        print(f"{label}: offered {result['offered_rps']:.0f} req/s, completed "
+              f"{result['completed']}/{result['issued']} "
+              f"({result['rejected']} rejected by backpressure)")
+    completed_of = result["total_requests"] if result["total_requests"] is not None else result["completed"]
+    print(
+        f"{label}: {result['completed']}/{completed_of} ok, "
+        f"{result['throughput_rps']:8.1f} req/s | latency ms "
+        f"p50 {result['latency_ms']['p50']:7.2f}  "
+        f"p95 {result['latency_ms']['p95']:7.2f}  p99 {result['latency_ms']['p99']:7.2f}"
+    )
     metrics = stats["metrics"]
     print(f"batches: {metrics['batches']} (mean size {metrics['mean_batch_size']:.2f}, "
           f"{metrics['size_flushes']} by size / {metrics['deadline_flushes']} by deadline)")
@@ -369,9 +428,11 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
             result = serving_sweep_point(
                 pool, windows, tenants, shards=shards, batching=batching,
                 concurrency=args.concurrency, total_requests=args.requests,
+                engine_kind=args.engine, start_method=args.start_method,
             )
             _print_serving_stats(
-                f"shards={shards} batching={'on ' if batching else 'off'}", result
+                f"{args.engine} shards={shards} batching={'on ' if batching else 'off'}",
+                result,
             )
             sweep.append(result)
     unbatched = next(r for r in sweep if r["shards"] == 1 and not r["batching"])

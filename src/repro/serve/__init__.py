@@ -36,7 +36,12 @@ from .batching import DynamicBatcher, MicroBatch, PendingRequest
 from .engine import EngineConfig, ServingEngine
 from .faults import FaultInjector, FaultPlan
 from .forecaster import Forecaster, impute_missing
-from .loadgen import build_synthetic_tenants, run_closed_loop, run_fault_storm
+from .loadgen import (
+    build_synthetic_tenants,
+    run_closed_loop,
+    run_fault_storm,
+    run_open_loop,
+)
 from .metrics import EngineMetrics
 from .sharding import Shard, ShardedForecaster, ShardPlan, ShardPlanner
 from .tenancy import (
@@ -48,9 +53,15 @@ from .tenancy import (
     historical_average,
 )
 
+# Imported last: the proc subpackage builds on the modules above.
+from .proc import ModelPlane, PlaneView, ProcessServingEngine  # noqa: E402
+
 __all__ = [
     "Forecaster",
     "ServingEngine",
+    "ProcessServingEngine",
+    "ModelPlane",
+    "PlaneView",
     "EngineConfig",
     "DynamicBatcher",
     "MicroBatch",
@@ -70,6 +81,7 @@ __all__ = [
     "ShardPlanner",
     "ShardedForecaster",
     "run_closed_loop",
+    "run_open_loop",
     "build_synthetic_tenants",
     "run_fault_storm",
 ]

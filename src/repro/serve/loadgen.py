@@ -46,6 +46,7 @@ from .tenancy import ModelPool
 
 __all__ = [
     "run_closed_loop",
+    "run_open_loop",
     "serving_sweep_point",
     "build_synthetic_tenants",
     "resilience_config",
@@ -57,10 +58,11 @@ def run_closed_loop(
     engine,
     windows: np.ndarray,
     concurrency: int = 8,
-    total_requests: int = 256,
+    total_requests: int | None = 256,
     tenants=None,
     timeout: float = 120.0,
     deadline_ms: float | None = None,
+    duration_s: float | None = None,
 ) -> dict:
     """Drive ``engine`` with ``concurrency`` synchronous clients.
 
@@ -72,12 +74,19 @@ def run_closed_loop(
     a short backoff — a closed loop must not lose its clients to
     backpressure.  ``deadline_ms`` is attached to every request when set.
 
+    ``duration_s`` switches to sustained (time-bounded) mode: clients keep
+    issuing until the wall clock runs out instead of until a request count
+    is reached — pass ``total_requests=None`` for a pure multi-minute soak,
+    or keep both to stop at whichever comes first.
+
     Returns a JSON-serialisable dict: completed/failed/rejected counts, an
     ``errors`` breakdown by exception type, the number of ``lost`` futures
     (``Future.result`` timed out — the engine broke its answer-everything
     contract), wall-clock duration, throughput (completed requests per
     second) and client-observed latency percentiles in milliseconds.
     """
+    if total_requests is None and duration_s is None:
+        raise ValueError("set total_requests and/or duration_s")
     tenant_cycle = list(tenants) if tenants else [None]
     ticket = itertools.count()
     lock = threading.Lock()
@@ -86,12 +95,15 @@ def run_closed_loop(
     rejected = 0
     failed = 0
     lost = 0
+    stop_at = None if duration_s is None else time.perf_counter() + duration_s
 
     def client() -> None:
         nonlocal rejected, failed, lost
         while True:
             index = next(ticket)
-            if index >= total_requests:
+            if total_requests is not None and index >= total_requests:
+                return
+            if stop_at is not None and time.perf_counter() >= stop_at:
                 return
             window = windows[index % len(windows)]
             tenant = tenant_cycle[index % len(tenant_cycle)]
@@ -136,12 +148,126 @@ def run_closed_loop(
     completed = len(latencies)
     return {
         "concurrency": int(concurrency),
-        "total_requests": int(total_requests),
+        "total_requests": None if total_requests is None else int(total_requests),
+        "duration_s": duration_s,
         "completed": completed,
         "failed": failed,
         "lost": lost,
         "errors": errors,
         "rejected_retries": rejected,
+        "duration_seconds": duration,
+        "throughput_rps": completed / duration if duration > 0 else 0.0,
+        "latency_ms": {
+            key: value * 1e3 for key, value in percentiles(latencies).items()
+        },
+    }
+
+
+def run_open_loop(
+    engine,
+    windows: np.ndarray,
+    rate_rps: float,
+    duration_s: float | None = None,
+    total_requests: int | None = None,
+    tenants=None,
+    timeout: float = 120.0,
+    deadline_ms: float | None = None,
+) -> dict:
+    """Drive ``engine`` open-loop at a fixed *offered* rate.
+
+    Unlike the closed loop (whose arrival rate adapts to service latency),
+    an open loop submits on a fixed schedule regardless of how the engine
+    keeps up — the honest way to measure behaviour at a known offered load,
+    including overload.  The schedule is drift-corrected (request ``i`` is
+    due at ``start + i/rate``, not ``last + 1/rate``), requests rejected by
+    backpressure (:class:`~repro.exceptions.QueueFull`, including rate
+    limits) are *counted, not retried*, and completions are collected via
+    future callbacks so a sustained multi-minute run holds no per-request
+    state beyond its latency sample.
+
+    Stop by ``duration_s``, ``total_requests``, or whichever of the two
+    comes first.  Returns offered vs achieved rates, completion/failure/
+    rejection counts, an error breakdown and latency percentiles.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if duration_s is None and total_requests is None:
+        raise ValueError("set duration_s and/or total_requests")
+    tenant_cycle = list(tenants) if tenants else [None]
+    interval = 1.0 / float(rate_rps)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    errors: dict[str, int] = {}
+    rejected = 0
+    failed = 0
+    inflight = 0
+    all_done = threading.Event()
+
+    def make_callback(issued_at: float):
+        def callback(future) -> None:
+            nonlocal failed, inflight
+            try:
+                result = future.exception()
+            except Exception:  # pragma: no cover - cancelled future
+                result = future
+            with lock:
+                if result is None:
+                    latencies.append(time.perf_counter() - issued_at)
+                else:
+                    failed += 1
+                    name = type(result).__name__
+                    errors[name] = errors.get(name, 0) + 1
+                inflight -= 1
+                if inflight == 0:
+                    all_done.set()
+        return callback
+
+    start = time.perf_counter()
+    issued = 0
+    while True:
+        if total_requests is not None and issued >= total_requests:
+            break
+        due = start + issued * interval
+        now = time.perf_counter()
+        if duration_s is not None and max(due, now) - start >= duration_s:
+            break
+        if due > now:
+            time.sleep(due - now)
+        window = windows[issued % len(windows)]
+        tenant = tenant_cycle[issued % len(tenant_cycle)]
+        issued += 1
+        issued_at = time.perf_counter()
+        try:
+            future = engine.submit(window, tenant=tenant, deadline_ms=deadline_ms)
+        except QueueFull:
+            with lock:
+                rejected += 1
+            continue
+        with lock:
+            inflight += 1
+            all_done.clear()
+        future.add_done_callback(make_callback(issued_at))
+    issue_duration = time.perf_counter() - start
+    with lock:
+        drained = inflight == 0
+    if not drained:
+        all_done.wait(timeout)
+    duration = time.perf_counter() - start
+    with lock:
+        lost = inflight
+        completed = len(latencies)
+    return {
+        "mode": "open",
+        "offered_rps": float(rate_rps),
+        "achieved_offer_rps": issued / issue_duration if issue_duration > 0 else 0.0,
+        "issued": issued,
+        "total_requests": None if total_requests is None else int(total_requests),
+        "duration_s": duration_s,
+        "completed": completed,
+        "failed": failed,
+        "lost": lost,
+        "errors": errors,
+        "rejected": rejected,
         "duration_seconds": duration,
         "throughput_rps": completed / duration if duration > 0 else 0.0,
         "latency_ms": {
@@ -159,6 +285,8 @@ def serving_sweep_point(
     concurrency: int = 32,
     total_requests: int = 256,
     num_workers: int = 2,
+    engine_kind: str = "thread",
+    start_method: str | None = None,
 ) -> dict:
     """One point of the batching x tenants x shards serving sweep.
 
@@ -168,6 +296,11 @@ def serving_sweep_point(
     flush size is each tenant's share of the concurrency halved — buckets
     are per tenant, and a full bucket flushes synchronously while an
     oversized one always waits out the deadline.
+
+    ``engine_kind`` selects the threaded :class:`ServingEngine`
+    (``"thread"``, default) or the shared-memory
+    :class:`~repro.serve.proc.ProcessServingEngine` (``"process"``, where
+    ``num_workers`` counts worker processes).
     """
     tenants = list(tenants)
     config = EngineConfig(
@@ -176,19 +309,34 @@ def serving_sweep_point(
         num_workers=num_workers,
         shards=shards,
     )
-    with ServingEngine(pool, config) as engine:
+    if engine_kind == "process":
+        from .proc import ProcessServingEngine
+
+        engine = ProcessServingEngine(
+            pool, config, sample_windows=windows[:1], start_method=start_method
+        )
+    elif engine_kind == "thread":
+        engine = ServingEngine(pool, config)
+    else:
+        raise ValueError(f"engine_kind must be 'thread' or 'process', got {engine_kind!r}")
+    with engine:
         result = run_closed_loop(
             engine, windows,
             concurrency=concurrency,
             total_requests=total_requests,
             tenants=tenants,
         )
-        metrics = engine.metrics.snapshot()
+        metrics = (
+            engine.metrics() if engine_kind == "process"
+            else engine.metrics.snapshot()
+        )
     result.update(
         {
+            "engine": engine_kind,
             "batching": batching,
             "shards": shards,
             "tenants": len(tenants),
+            "num_workers": num_workers,
             "mean_batch_size": metrics["mean_batch_size"],
             "size_flushes": metrics["size_flushes"],
             "deadline_flushes": metrics["deadline_flushes"],

@@ -1,0 +1,219 @@
+"""Lock-light SPSC rings over shared memory: the request/response lanes.
+
+One :class:`SpscRing` is a preallocated array of fixed-size slots plus a
+64-byte control header (``head``/``tail``/``stop`` as int64).  Exactly one
+process produces (advancing ``tail``) and exactly one consumes (advancing
+``head``), so no lock is needed: the producer publishes a slot's payload
+*before* the tail increment, the consumer reads the payload *after*
+observing the new tail, and on cache-coherent shared memory (every platform
+``multiprocessing.shared_memory`` supports) the aligned 8-byte counter
+stores are atomic.  Windows and predictions cross the process boundary as
+raw bytes written straight into slot payloads — no pickling, no copies
+beyond the one memcpy in and one out.
+
+Blocking is delegated to the caller: each ring direction pairs with a
+``multiprocessing.Event`` doorbell rung after pushes, and waiters re-check
+with a timeout so a lost wakeup degrades to a few milliseconds of latency,
+never a hang.
+
+Batch framing (engine <-> worker) rides on top via :func:`pack_request` /
+:func:`read_request` and the response twins: an int64 sub-header followed
+by ``count`` fixed-shape float payloads (requests carry windows, responses
+carry per-window predictions or a UTF-8 error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import shm as shmlib
+
+__all__ = [
+    "SpscRing",
+    "request_slot_nbytes",
+    "response_slot_nbytes",
+    "pack_request",
+    "read_request",
+    "pack_response",
+    "pack_error_response",
+    "read_response",
+    "ERROR_BYTES",
+]
+
+_CTRL_NBYTES = shmlib.ALIGN  # head, tail, stop (int64) + padding
+_HEAD, _TAIL, _STOP = 0, 1, 2
+
+_SUBHEADER = shmlib.ALIGN  # per-slot framing header
+ERROR_BYTES = 512
+
+STATUS_OK = 0
+STATUS_ERROR = 1
+
+
+class SpscRing:
+    """Single-producer single-consumer ring of fixed-size byte slots."""
+
+    def __init__(self, segment, capacity: int, slot_nbytes: int, owner: bool):
+        self._segment = segment
+        self.capacity = int(capacity)
+        self.slot_nbytes = int(slot_nbytes)
+        self.owner = owner
+        self._ctrl = np.ndarray(8, dtype=np.int64, buffer=segment.buf, offset=0)
+        self._slots = np.ndarray(
+            (self.capacity, self.slot_nbytes), dtype=np.uint8,
+            buffer=segment.buf, offset=_CTRL_NBYTES,
+        )
+
+    # -------------------------------------------------------------- #
+    @classmethod
+    def create(cls, capacity: int, slot_nbytes: int, tag: str = "ring") -> "SpscRing":
+        total = _CTRL_NBYTES + int(capacity) * int(slot_nbytes)
+        segment = shmlib.create_segment(total, tag=tag)
+        ring = cls(segment, capacity, slot_nbytes, owner=True)
+        ring._ctrl[:] = 0
+        return ring
+
+    @classmethod
+    def attach(cls, spec: tuple) -> "SpscRing":
+        name, capacity, slot_nbytes = spec
+        return cls(shmlib.attach(name), capacity, slot_nbytes, owner=False)
+
+    @property
+    def spec(self) -> tuple:
+        """Picklable handle: pass to a worker, reopen with :meth:`attach`."""
+        return (self._segment.name, self.capacity, self.slot_nbytes)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    # -------------------------------------------------------------- #
+    def __len__(self) -> int:
+        return int(self._ctrl[_TAIL] - self._ctrl[_HEAD])
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.capacity
+
+    def try_reserve(self) -> np.ndarray | None:
+        """Producer: the next free slot's byte view, or None when full."""
+        if self.full:
+            return None
+        return self._slots[int(self._ctrl[_TAIL]) % self.capacity]
+
+    def commit_push(self) -> None:
+        """Producer: publish the slot filled after :meth:`try_reserve`."""
+        self._ctrl[_TAIL] += 1
+
+    def try_peek(self) -> np.ndarray | None:
+        """Consumer: the oldest unconsumed slot's byte view, or None."""
+        if len(self) <= 0:
+            return None
+        return self._slots[int(self._ctrl[_HEAD]) % self.capacity]
+
+    def commit_pop(self) -> None:
+        self._ctrl[_HEAD] += 1
+
+    # -------------------------------------------------------------- #
+    def signal_stop(self) -> None:
+        self._ctrl[_STOP] = 1
+
+    @property
+    def stopped(self) -> bool:
+        return bool(self._ctrl[_STOP])
+
+    # -------------------------------------------------------------- #
+    def close(self) -> None:
+        self._drop_views()
+        shmlib.close_quietly(self._segment)
+
+    def unlink(self) -> None:
+        self._drop_views()
+        shmlib.close_quietly(self._segment)
+        shmlib.unlink_quietly(self._segment)
+
+    def _drop_views(self) -> None:
+        self._ctrl = None
+        self._slots = None
+
+
+# ------------------------------------------------------------------ #
+# Batch framing
+# ------------------------------------------------------------------ #
+def request_slot_nbytes(max_batch: int, window_nbytes: int) -> int:
+    return _SUBHEADER + int(max_batch) * int(window_nbytes)
+
+
+def response_slot_nbytes(max_batch: int, out_nbytes: int) -> int:
+    return _SUBHEADER + int(max_batch) * int(out_nbytes) + ERROR_BYTES
+
+
+def _subheader(slot: np.ndarray) -> np.ndarray:
+    return slot[:_SUBHEADER].view(np.int64)
+
+
+def pack_request(slot: np.ndarray, batch_id: int, tenant_index: int,
+                 windows: np.ndarray) -> None:
+    """Frame one micro-batch: [batch_id, tenant, count] + stacked windows."""
+    header = _subheader(slot)
+    header[0] = batch_id
+    header[1] = tenant_index
+    header[2] = windows.shape[0]
+    payload = np.ascontiguousarray(windows).reshape(-1).view(np.uint8)
+    slot[_SUBHEADER:_SUBHEADER + payload.nbytes] = payload
+
+
+def read_request(slot: np.ndarray, window_shape: tuple, window_dtype) -> tuple:
+    """Returns ``(batch_id, tenant_index, windows-copy)``."""
+    header = _subheader(slot)
+    batch_id, tenant_index, count = int(header[0]), int(header[1]), int(header[2])
+    nbytes = count * int(np.prod(window_shape, dtype=np.int64)) * np.dtype(window_dtype).itemsize
+    windows = (
+        slot[_SUBHEADER:_SUBHEADER + nbytes]
+        .view(np.dtype(window_dtype))
+        .reshape((count,) + tuple(window_shape))
+        .copy()
+    )
+    return batch_id, tenant_index, windows
+
+
+def pack_response(slot: np.ndarray, batch_id: int, predictions: np.ndarray) -> None:
+    header = _subheader(slot)
+    header[0] = batch_id
+    header[1] = STATUS_OK
+    header[2] = predictions.shape[0]
+    header[3] = 0
+    payload = np.ascontiguousarray(predictions).reshape(-1).view(np.uint8)
+    slot[_SUBHEADER:_SUBHEADER + payload.nbytes] = payload
+
+
+def pack_error_response(slot: np.ndarray, batch_id: int, message: str) -> None:
+    header = _subheader(slot)
+    encoded = message.encode("utf-8", errors="replace")[:ERROR_BYTES]
+    header[0] = batch_id
+    header[1] = STATUS_ERROR
+    header[2] = 0
+    header[3] = len(encoded)
+    start = slot.shape[0] - ERROR_BYTES
+    if encoded:
+        slot[start:start + len(encoded)] = np.frombuffer(encoded, dtype=np.uint8)
+
+
+def read_response(slot: np.ndarray, out_shape: tuple, out_dtype) -> tuple:
+    """Returns ``(batch_id, predictions-copy | None, error-message | None)``."""
+    header = _subheader(slot)
+    batch_id, status, count, error_len = (
+        int(header[0]), int(header[1]), int(header[2]), int(header[3])
+    )
+    if status == STATUS_OK:
+        nbytes = count * int(np.prod(out_shape, dtype=np.int64)) * np.dtype(out_dtype).itemsize
+        predictions = (
+            slot[_SUBHEADER:_SUBHEADER + nbytes]
+            .view(np.dtype(out_dtype))
+            .reshape((count,) + tuple(out_shape))
+            .copy()
+        )
+        return batch_id, predictions, None
+    start = slot.shape[0] - ERROR_BYTES
+    raw = bytes(slot[start:start + error_len]) if error_len else b""
+    return batch_id, None, raw.decode("utf-8", errors="replace")

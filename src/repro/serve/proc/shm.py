@@ -1,0 +1,187 @@
+"""Shared-memory segments with array manifests and leak-proof lifecycle.
+
+Every cross-process payload of the process-parallel serving engine — model
+weights, CSR supports, scaler params, request/response rings, metrics
+shards — lives in named ``multiprocessing.shared_memory`` segments.  This
+module owns the three fiddly parts:
+
+* **Manifests**: a segment packs many named arrays; ``layout_arrays``
+  computes 64-byte-aligned offsets and ``view``/``attach_views`` map them
+  back as zero-copy NumPy views (read-only by default — a worker can never
+  scribble on the shared plane by accident).
+* **Resource-tracker hygiene**: a child that merely *attaches* a segment
+  must not let its ``resource_tracker`` unlink it at exit (that is the
+  creator's job), so :func:`attach` unregisters the mapping.
+* **Idempotent teardown**: :func:`unlink_quietly` swallows the
+  already-gone case so *every* process can race to clean up — the engine
+  on ``close()``, the supervisor after a worker crash, and orphaned
+  workers after a parent death — without leaking ``/dev/shm`` entries or
+  double-unlink errors.
+
+Creator-side segments are additionally registered in a process-local
+registry flushed by ``atexit`` as a last line of defence against abnormal
+parent exits that skip ``close()``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "ALIGN",
+    "segment_name",
+    "layout_arrays",
+    "publish_arrays",
+    "create_segment",
+    "attach",
+    "view",
+    "attach_views",
+    "close_quietly",
+    "unlink_quietly",
+]
+
+ALIGN = 64
+
+_SEQ = itertools.count()
+_CREATED_LOCK = threading.Lock()
+# name -> (segment, creator pid): a fork inherits the registry, so the
+# atexit sweep must only unlink entries this very process created.
+_CREATED: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+
+
+def _align(nbytes: int) -> int:
+    return (int(nbytes) + ALIGN - 1) // ALIGN * ALIGN
+
+
+def segment_name(tag: str) -> str:
+    """A collision-safe ``/dev/shm`` name carrying a greppable repro prefix."""
+    return f"repro_{tag}_{os.getpid()}_{next(_SEQ)}_{secrets.token_hex(3)}"
+
+
+def layout_arrays(arrays: dict) -> tuple[dict, int]:
+    """Aligned offsets for a dict of arrays: ``{key: (offset, shape, dtype)}``.
+
+    Returns the manifest and the total segment size (>= 1 byte: POSIX shm
+    rejects empty segments).
+    """
+    manifest = {}
+    offset = 0
+    for key, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        manifest[key] = (offset, array.shape, array.dtype.str)
+        offset += _align(array.nbytes)
+    return manifest, max(offset, 1)
+
+
+def create_segment(nbytes: int, tag: str = "seg") -> shared_memory.SharedMemory:
+    """Create (and register for atexit cleanup) one named segment."""
+    shm = shared_memory.SharedMemory(
+        name=segment_name(tag), create=True, size=max(int(nbytes), 1)
+    )
+    with _CREATED_LOCK:
+        _CREATED[shm.name] = (shm, os.getpid())
+    return shm
+
+
+def publish_arrays(arrays: dict, tag: str = "plane") -> tuple[shared_memory.SharedMemory, dict]:
+    """Copy ``arrays`` into one fresh segment; returns (segment, manifest)."""
+    manifest, total = layout_arrays(arrays)
+    shm = create_segment(total, tag=tag)
+    for key, array in arrays.items():
+        offset, shape, dtype = manifest[key]
+        target = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        np.copyto(target, np.asarray(array, dtype=np.dtype(dtype)))
+        del target  # drop the exported buffer so close() stays possible
+    return shm, manifest
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting unlink responsibility.
+
+    ``SharedMemory(name=...)`` re-registers the name with the resource
+    tracker.  On POSIX every worker inherits the *parent's* tracker process
+    (the fd travels through both fork and spawn), whose registry is a
+    name-keyed set — so the attach-side registration is an idempotent no-op
+    there, and ``unlink()`` (called exactly once per name: racing losers
+    hit ``FileNotFoundError`` first) balances it.  Unregistering here would
+    *unbalance* it and make the creator's unlink traceback inside the
+    shared tracker.  As a bonus, a parent that dies without cleanup leaves
+    the names registered, and the outliving tracker unlinks them at
+    shutdown — a second safety net behind the workers' orphan sweep.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def view(shm: shared_memory.SharedMemory, entry, writeable: bool = False) -> np.ndarray:
+    """Zero-copy NumPy view of one manifest entry."""
+    offset, shape, dtype = entry
+    array = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+    array.flags.writeable = writeable
+    return array
+
+
+def attach_views(shm: shared_memory.SharedMemory, manifest: dict,
+                 writeable: bool = False) -> dict:
+    return {key: view(shm, entry, writeable=writeable) for key, entry in manifest.items()}
+
+
+def close_quietly(shm: shared_memory.SharedMemory | None) -> None:
+    """Drop this process's mapping; safe with live exported views around."""
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:
+        # NumPy views into shm.buf are still alive somewhere; the mapping
+        # is reclaimed when they die (or at process exit).  Not a leak of
+        # the named /dev/shm entry — that is unlink's job.
+        pass
+    except Exception:  # pragma: no cover - already closed
+        pass
+
+
+def unlink_quietly(shm: shared_memory.SharedMemory | str | None) -> None:
+    """Remove the named segment, tolerating every already-gone race.
+
+    Accepts a segment or a bare name so orphaned workers can unlink plane
+    segments they only know by name.  Idempotent across processes: the
+    loser of an unlink race sees ``FileNotFoundError`` and moves on.
+    """
+    if shm is None:
+        return
+    if isinstance(shm, str):
+        try:
+            handle = attach(shm)
+        except FileNotFoundError:
+            return
+        close_quietly(handle)
+        shm = handle
+    with _CREATED_LOCK:
+        _CREATED.pop(shm.name, None)
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception:  # pragma: no cover - platform quirks
+        pass
+
+
+@atexit.register
+def _cleanup_created() -> None:  # pragma: no cover - exit-path safety net
+    pid = os.getpid()
+    with _CREATED_LOCK:
+        leftovers = [shm for shm, creator in _CREATED.values() if creator == pid]
+        _CREATED.clear()
+    for shm in leftovers:
+        close_quietly(shm)
+        try:
+            shm.unlink()
+        except Exception:
+            pass

@@ -18,7 +18,10 @@ from .grad_check import check_gradients, numerical_gradient
 from .trace import (
     clear_program_cache,
     declare_const,
+    export_structures,
+    forget_model,
     get_traced_execution,
+    install_structures,
     program_cache_stats,
     run_compiled,
     scan,
@@ -70,4 +73,7 @@ __all__ = [
     "program_cache_stats",
     "clear_program_cache",
     "set_program_cache_limit",
+    "export_structures",
+    "install_structures",
+    "forget_model",
 ]

@@ -49,6 +49,9 @@ __all__ = [
     "program_cache_stats",
     "clear_program_cache",
     "set_program_cache_limit",
+    "export_structures",
+    "install_structures",
+    "forget_model",
 ]
 
 
@@ -134,6 +137,67 @@ def clear_program_cache() -> None:
         _cache_bytes = 0
         for key in _STATS:
             _STATS[key] = 0
+
+
+def export_structures() -> list[tuple[tuple, ProgramStructure]]:
+    """Snapshot the shareable compiled structures as (fingerprint, structure).
+
+    Fingerprints are content-based (architecture signature + graph digests
+    + sparse-knob token), so a structure exported here installs verbatim
+    into another process serving the same architecture on a graph with
+    identical content — see :mod:`repro.tensor.serialize` for the wire
+    format and :func:`install_structures` for the receiving side.
+    """
+    with _LOCK:
+        return [
+            (fingerprint, structure)
+            for fingerprint, structure in _STRUCTURES.items()
+            if structure.shareable
+        ]
+
+
+def install_structures(items) -> int:
+    """Install externally captured structures into the shared-structure map.
+
+    Models whose :func:`run_compiled` fingerprint matches then build replay
+    instances directly (a ``structure_hit``) instead of re-capturing.
+    Existing fingerprints are kept (first capture wins — both sides are
+    bit-identical by construction).  Returns how many were newly installed.
+    """
+    installed = 0
+    with _LOCK:
+        for fingerprint, structure in items:
+            if not structure.shareable or fingerprint in _STRUCTURES:
+                continue
+            _STRUCTURES[fingerprint] = structure
+            installed += 1
+        _evict()
+    return installed
+
+
+def forget_model(model) -> int:
+    """Drop every compiled entry/instance bound to ``model``'s buffers.
+
+    Needed when a model's parameter *arrays are replaced* (not updated in
+    place) — e.g. a serving worker rebinding from zero-copy shared-memory
+    views to private snapshots: existing :class:`ProgramInstance` arenas
+    still reference the old buffers and would replay stale weights.  The
+    shared structures survive (they hold no parameter data); the next call
+    re-instantiates against the new buffers.  Returns entries dropped.
+    """
+    global _cache_bytes
+    with _LOCK:
+        per_model = _MODEL_CACHE.pop(model, None)
+        if not per_model:
+            return 0
+        for entry in per_model.values():
+            _ENTRY_LRU.pop(entry.token, None)
+            _cache_bytes -= entry.nbytes
+            entry.nbytes = 0
+            entry.instances.clear()
+            entry.structure = None
+            entry.status = "empty"
+        return len(per_model)
 
 
 def _knob_token() -> tuple:

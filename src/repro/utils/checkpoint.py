@@ -50,6 +50,18 @@ class Checkpoint:
         self.meta.setdefault("format_version", CHECKPOINT_FORMAT_VERSION)
 
     # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Total in-memory payload of the bundled arrays, in bytes.
+
+        Sizing signal for capacity planning — the byte-bounded
+        :class:`~repro.serve.ModelPool` and the process-parallel shared
+        model plane both scale with this number (the on-disk ``.npz`` is
+        smaller only by zip framing; arrays are stored uncompressed).
+        """
+        return int(sum(array.nbytes for array in self.arrays.values()))
+
+    # ------------------------------------------------------------------ #
     def add_arrays(self, namespace: str, arrays: dict[str, np.ndarray]) -> None:
         """Store ``arrays`` under ``namespace/`` keys."""
         for key, value in arrays.items():

@@ -1,0 +1,31 @@
+"""Helper for test_proc_lifecycle.py: die holding a live process engine.
+
+Builds a :class:`ProcessServingEngine`, prints its shared-memory segment
+names on one line, then SIGKILLs itself — no ``close()``, no ``atexit``.
+The orphaned workers must notice the parent is gone and unlink every
+``/dev/shm`` segment themselves.  Lives in its own file (not a ``-c``
+one-liner) so the spawn start method can re-import ``__main__``.
+"""
+
+import os
+import signal
+
+
+def main() -> None:
+    from repro.serve import EngineConfig, ProcessServingEngine, build_synthetic_tenants
+
+    pool, windows, _ = build_synthetic_tenants(
+        num_tenants=1, num_nodes=10, num_days=4, seed=0, request_windows=4,
+    )
+    config = EngineConfig(
+        max_batch_size=2, max_delay_ms=2.0, num_workers=2,
+        supervise_interval_s=0.02,
+    )
+    engine = ProcessServingEngine(pool, config, sample_windows=windows[:1])
+    engine.predict(windows[0], tenant="tenant-0", timeout=120)
+    print("SEGMENTS " + " ".join(engine.segment_names()), flush=True)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+if __name__ == "__main__":
+    main()

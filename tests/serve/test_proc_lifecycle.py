@@ -1,0 +1,126 @@
+"""Shared-memory lifecycle: no /dev/shm leaks on close, crash, parent death."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import EngineConfig, ProcessServingEngine, build_synthetic_tenants
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="needs a POSIX /dev/shm to observe segments"
+)
+
+
+def segment_exists(name: str) -> bool:
+    return (SHM_DIR / name).exists()
+
+
+def wait_gone(names, timeout: float = 60.0) -> list:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        leftovers = [name for name in names if segment_exists(name)]
+        if not leftovers:
+            return []
+        time.sleep(0.1)
+    return leftovers
+
+
+@pytest.fixture(scope="module")
+def tenant_fixture():
+    pool, windows, _ = build_synthetic_tenants(
+        num_tenants=2, num_nodes=10, num_days=4, seed=0, request_windows=4,
+    )
+    return pool, windows
+
+
+def fast_config():
+    return EngineConfig(
+        max_batch_size=4, max_delay_ms=2.0, num_workers=2,
+        supervise_interval_s=0.02, retry_backoff_ms=5.0,
+    )
+
+
+class TestCloseUnlinks:
+    def test_close_removes_every_segment(self, tenant_fixture):
+        pool, windows = tenant_fixture
+        engine = ProcessServingEngine(pool, fast_config(), sample_windows=windows[:1])
+        names = engine.segment_names()
+        assert names and all(segment_exists(name) for name in names)
+        engine.predict(windows[0], tenant="tenant-0", timeout=120)
+        engine.close()
+        assert wait_gone(names, timeout=10.0) == []
+
+    def test_failed_startup_leaves_nothing(self, tenant_fixture):
+        pool, windows = tenant_fixture
+        before = {p.name for p in SHM_DIR.glob("repro_*")}
+        bad = np.zeros((1, 3, 4, 5))
+        with pytest.raises(Exception):
+            ProcessServingEngine(pool, fast_config(), sample_windows=bad)
+        leaked = {p.name for p in SHM_DIR.glob("repro_*")} - before
+        assert wait_gone(leaked, timeout=10.0) == []
+
+
+class TestCrashLifecycle:
+    def test_worker_crash_replaces_rings_without_leaking(self, tenant_fixture):
+        pool, windows = tenant_fixture
+        engine = ProcessServingEngine(pool, fast_config(), sample_windows=windows[:1])
+        try:
+            before_crash = set(engine.segment_names())
+            os.kill(engine._workers[0].process.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if engine.health()["workers"]["restarts"] >= 1:
+                    break
+                time.sleep(0.05)
+            assert engine.health()["workers"]["restarts"] >= 1
+            engine.predict(windows[0], tenant="tenant-0", timeout=120)
+            after_restart = set(engine.segment_names())
+        finally:
+            engine.close()
+        # The dead worker's rings were replaced; both generations must be
+        # gone once the supervisor swap + close() have run.
+        assert wait_gone(before_crash | after_restart, timeout=10.0) == []
+
+
+class TestParentDeath:
+    def test_orphaned_workers_unlink_everything(self, tmp_path):
+        script = Path(__file__).with_name("_proc_orphan_parent.py")
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            names = None
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                if line.startswith("SEGMENTS "):
+                    names = line.split()[1:]
+                    break
+            assert names, (
+                "helper never reported its segments: "
+                f"{proc.stderr.read() if proc.poll() is not None else 'still running'}"
+            )
+            proc.wait(timeout=60.0)
+            assert proc.returncode == -signal.SIGKILL
+            # Orphaned workers poll the parent and sweep /dev/shm themselves.
+            assert wait_gone(names, timeout=60.0) == []
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+            proc.stderr.close()

@@ -1,0 +1,104 @@
+"""ProgramStructure serialization: round-trip, zero-copy CSR, rejection."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainingConfig
+from repro.serve import Forecaster
+from repro.tensor import export_structures
+from repro.tensor.serialize import dump_structures, load_structures
+
+
+@pytest.fixture
+def captured(tiny_scenario, tiny_urcl_config):
+    """A forecaster warmed so the trace registry holds its structures."""
+    forecaster = Forecaster.from_scenario(
+        tiny_scenario, config=tiny_urcl_config,
+        training=TrainingConfig(batch_size=8), seed=0,
+    )
+    series = tiny_scenario.raw_series
+    steps = tiny_scenario.spec.input_steps
+    windows = np.stack([series[:steps], series[1 : steps + 1]])
+    forecaster.predict(windows)
+    items = export_structures()
+    assert items, "predict should capture at least one shareable structure"
+    return forecaster, windows, items
+
+
+class TestRoundTrip:
+    def test_blob_and_table_round_trip(self, captured):
+        _, _, items = captured
+        blob, table = dump_structures(items)
+        assert isinstance(blob, bytes) and blob
+        assert all(isinstance(a, np.ndarray) for a in table)
+        loaded = load_structures(blob, table)
+        assert [fp for fp, _ in loaded] == [fp for fp, _ in items]
+        for (_, original), (_, restored) in zip(items, loaded):
+            assert len(restored.slots) == len(original.slots)
+            assert len(restored.nodes) == len(original.nodes)
+            assert restored.input_slot == original.input_slot
+            assert restored.out_slot == original.out_slot
+            assert restored.shareable
+            # Process-local leaf tensors never travel.
+            assert all(slot.leaf is None for slot in restored.slots)
+
+    def test_table_is_deduplicated_by_identity(self, captured):
+        _, _, items = captured
+        blob, table = dump_structures(items)
+        ids = [id(a) for a in table]
+        assert len(ids) == len(set(ids))
+        # Dumping twice externalizes the same live buffers.
+        _, table2 = dump_structures(items)
+        assert len(table2) == len(table)
+
+    def test_loaded_arrays_are_zero_copy_views_of_table(self, captured):
+        _, _, items = captured
+        blob, table = dump_structures(items)
+        loaded = load_structures(blob, table)
+        shared = 0
+        for _, structure in loaded:
+            for slot in structure.slots:
+                if slot.array is not None:
+                    assert any(np.shares_memory(slot.array, a) for a in table)
+                    shared += 1
+        assert shared, "expected at least one baked CONST buffer"
+
+    def test_load_accepts_read_only_views(self, captured):
+        _, _, items = captured
+        blob, table = dump_structures(items)
+        frozen = []
+        for array in table:
+            ro = array.view()
+            ro.flags.writeable = False
+            frozen.append(ro)
+        loaded = load_structures(blob, frozen)
+        assert len(loaded) == len(items)
+
+
+class TestRejection:
+    def test_non_shareable_structure_is_rejected(self, captured):
+        _, _, items = captured
+        fingerprint, structure = items[0]
+        import copy
+
+        broken = copy.copy(structure)
+        broken.shareable = False
+        with pytest.raises(ValueError, match="shareable"):
+            dump_structures([(fingerprint, broken)])
+
+    def test_unnamed_param_slot_is_rejected(self, captured):
+        from repro.tensor.program import PARAM
+
+        _, _, items = captured
+        fingerprint, structure = items[0]
+        param_slots = [s for s in structure.slots if s.kind == PARAM]
+        assert param_slots, "model structures carry named parameter slots"
+        import copy
+
+        broken = copy.copy(structure)
+        broken.slots = list(structure.slots)
+        doctored = copy.copy(param_slots[0])
+        doctored.name = None
+        broken.slots[structure.slots.index(param_slots[0])] = doctored
+        with pytest.raises(ValueError, match="unnamed parameter"):
+            dump_structures([(fingerprint, broken)])
