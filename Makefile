@@ -4,6 +4,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 .PHONY: ci test bench-smoke bench-hot-path bench-hot-path-smoke \
 	bench-spatial bench-spatial-smoke \
 	bench-serving bench-serving-smoke bench-serving-proc-smoke \
+	bench-sharding bench-sharding-smoke \
 	bench-resilience bench-resilience-smoke examples-smoke
 
 # Tier-1 gate: full unit suite, ~10-second smokes of the Fig. 7 efficiency
@@ -14,8 +15,8 @@ export PYTHONPATH := src:$(PYTHONPATH)
 # demo, compiled execution, resilience demo) as end-to-end smokes of the
 # public API surface.
 ci: test bench-smoke bench-hot-path-smoke bench-spatial-smoke \
-	bench-serving-smoke bench-serving-proc-smoke bench-resilience-smoke \
-	examples-smoke
+	bench-serving-smoke bench-serving-proc-smoke bench-sharding-smoke \
+	bench-resilience-smoke examples-smoke
 
 test:
 	$(PYTHON) -m pytest tests -x -q
@@ -67,6 +68,15 @@ bench-serving-smoke:
 # asserted bit-identical to direct predict and to the in-process engine.
 bench-serving-proc-smoke:
 	$(PYTHON) benchmarks/bench_serving.py --scale smoke --engine process
+
+# Memory-sharded partition forward: bit-parity at K in {2,4} for both
+# planner strategies, min-cut-beats-contiguous, and per-shard peak
+# activation within the owned+halo bound (N=50k at bench scale).
+bench-sharding:
+	$(PYTHON) benchmarks/bench_serving.py --engine sharding
+
+bench-sharding-smoke:
+	$(PYTHON) benchmarks/bench_serving.py --scale smoke --engine sharding
 
 # Resilience harness (clean vs seeded fault-storm closed loops, recovery
 # time); appends to benchmarks/results/BENCH_resilience.json and asserts

@@ -242,24 +242,260 @@ def bench_pool(num_tenants: int, num_nodes: int, seed: int) -> dict:
     }
 
 
+# ---------------------------------------------------------------------- #
+# Memory-sharded (partition-mode) inference leg
+# ---------------------------------------------------------------------- #
+# (num_nodes, clusters, shard counts, batch, input steps, hidden channels)
+SHARDING_SCALES = {
+    "smoke": (2048, 8, (2, 4), 2, 8, 8),
+    "bench": (50_000, 16, (2, 4), 1, 8, 8),
+}
+
+
+def _clustered_graph(num_nodes: int, clusters: int, seed: int):
+    """Sparse clustered graph with shuffled node ids.
+
+    Dense intra-cluster connectivity (~6 out-edges per node) plus a thin
+    layer of cross-cluster edges, then a random node permutation so
+    contiguous index ranges do not coincide with the clusters — the gap the
+    min-cut planner is supposed to close.
+    """
+    from scipy import sparse as sp
+
+    from repro.graph import Graph
+
+    rng = np.random.default_rng(seed)
+    size = num_nodes // clusters
+    rows, cols = [], []
+    for c in range(clusters):
+        lo = c * size
+        hi = lo + size if c < clusters - 1 else num_nodes
+        width = hi - lo
+        count = 6 * width
+        rows.append(rng.integers(lo, hi, size=count))
+        cols.append(rng.integers(lo, hi, size=count))
+    cross = max(2 * clusters, num_nodes // 50)
+    rows.append(rng.integers(0, num_nodes, size=cross))
+    cols.append(rng.integers(0, num_nodes, size=cross))
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    perm = rng.permutation(num_nodes)
+    adjacency = sp.coo_array(
+        (0.5 + 0.5 * rng.random(len(rows)), (perm[rows], perm[cols])),
+        shape=(num_nodes, num_nodes),
+    )
+    return Graph(adjacency, name=f"clustered-{num_nodes}", directed=False)
+
+
+def _sharded_facade(graph, batch: int, steps: int, hidden: int, seed: int):
+    """A strict-compatible forecaster (no global mixing) over ``graph``."""
+    from types import SimpleNamespace
+
+    from repro.models.baselines.stgcn import STGCN
+    from repro.serve import Forecaster
+
+    network = SimpleNamespace(graph=graph, num_nodes=graph.num_nodes)
+    model = STGCN(
+        network, in_channels=1, input_steps=steps, hidden_dim=hidden, rng=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    windows = rng.normal(size=(batch, steps, graph.num_nodes, 1))
+    return Forecaster(model), windows
+
+
+def _shard_activation_peaks(facade, plan, windows: np.ndarray) -> tuple[int, list[int]]:
+    """Peak activation bytes: unsharded forward vs each partitioned shard.
+
+    Runs eagerly (tracing off) so the tracker sees every interior
+    activation, with ``strict=True`` contexts so any full-``N`` gather —
+    the thing the memory claim forbids — fails loudly instead of skewing
+    the measurement.
+    """
+    import threading
+
+    from repro.tensor import (
+        HaloExchange,
+        PartitionContext,
+        partition_scope,
+        track_activations,
+        traced_execution,
+    )
+
+    model = facade.model
+    num_shards = plan.num_shards
+    with traced_execution(False):
+        with track_activations() as full_stats:
+            model.predict(windows)
+        full_peak = full_stats.peak_bytes
+
+        exchange = HaloExchange(num_shards)
+        contexts = [
+            PartitionContext(plan, k, exchange, strict=True)
+            for k in range(num_shards)
+        ]
+        peaks: list = [None] * num_shards
+        errors: list = []
+
+        def worker(k: int) -> None:
+            try:
+                local = windows[..., plan.owned(k), :]
+                with track_activations() as stats:
+                    with partition_scope(contexts[k]):
+                        model.predict(local)
+                peaks[k] = stats.peak_bytes
+            except BaseException as exc:  # unblock peers stuck in a gather
+                errors.append(exc)
+                exchange.fail(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,), daemon=True)
+            for k in range(num_shards)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+    return full_peak, peaks
+
+
+def sharding_leg(scale: str, seed: int) -> dict:
+    """Partition-mode serving: exactness, cut quality, per-shard memory."""
+    import time
+
+    from repro.graph.sparse import spatial_mode
+    from repro.serve.sharding import ShardedForecaster, ShardPlanner
+
+    num_nodes, clusters, shard_counts, batch, steps, hidden = SHARDING_SCALES[scale]
+    record: dict = {
+        "num_nodes": num_nodes,
+        "clusters": clusters,
+        "shard_counts": list(shard_counts),
+        "sweep": [],
+        "memory": [],
+    }
+    with spatial_mode("sparse"):
+        graph = _clustered_graph(num_nodes, clusters, seed)
+        facade, windows = _sharded_facade(graph, batch, steps, hidden, seed)
+
+        started = time.perf_counter()
+        direct = facade.predict(windows)
+        record["direct_seconds"] = time.perf_counter() - started
+
+        # Exactness + accuracy-vs-cut sweep (traced path, like production).
+        for strategy in ("contiguous", "mincut"):
+            for shards in shard_counts:
+                with ShardedForecaster(
+                    facade, shards, mode="partition", strategy=strategy,
+                    strict=True,
+                ) as sharded:
+                    started = time.perf_counter()
+                    stitched = sharded.predict(windows)
+                    elapsed = time.perf_counter() - started
+                    exact = bool(np.array_equal(stitched, direct))
+                    if not exact:
+                        raise AssertionError(
+                            f"partitioned predict diverged from direct at "
+                            f"K={shards} strategy={strategy} "
+                            f"(max |diff| {np.abs(stitched - direct).max():.3e})"
+                        )
+                    profile = sharded.halo_profile(2)
+                    record["sweep"].append(
+                        {
+                            "strategy": strategy,
+                            "shards": shards,
+                            "bit_identical": exact,
+                            "max_abs_diff": 0.0,
+                            "cut_edge_pairs": int(sharded.plan.cut_edge_pairs),
+                            "edge_cut": float(sharded.plan.edge_cut),
+                            "max_halo_fraction": profile["max_halo_fraction"],
+                            "seconds": elapsed,
+                        }
+                    )
+
+        # Min-cut must actually beat contiguous ranges on the shuffled graph.
+        for shards in shard_counts:
+            contiguous = next(
+                p for p in record["sweep"]
+                if p["strategy"] == "contiguous" and p["shards"] == shards
+            )
+            mincut = next(
+                p for p in record["sweep"]
+                if p["strategy"] == "mincut" and p["shards"] == shards
+            )
+            if mincut["cut_edge_pairs"] >= contiguous["cut_edge_pairs"]:
+                raise AssertionError(
+                    f"min-cut planner cut {mincut['cut_edge_pairs']} pairs at "
+                    f"K={shards}, contiguous cut {contiguous['cut_edge_pairs']}"
+                )
+
+        # Memory: per-shard peak activation vs the unsharded forward.
+        for shards in shard_counts:
+            plan = ShardPlanner(shards, strategy="mincut").plan(graph)
+            full_peak, shard_peaks = _shard_activation_peaks(facade, plan, windows)
+            profile = graph.halo_profile(plan, 2)
+            entries = []
+            for k, peak in enumerate(shard_peaks):
+                owned = len(plan.owned(k))
+                halo_fraction = profile["shards"][k]["halo_fraction"]
+                bound_fraction = owned / num_nodes + halo_fraction
+                ratio = peak / full_peak
+                entries.append(
+                    {
+                        "shard": k,
+                        "owned": owned,
+                        "halo": profile["shards"][k]["halo"],
+                        "peak_bytes": int(peak),
+                        "peak_fraction_of_full": ratio,
+                        "bound_fraction": bound_fraction,
+                    }
+                )
+                # Acceptance: per-shard peak activation stays within the
+                # owned + halo share of the unsharded peak (25% slack for
+                # fixed-size temporaries that do not scale with N).
+                if ratio > 1.25 * bound_fraction + 0.05:
+                    raise AssertionError(
+                        f"shard {k}/{shards} peaked at {ratio:.3f} of the "
+                        f"unsharded forward; owned+halo bound is "
+                        f"{bound_fraction:.3f}"
+                    )
+            record["memory"].append(
+                {
+                    "shards": shards,
+                    "full_peak_bytes": int(full_peak),
+                    "max_shard_peak_bytes": int(max(shard_peaks)),
+                    "max_peak_fraction": max(e["peak_fraction_of_full"] for e in entries),
+                    "shards_detail": entries,
+                }
+            )
+    return record
+
+
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="bench", choices=sorted(SWEEPS))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--engine", default="both", choices=("thread", "process", "both"),
-        help="which worker plane(s) to sweep",
+        "--engine", default="both",
+        choices=("thread", "process", "sharding", "both", "all"),
+        help="which worker plane(s) to sweep ('both' = thread + process; "
+             "'all' adds the memory-sharded partition leg)",
     )
     args = parser.parse_args(argv)
 
     num_tenants, shard_counts, concurrency, total_requests, num_nodes, num_windows = (
         SWEEPS[args.scale]
     )
-    pool, windows, _ = build_synthetic_tenants(
-        num_tenants=num_tenants, num_nodes=num_nodes, seed=args.seed,
-        request_windows=num_windows,
-    )
-    tenants = pool.resident
+    pool = windows = tenants = None
+    if args.engine != "sharding":
+        pool, windows, _ = build_synthetic_tenants(
+            num_tenants=num_tenants, num_nodes=num_nodes, seed=args.seed,
+            request_windows=num_windows,
+        )
+        tenants = pool.resident
 
     record = {
         "benchmark": "serving",
@@ -369,6 +605,33 @@ def main(argv=None) -> dict:
             f"{proc['headline']['throughput_rps']:.0f} req/s "
             f"(threaded GIL baseline {GIL_BASELINE_RPS:.0f} req/s)"
         )
+
+    if args.engine in ("sharding", "all"):
+        sharding = sharding_leg(args.scale, args.seed)
+        record["sharding"] = sharding
+        rows = [
+            [p["strategy"], p["shards"], "yes" if p["bit_identical"] else "NO",
+             p["cut_edge_pairs"], f"{p['edge_cut']:.4f}",
+             f"{p['max_halo_fraction']:.4f}", f"{p['seconds']:.2f}"]
+            for p in sharding["sweep"]
+        ]
+        print(format_table(
+            ["strategy", "shards", "exact", "cut pairs", "edge cut",
+             "max halo frac", "seconds"],
+            rows,
+            title=f"Memory-sharded partition forward — N={sharding['num_nodes']} "
+                  f"({args.scale})",
+        ))
+        for entry in sharding["memory"]:
+            worst = max(entry["shards_detail"], key=lambda e: e["peak_fraction_of_full"])
+            print(
+                f"K={entry['shards']}: per-shard peak activation "
+                f"{entry['max_peak_fraction']:.3f} of unsharded "
+                f"({entry['max_shard_peak_bytes'] / 1e6:.1f} MB vs "
+                f"{entry['full_peak_bytes'] / 1e6:.1f} MB); worst shard owns "
+                f"{worst['owned']} nodes + {worst['halo']} halo "
+                f"(owned+halo bound {worst['bound_fraction']:.3f})"
+            )
 
     history = []
     if RESULTS_PATH.exists():

@@ -148,6 +148,63 @@ def bench_fused(num_nodes: int, graph_density: float, batch: int, steps: int,
     }
 
 
+def bench_threaded(num_nodes: int, graph_density: float, batch: int, steps: int,
+                   channels: int, reps: int, seed: int) -> dict:
+    """Chunked multithreaded CSR spmm vs single-threaded (bit-identical).
+
+    The worker count comes from :func:`os.cpu_count`; on a single-core box
+    the section still runs (threads=2) to exercise the chunked kernel, but
+    only parity — never a speedup — is asserted.
+    """
+    import os
+
+    from repro.tensor import get_spmm_threads, set_spmm_threads, spmm
+
+    rng = np.random.default_rng(seed)
+    adjacency = make_adjacency(num_nodes, graph_density, rng)
+    x_data = rng.normal(size=(batch, steps, num_nodes, channels))
+    threads = max(2, os.cpu_count() or 1)
+
+    with graph_sparse.spatial_mode("sparse"):
+        graph = Graph(adjacency, name="bench-threaded")
+        support = graph.conv_supports(2)[0]
+    x = Tensor(x_data)
+
+    def run(label):
+        timings = []
+        out = None
+        for _ in range(reps + 1):  # first iteration is warmup
+            start = time.perf_counter()
+            out = spmm(support, x).data
+            timings.append(time.perf_counter() - start)
+        return float(np.median(timings[1:])), out
+
+    previous = get_spmm_threads()
+    try:
+        set_spmm_threads(1)
+        single_seconds, single_out = run("single")
+        set_spmm_threads(threads, min_nnz=1)
+        threaded_seconds, threaded_out = run("threaded")
+    finally:
+        set_spmm_threads(previous, min_nnz=200_000)
+
+    if not np.array_equal(single_out, threaded_out):
+        raise AssertionError(
+            f"threaded spmm diverged from single-threaded at N={num_nodes} "
+            f"d={graph_density}"
+        )
+    return {
+        "num_nodes": num_nodes,
+        "graph_density": graph_density,
+        "threads": threads,
+        "cpu_cores": os.cpu_count() or 1,
+        "single_seconds": single_seconds,
+        "threaded_seconds": threaded_seconds,
+        "speedup": single_seconds / threaded_seconds,
+        "bit_identical": True,
+    }
+
+
 def bench_augmented(num_nodes: int, graph_density: float, batch: int, steps: int,
                     channels: int, reps: int, seed: int) -> dict:
     """The URCL augmented-supports path: dense fallback vs the CSR delta path.
@@ -260,6 +317,10 @@ def main(argv=None) -> dict:
         bench_fused(n, d, batch, steps, channels, reps, args.seed)
         for n, d in sparse_configs
     ]
+    record["threaded"] = [
+        bench_threaded(n, d, batch, steps, channels, reps, args.seed)
+        for n, d in sparse_configs
+    ]
     record["augmented"] = [
         bench_augmented(n, d, batch, steps, channels, reps, args.seed)
         for n, d in sparse_configs
@@ -289,6 +350,16 @@ def main(argv=None) -> dict:
     print(format_table(
         ["N", "density", "loop s", "fused s", "speedup", "max|diff|"],
         fused_rows, title="Fused multi-support spmm — per-support loop vs one traversal",
+    ))
+    threaded_rows = [
+        [c["num_nodes"], c["graph_density"], c["threads"], c["single_seconds"],
+         c["threaded_seconds"], c["speedup"]]
+        for c in record["threaded"]
+    ]
+    print(format_table(
+        ["N", "density", "threads", "1-thread s", "threaded s", "speedup"],
+        threaded_rows,
+        title="Chunked multithreaded spmm — bit-identical to single-threaded",
     ))
     augmented_rows = [
         [c["num_nodes"], c["graph_density"], c["dense_seconds"], c["delta_seconds"],

@@ -18,6 +18,7 @@ __all__ = [
     "GraphError",
     "BufferError_",
     "TrainingError",
+    "PartitionError",
     "ServingError",
     "QueueFull",
     "RateLimited",
@@ -71,6 +72,15 @@ class BufferError_(ReproError):
 
 class TrainingError(ReproError):
     """Raised when a training loop is asked to do something impossible."""
+
+
+class PartitionError(ReproError):
+    """Raised when exact memory-sharded execution cannot honour its contract.
+
+    Typical raise sites: a spatial mix under an active partition context that
+    would require gradients, a dense/global support encountered while
+    ``strict`` mode forbids full-width gathers, or a halo exchange whose peer
+    shard died mid-round (the original worker exception is chained)."""
 
 
 class ServingError(ReproError):

@@ -477,6 +477,41 @@ class Graph:
             )
         return sp.csr_array(self._csr[start:stop, :])
 
+    def halo_profile(self, plan, order: int, directed: bool | None = None) -> dict:
+        """Per-shard halo statistics of this graph's supports under ``plan``.
+
+        Partitions the cached conv supports (through the shared partition
+        cache, so a later partitioned forward reuses the blocks) and reports,
+        per shard, the owned-node count and the *worst-case* halo across the
+        support set — the gathered operand's extra rows at a spatial mix.
+        """
+        directed = self.directed if directed is None else bool(directed)
+        fused = self.fused_conv_supports(order, directed)
+        partitioned = []
+        if fused is not None:
+            partitioned.append(spk.partition_fused_blocks(fused, plan))
+        else:
+            for member in self.conv_supports(order, directed):
+                if sp.issparse(member):
+                    partitioned.append(spk.partition_support_blocks(member, plan))
+        shards = []
+        for k in range(plan.num_shards):
+            owned = len(plan.owned(k))
+            halo = max((len(p.halos[k].foreign) for p in partitioned), default=0)
+            shards.append(
+                {
+                    "owned": owned,
+                    "halo": halo,
+                    "halo_fraction": halo / max(1, self.num_nodes),
+                }
+            )
+        return {
+            "num_shards": plan.num_shards,
+            "num_nodes": self.num_nodes,
+            "shards": shards,
+            "max_halo_fraction": max((s["halo_fraction"] for s in shards), default=0.0),
+        }
+
     def shard_view(self, node_keep: np.ndarray, name: str | None = None) -> "Graph":
         """The graph restricted to ``node_keep`` nodes (others isolated).
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import threading
 import weakref
 from collections import OrderedDict
 
@@ -62,6 +63,10 @@ __all__ = [
     "transpose_csr",
     "FusedSupports",
     "fuse_supports",
+    "HaloLayout",
+    "PartitionedSupport",
+    "partition_support_blocks",
+    "partition_fused_blocks",
     "clear_support_cache",
     "support_cache_stats",
 ]
@@ -546,6 +551,150 @@ def fuse_supports(supports, skip_first: bool = False):
 
 
 # ---------------------------------------------------------------------- #
+# Partitioned row blocks for exact memory-sharded inference
+# ---------------------------------------------------------------------- #
+class HaloLayout:
+    """One shard's node layout for a partitioned support.
+
+    ``owned`` — the shard's node ids, ascending (the order its activation
+    rows travel in).  ``foreign`` — the halo ids its CSR columns reference,
+    grouped by owning shard (owners ascending, ids ascending within each
+    group).  ``foreign_owner_offsets`` — ``K+1`` prefix offsets delimiting
+    each owner's group inside ``foreign``.
+    """
+
+    __slots__ = ("owned", "foreign", "foreign_owner_offsets")
+
+    def __init__(self, owned, foreign, foreign_owner_offsets):
+        self.owned = owned
+        self.foreign = foreign
+        self.foreign_owner_offsets = foreign_owner_offsets
+
+
+class PartitionedSupport:
+    """All ``K`` rectangular row blocks of one support (or fused stack).
+
+    ``blocks[k]`` is the ``(count * n_k, n_k + halo_k)`` CSR whose per-row
+    data order is *identical* to the source support's — the column remap
+    rewrites index values through a lookup table and never re-sorts, so the
+    CSR·dense kernel accumulates each output row in exactly the unsharded
+    order (bit-identical results).  ``runtime`` is scratch space for derived
+    wiring (gather specs) built lazily under ``lock``.
+    """
+
+    __slots__ = ("blocks", "halos", "count", "nbytes", "runtime", "lock")
+
+    def __init__(self, blocks, halos, count: int, nbytes: int):
+        self.blocks = blocks
+        self.halos = halos
+        self.count = int(count)
+        self.nbytes = int(nbytes)
+        self.runtime: dict = {}
+        self.lock = threading.Lock()
+
+    def halo_counts(self) -> list:
+        """Per-shard ``(owned, halo)`` node counts (bench/diagnostics)."""
+        return [(len(h.owned), len(h.foreign)) for h in self.halos]
+
+
+def _partition_stacked(stacked, plan, count: int) -> PartitionedSupport:
+    """Cut a ``(count * N, N)`` CSR into per-shard rectangular row blocks."""
+    num_nodes = int(plan.num_nodes)
+    num_shards = int(plan.num_shards)
+    owner_of = plan.owner_of
+    index_dtype = stacked.indices.dtype
+    blocks, halos = [], []
+    nbytes = 0
+    for k in range(num_shards):
+        owned = plan.owned(k)
+        if count == 1:
+            row_ids = owned
+        else:
+            # Support-major: rows of support s sit at ``s * n_k + local``,
+            # matching the vstack layout spmm_multi splits on.
+            row_ids = (
+                np.arange(count, dtype=np.int64)[:, None] * num_nodes + owned[None, :]
+            ).ravel()
+        rows = sp.csr_array(stacked[row_ids])
+        cols = np.unique(rows.indices)
+        foreign = cols[owner_of[cols] != k]
+        owners = owner_of[foreign]
+        # Stable grouping: owners ascending, ids ascending within each owner
+        # (np.lexsort sorts by its *last* key first).
+        order = np.lexsort((foreign, owners))
+        foreign = foreign[order]
+        offsets = np.zeros(num_shards + 1, dtype=np.int64)
+        np.cumsum(np.bincount(owners[order], minlength=num_shards), out=offsets[1:])
+        n_local = len(owned)
+        col_map = np.empty(num_nodes, dtype=index_dtype)
+        col_map[owned] = np.arange(n_local, dtype=index_dtype)
+        col_map[foreign] = n_local + np.arange(len(foreign), dtype=index_dtype)
+        # Remap column *values* only — per-row storage order is untouched, so
+        # the (possibly unsorted) indices reproduce the source accumulation
+        # order exactly.  scipy's CSR kernels do not require sorted indices.
+        block = sp.csr_array(
+            (rows.data, col_map[rows.indices], rows.indptr),
+            shape=(rows.shape[0], n_local + len(foreign)),
+        )
+        blocks.append(block)
+        halos.append(HaloLayout(owned, foreign, offsets))
+        nbytes += _support_nbytes(block) + owned.nbytes + foreign.nbytes
+    return PartitionedSupport(blocks, halos, count, nbytes)
+
+
+# Keyed by ``(id(support-or-fused), plan.token)`` with a strong reference to
+# the keyed object (ids cannot recycle while the entry lives), mirroring the
+# transpose cache.  One build serves all K shard threads: the first thread to
+# miss builds under the lock, its peers then hit.
+_PARTITION_MAX_ENTRIES = 128
+_PARTITION_MAX_BYTES = 256 * 1024 * 1024
+
+_partition_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+_partition_bytes = 0
+_partition_hits = 0
+_partition_misses = 0
+_partition_lock = threading.RLock()
+
+
+def _partition_lookup(obj, stacked, plan, count: int) -> PartitionedSupport:
+    global _partition_bytes, _partition_hits, _partition_misses
+    key = (id(obj), plan.token)
+    with _partition_lock:
+        entry = _partition_cache.get(key)
+        if entry is not None and entry[0] is obj:
+            _partition_hits += 1
+            _partition_cache.move_to_end(key)
+            return entry[1]
+        _partition_misses += 1
+        partitioned = _partition_stacked(stacked, plan, count)
+        nbytes = partitioned.nbytes + _support_nbytes(stacked)
+        _partition_cache[key] = (obj, partitioned, nbytes)
+        _partition_bytes += nbytes
+        while _partition_cache and (
+            len(_partition_cache) > _PARTITION_MAX_ENTRIES
+            or _partition_bytes > _PARTITION_MAX_BYTES
+        ):
+            _, evicted = _partition_cache.popitem(last=False)
+            _partition_bytes -= evicted[2]
+        return partitioned
+
+
+def partition_support_blocks(support, plan) -> PartitionedSupport:
+    """Per-shard row blocks of one ``(N, N)`` CSR support, cached per
+    ``(support identity, plan token)``."""
+    return _partition_lookup(support, support, plan, 1)
+
+
+def partition_fused_blocks(fused, plan) -> PartitionedSupport:
+    """Per-shard row blocks of a :class:`FusedSupports` stack.
+
+    The halo layout is the union over all member supports, so one gather
+    feeds every support's block in a single rectangular ``spmm_multi``.
+    """
+    return _partition_lookup(fused, fused.stacked, plan, fused.count)
+
+
+# ---------------------------------------------------------------------- #
 # Delta-path counters and the per-Graph cache registry
 # ---------------------------------------------------------------------- #
 _delta_hits = 0
@@ -657,10 +806,16 @@ def clear_support_cache() -> None:
     global _cache_hits, _cache_misses, _cache_bytes, _identity_hits
     global _delta_hits, _dense_fallbacks, _transpose_bytes, _fuse_bytes
     global _graph_support_builds, _graph_support_bytes, _graph_support_evictions
+    global _partition_bytes, _partition_hits, _partition_misses
     _support_cache.clear()
     _identity_digests.clear()
     _transpose_cache.clear()
     _fuse_cache.clear()
+    with _partition_lock:
+        _partition_cache.clear()
+        _partition_bytes = 0
+        _partition_hits = 0
+        _partition_misses = 0
     for graph in list(_graph_registry):
         graph.clear_caches()
     _graph_support_lru.clear()
@@ -702,5 +857,9 @@ def support_cache_stats() -> dict:
         "graph_support_evictions": _graph_support_evictions,
         "transpose_entries": len(_transpose_cache),
         "fused_entries": len(_fuse_cache),
+        "partition_hits": _partition_hits,
+        "partition_misses": _partition_misses,
+        "partition_entries": len(_partition_cache),
+        "partition_bytes": _partition_bytes,
         "graphs_tracked": len(_graph_registry),
     }

@@ -8,6 +8,7 @@ from ..exceptions import ConfigurationError, ShapeError
 from ..graph.sensor_network import SensorNetwork
 from ..nn.module import Module
 from ..tensor import Tensor, get_default_dtype, no_grad, run_compiled
+from ..tensor import partition
 
 __all__ = ["STModel", "AutoencoderBackbone"]
 
@@ -41,9 +42,17 @@ class STModel(Module):
         if x.ndim != 4:
             raise ShapeError(f"expected (batch, time, nodes, channels), got {x.shape}")
         if x.shape[2] != self.network.num_nodes:
-            raise ShapeError(
-                f"expected {self.network.num_nodes} nodes, got {x.shape[2]}"
-            )
+            # Under memory-sharded inference each shard feeds only its owned
+            # node rows; the node check relaxes to the shard's local width.
+            ctx = partition.active_context()
+            if (
+                ctx is None
+                or not ctx.matches(self.network.num_nodes)
+                or x.shape[2] != ctx.local_nodes
+            ):
+                raise ShapeError(
+                    f"expected {self.network.num_nodes} nodes, got {x.shape[2]}"
+                )
         if x.shape[3] != self.in_channels:
             raise ShapeError(f"expected {self.in_channels} channels, got {x.shape[3]}")
         return x

@@ -79,7 +79,7 @@ class ChebGraphConv(Module):
         fused = fuse_supports(self._cheb_tuple)
         if fused is not None:
             # All basis members CSR: one traversal mixes T_1..T_{K-1} at once.
-            mixed = [x, F.spmm_multi(fused.stacked, x, fused.count, transpose=fused.transpose)]
+            mixed = [x, F.spatial_mix_multi(fused, x)]
         else:
             mixed = [x] + [
                 F.spatial_mix(member, x, transpose=transpose)

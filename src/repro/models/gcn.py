@@ -160,14 +160,14 @@ class DiffusionGraphConv(Module):
         if fused is not None:
             # One CSR traversal mixes all S supports at once; the result is
             # already the channel-axis concatenation of the per-support mixes.
-            mixed = [F.spmm_multi(fused.stacked, x, fused.count, transpose=fused.transpose)]
+            mixed = [F.spatial_mix_multi(fused, x)]
         else:
             mixed = [
                 F.spatial_mix(support, x, transpose=transpose)
                 for support, transpose in zip(supports, transposes)
             ]
         if self.adaptive is not None:
-            mixed.append(self.adaptive() @ x)
+            mixed.append(F.spatial_mix(self.adaptive(), x))
         # Fused per-support weights: concatenating the S mixed features along
         # the channel axis and applying one (S*C_in, C_out) matmul is the sum
         # of the per-support products, without S autograd slices + matmuls.

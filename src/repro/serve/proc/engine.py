@@ -96,7 +96,7 @@ class _ProcWorker:
     """One worker process plus its parent-side channels and bookkeeping."""
 
     __slots__ = (
-        "index", "lock", "process", "requests", "responses",
+        "index", "lock", "process", "pinned_cpu", "requests", "responses",
         "request_event", "response_event", "ready_event",
         "inflight", "restarts", "dispatcher", "settler",
     )
@@ -105,6 +105,7 @@ class _ProcWorker:
         self.index = index
         self.lock = threading.Lock()
         self.process = None
+        self.pinned_cpu = None
         self.requests = None
         self.responses = None
         self.request_event = None
@@ -145,8 +146,18 @@ class ProcessServingEngine:
     """
 
     def __init__(self, source, config: EngineConfig | None = None, *,
-                 sample_windows=None, start_method: str | None = None):
+                 sample_windows=None, start_method: str | None = None,
+                 pin_workers: bool | None = None):
         self.config = config or EngineConfig()
+        if pin_workers is None:
+            pin_workers = os.environ.get("REPRO_PROC_PIN", "").strip().lower() in (
+                "1", "true", "yes", "on"
+            )
+        # Worker CPU pinning stops the scheduler migrating workers between
+        # cores mid-batch (each migration cold-starts the L2 the model plane
+        # was streamed through).  Round-robin over the parent's allowed CPU
+        # set; silently disabled where the platform has no affinity API.
+        self.pin_workers = bool(pin_workers) and hasattr(os, "sched_setaffinity")
         self._owns_pool = isinstance(source, Forecaster)
         if isinstance(source, ModelPool):
             self.pool = source
@@ -289,6 +300,19 @@ class ProcessServingEngine:
             daemon=True,
         )
         slot.process.start()
+        slot.pinned_cpu = self._pin_worker(slot)
+
+    def _pin_worker(self, slot: _ProcWorker) -> int | None:
+        """Pin the freshly-spawned worker to one CPU; None when disabled."""
+        if not self.pin_workers:
+            return None
+        try:
+            cpus = sorted(os.sched_getaffinity(0))
+            cpu = cpus[slot.index % len(cpus)]
+            os.sched_setaffinity(slot.process.pid, {cpu})
+            return cpu
+        except OSError:
+            return None
 
     def _wait_ready(self) -> None:
         deadline = time.monotonic() + READY_TIMEOUT_S
@@ -933,6 +957,9 @@ class ProcessServingEngine:
             snapshot["workers"] = self._final_worker_metrics
         else:
             snapshot["workers"] = self.worker_metrics.merged()
+        snapshot["workers"]["pinned_cpus"] = [
+            slot.pinned_cpu for slot in self._workers
+        ]
         return snapshot
 
     def health(self) -> dict:

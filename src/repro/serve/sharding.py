@@ -1,66 +1,96 @@
-"""Node-sharded inference: shard planning and the sharded serving view.
+"""Node-sharded inference: bandwidth-aware shard planning + exact partition.
 
-The sensor network's nodes are partitioned into ``K`` contiguous ranges
-(:class:`ShardPlanner`).  Contiguity matters: a contiguous node range is a
-contiguous CSR row block of the shared adjacency
-(:meth:`repro.graph.Graph.row_block`), so per-shard edge accounting and
-shard-local graph views never re-sort indices.  The planner also measures
-the *edge cut* — the fraction of edges crossing shard boundaries — which is
-the quantity a production partitioner would minimise.
+The sensor network's nodes are partitioned into ``K`` shards
+(:class:`ShardPlanner`).  Two strategies:
+
+* ``"contiguous"`` — balanced contiguous ranges in original node order
+  (identity permutation).  A contiguous node range is a contiguous CSR row
+  block of the shared adjacency, so per-shard edge accounting never
+  re-sorts indices.
+* ``"mincut"`` — greedy graph-growing (GGGP-style) over the symmetrised
+  structure: each part grows from a min-degree seed by maximum gain
+  (neighbours already inside the part) to a balanced size target.  The plan
+  carries the resulting node *permutation*; shard ``k`` owns the permuted
+  positions ``[start, stop)`` and :meth:`ShardPlan.owned` returns its
+  original node ids (ascending).  Cut accounting is explicit about
+  direction: ``cut_edges`` counts *directed* crossing edges,
+  ``cut_edge_pairs`` counts unordered crossing pairs of the symmetrised
+  structure.
 
 :class:`ShardedForecaster` is the serving view over one
 :class:`~repro.serve.forecaster.Forecaster`:
 
 * ``mode="replicate"`` (default, **exact**): every shard worker runs the
   full-graph forward and contributes only its own node rows to the stitched
-  output.  This is the replica-per-partition topology (each worker could be
-  a separate host owning one sensor range); within one process compute is
-  replicated, so it is a correctness-first prototype of the scale-out
-  *shape*, bit-identical to the unsharded ``predict`` by construction.
-* ``mode="partition"`` (**approximate**): each shard predicts on a graph
-  view keeping only shard-internal edges (``GraphDelta`` node mask), so
-  cross-shard diffusion is dropped.  Exact precisely when the adjacency is
-  block-diagonal along the plan and the model has no global mixing (e.g.
-  ``use_adaptive=False``); otherwise accuracy degrades with the edge cut,
-  which :attr:`ShardPlan.edge_cut` quantifies up front.
+  output — the replica-per-partition topology, bit-identical to the
+  unsharded ``predict`` by construction (compute is replicated).
+* ``mode="partition"`` (**exact, memory-sharded**): each shard thread runs
+  the forward on *only its owned node rows*.  Spatial mixes are intercepted
+  by a thread-local :class:`repro.tensor.PartitionContext`: the shard's
+  rectangular CSR row block (cached per ``(support, plan)``) consumes a
+  gathered operand assembled by an in-process :class:`HaloExchange` that
+  moves exactly the halo rows the block's columns reference.  Per-shard
+  activation memory is ``O(N/K + halo)`` and outputs are **bit-identical**
+  to the unsharded forward: CSR row accumulation order is preserved by the
+  block construction, and channel matmuls run through the fixed-size
+  blocked :func:`repro.tensor.tensor._matmul_execute` with shard boundaries
+  aligned to the block size (plus the graph tail pinned to the last shard),
+  so every node row sees byte-identical BLAS calls in both paths.  For
+  graphs smaller than ``K *`` block size the guarantee instead rests on the
+  verified small-width envelope (contraction dims < 256 and shard sizes
+  >= 2 — the whole model zoo qualifies).  Dense/global supports (adaptive
+  adjacency) fall back to an exact full-width gather, which
+  ``strict=True`` rejects instead (guaranteeing no full-``N`` activation is
+  ever materialised).
 
-Workers run on a thread pool; the first call after construction runs the
-shards sequentially so every lazily built support/transpose cache is warmed
-single-threaded before concurrent traffic hits it.
+Replicate workers run on a thread pool and the first call warms caches
+sequentially.  Partition workers are *lockstep* (every gather pairs with
+the peers' same-round gathers), so they always run concurrently and predict
+calls are serialised by a lock.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
+from scipy import sparse as sp
 
-from ..exceptions import ConfigurationError, GraphError
+from ..exceptions import ConfigurationError, GraphError, ShapeError
 from ..graph.graph import Graph
+from ..tensor import MATMUL_BLOCK_ROWS, PartitionContext, HaloExchange, partition_scope
 
 __all__ = ["Shard", "ShardPlan", "ShardPlanner", "ShardedForecaster"]
 
 _SHARD_MODES = ("replicate", "partition")
 
+_STRATEGIES = ("contiguous", "mincut")
+
+_PLAN_TOKENS = itertools.count(1)
+
 
 @dataclass(frozen=True)
 class Shard:
-    """One contiguous node range ``[start, stop)`` of the partition."""
+    """One node range ``[start, stop)`` of the partition (permuted space)."""
 
     index: int
     start: int
     stop: int
     internal_edges: int = 0
     outgoing_edges: int = 0
+    incoming_edges: int = 0
 
     @property
     def num_nodes(self) -> int:
         return self.stop - self.start
 
     def node_mask(self, num_nodes: int) -> np.ndarray:
-        """Boolean keep-mask selecting exactly this shard's nodes."""
+        """Boolean keep-mask selecting exactly this shard's positions."""
         mask = np.zeros(num_nodes, dtype=bool)
         mask[self.start : self.stop] = True
         return mask
@@ -68,11 +98,22 @@ class Shard:
 
 @dataclass(frozen=True)
 class ShardPlan:
-    """A full partition of a graph's nodes into contiguous shards."""
+    """A full partition of a graph's nodes into ``K`` shards.
+
+    ``permutation`` maps permuted position -> original node id
+    (``None`` means identity / contiguous planning); within every shard the
+    ids are ascending, so :meth:`owned` is always a sorted array.  ``token``
+    uniquely identifies this plan instance — the partitioned-support cache
+    keys on it.
+    """
 
     shards: tuple[Shard, ...]
     num_nodes: int
     total_edges: int
+    strategy: str = "contiguous"
+    cut_edge_pairs: int = 0
+    permutation: np.ndarray | None = field(default=None, compare=False, repr=False)
+    token: int = field(default_factory=lambda: next(_PLAN_TOKENS), compare=False)
 
     @property
     def num_shards(self) -> int:
@@ -80,21 +121,54 @@ class ShardPlan:
 
     @property
     def cut_edges(self) -> int:
-        """Edges whose endpoints land in different shards."""
+        """*Directed* edges whose endpoints land in different shards."""
         return sum(shard.outgoing_edges for shard in self.shards)
 
     @property
     def edge_cut(self) -> float:
-        """Fraction of all edges crossing a shard boundary (0 when edgeless)."""
+        """Fraction of directed edges crossing a shard boundary."""
         return self.cut_edges / self.total_edges if self.total_edges else 0.0
 
+    @cached_property
+    def _owned(self) -> tuple:
+        out = []
+        for shard in self.shards:
+            if self.permutation is None:
+                out.append(np.arange(shard.start, shard.stop, dtype=np.int64))
+            else:
+                out.append(np.asarray(self.permutation[shard.start : shard.stop]))
+        return tuple(out)
+
+    def owned(self, index: int) -> np.ndarray:
+        """Original node ids owned by shard ``index`` (ascending)."""
+        return self._owned[index]
+
+    @cached_property
+    def owner_of(self) -> np.ndarray:
+        """``(N,)`` array mapping each original node id to its shard index."""
+        owner = np.empty(self.num_nodes, dtype=np.int32)
+        for k in range(self.num_shards):
+            owner[self.owned(k)] = k
+        return owner
+
     def describe(self) -> dict:
+        """JSON-friendly plan summary.
+
+        Cut accounting is explicitly directional: ``cut_edges``/``edge_cut``
+        count directed crossing edges of the stored adjacency (every cross
+        edge is *outgoing* from exactly one shard and *incoming* to exactly
+        one, so per-shard outgoing and incoming each sum to ``cut_edges``);
+        ``cut_edge_pairs`` counts unordered crossing pairs of the
+        symmetrised structure (what an undirected partitioner minimises).
+        """
         return {
             "num_shards": self.num_shards,
-            "num_nodes": self.num_nodes,
-            "total_edges": self.total_edges,
-            "cut_edges": self.cut_edges,
-            "edge_cut": self.edge_cut,
+            "num_nodes": int(self.num_nodes),
+            "total_edges": int(self.total_edges),
+            "strategy": self.strategy,
+            "cut_edges": int(self.cut_edges),
+            "edge_cut": float(self.edge_cut),
+            "cut_edge_pairs": int(self.cut_edge_pairs),
             "shards": [
                 {
                     "index": shard.index,
@@ -102,6 +176,7 @@ class ShardPlan:
                     "stop": shard.stop,
                     "internal_edges": shard.internal_edges,
                     "outgoing_edges": shard.outgoing_edges,
+                    "incoming_edges": shard.incoming_edges,
                 }
                 for shard in self.shards
             ],
@@ -109,35 +184,187 @@ class ShardPlan:
 
 
 class ShardPlanner:
-    """Partition a graph's nodes into ``K`` balanced contiguous ranges."""
+    """Partition a graph's nodes into ``K`` balanced shards.
 
-    def __init__(self, num_shards: int):
+    ``strategy="contiguous"`` reproduces balanced contiguous ranges in the
+    original order.  ``strategy="mincut"`` grows parts greedily to minimise
+    the edge cut and emits a node permutation.  ``align`` (default: the
+    tensor engine's matmul row-block size) rounds shard sizes to multiples
+    of the block so partitioned channel matmuls issue byte-identical BLAS
+    calls to the unsharded forward; it only engages when
+    ``N >= K * align``.
+    """
+
+    def __init__(self, num_shards: int, strategy: str = "contiguous",
+                 align: int | None = None):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
-        self.num_shards = int(num_shards)
-
-    def plan(self, graph: Graph) -> ShardPlan:
-        if graph.num_nodes < self.num_shards:
-            raise GraphError(
-                f"cannot split {graph.num_nodes} nodes into {self.num_shards} shards"
+        if strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
             )
-        bounds = np.linspace(0, graph.num_nodes, self.num_shards + 1).round().astype(int)
-        shards = []
-        for index, (start, stop) in enumerate(zip(bounds[:-1], bounds[1:])):
-            block = graph.row_block(int(start), int(stop))
-            inside = (block.indices >= start) & (block.indices < stop)
-            internal = int(inside.sum())
+        self.num_shards = int(num_shards)
+        self.strategy = strategy
+        self.align = MATMUL_BLOCK_ROWS if align is None else int(align)
+
+    # ------------------------------------------------------------------ #
+    def _sizes(self, num_nodes: int) -> list[int]:
+        """Balanced shard sizes, block-aligned when the graph is large enough."""
+        count = self.num_shards
+        unit = self.align
+        if unit > 0 and num_nodes >= count * unit:
+            blocks, tail = divmod(num_nodes, unit)
+            per, extra = divmod(blocks, count)
+            sizes = [(per + (1 if k < extra else 0)) * unit for k in range(count)]
+            sizes[-1] += tail
+            return sizes
+        bounds = np.linspace(0, num_nodes, count + 1).round().astype(int)
+        return np.diff(bounds).tolist()
+
+    def _pinned_tail(self, num_nodes: int, sizes: list[int]) -> int:
+        """Nodes pinned to the last shard so the final partial matmul block
+        holds the same rows (same call size ``m``) as the unsharded forward."""
+        unit = self.align
+        if unit <= 0 or num_nodes <= unit or num_nodes < self.num_shards * unit:
+            return 0
+        return num_nodes % unit
+
+    def _mincut_parts(self, graph: Graph, sizes: list[int], pinned_tail: int) -> list:
+        """Greedy graph growing: min-degree seeds, max-gain frontier pops."""
+        csr = graph.csr
+        num_nodes = csr.shape[0]
+        structure = csr.copy()
+        if structure.nnz:
+            structure.data = np.ones_like(structure.data)
+        sym = sp.csr_array(structure.maximum(structure.T))
+        indptr, indices = sym.indptr, sym.indices
+        degree = np.diff(indptr)
+        count = self.num_shards
+        assign = np.full(num_nodes, -1, dtype=np.int32)
+        if pinned_tail:
+            assign[num_nodes - pinned_tail :] = count - 1
+        # Stable sort: min degree first, smallest id on ties — deterministic.
+        order = np.argsort(degree, kind="stable")
+        order_pos = 0
+        gain = np.zeros(num_nodes, dtype=np.int64)
+        for k in range(count - 1):
+            target = sizes[k]
+            filled = 0
+            gain[:] = 0
+            heap: list = []
+
+            def grow(node: int, k=k):
+                assign[node] = k
+                for neighbour in indices[indptr[node] : indptr[node + 1]]:
+                    if assign[neighbour] == -1:
+                        gain[neighbour] += 1
+                        heapq.heappush(heap, (-gain[neighbour], neighbour))
+
+            while filled < target:
+                node = -1
+                while heap:
+                    negative, candidate = heapq.heappop(heap)
+                    if assign[candidate] == -1 and -negative == gain[candidate]:
+                        node = candidate
+                        break
+                if node < 0:
+                    # Frontier dry (disconnected component): reseed at the
+                    # min-degree unassigned node.
+                    while order_pos < num_nodes and assign[order[order_pos]] != -1:
+                        order_pos += 1
+                    node = int(order[order_pos])
+                grow(node)
+                filled += 1
+        remaining = np.flatnonzero(assign == -1)
+        assign[remaining] = count - 1
+        parts = [np.flatnonzero(assign == k) for k in range(count)]
+        # Stable shard numbering: order the freely-grown parts by their
+        # smallest owned id; the remainder part stays last (it carries the
+        # pinned tail, which must occupy the final permuted positions).
+        head = sorted(parts[:-1], key=lambda part: int(part[0]) if len(part) else -1)
+        return head + [parts[-1]]
+
+    # ------------------------------------------------------------------ #
+    def plan(self, graph: Graph) -> ShardPlan:
+        num_nodes = graph.num_nodes
+        if num_nodes < self.num_shards:
+            raise GraphError(
+                f"cannot split {num_nodes} nodes into {self.num_shards} shards"
+            )
+        if self.strategy == "mincut":
+            if num_nodes < 2 * self.num_shards:
+                raise GraphError(
+                    f"mincut partitioning needs >= 2 nodes per shard, got "
+                    f"{num_nodes} nodes for {self.num_shards} shards"
+                )
+            sizes = self._sizes(num_nodes)
+            pinned = self._pinned_tail(num_nodes, sizes)
+            parts = self._mincut_parts(graph, sizes, pinned)
+            permutation = np.concatenate(parts) if parts else np.arange(0)
+            sizes = [len(part) for part in parts]
+        else:
+            bounds = np.linspace(0, num_nodes, self.num_shards + 1).round().astype(int)
+            sizes = np.diff(bounds).tolist()
+            permutation = None
+        plan = ShardPlan(
+            shards=self._shards_for(graph, permutation, sizes),
+            num_nodes=num_nodes,
+            total_edges=graph.nnz,
+            strategy=self.strategy,
+            cut_edge_pairs=self._cut_pairs(graph, permutation, sizes),
+            permutation=permutation,
+        )
+        return plan
+
+    def _owner_array(self, num_nodes: int, permutation, sizes) -> np.ndarray:
+        owner = np.empty(num_nodes, dtype=np.int32)
+        start = 0
+        for k, size in enumerate(sizes):
+            ids = (
+                np.arange(start, start + size)
+                if permutation is None
+                else permutation[start : start + size]
+            )
+            owner[ids] = k
+            start += size
+        return owner
+
+    def _shards_for(self, graph: Graph, permutation, sizes) -> tuple:
+        owner = self._owner_array(graph.num_nodes, permutation, sizes)
+        csr = graph.csr
+        rows = np.repeat(np.arange(graph.num_nodes), np.diff(csr.indptr))
+        owner_row = owner[rows]
+        owner_col = owner[csr.indices]
+        cross = owner_row != owner_col
+        internal = np.bincount(owner_row[~cross], minlength=self.num_shards)
+        outgoing = np.bincount(owner_row[cross], minlength=self.num_shards)
+        incoming = np.bincount(owner_col[cross], minlength=self.num_shards)
+        shards, start = [], 0
+        for k, size in enumerate(sizes):
             shards.append(
                 Shard(
-                    index=index,
+                    index=k,
                     start=int(start),
-                    stop=int(stop),
-                    internal_edges=internal,
-                    outgoing_edges=int(block.nnz - internal),
+                    stop=int(start + size),
+                    internal_edges=int(internal[k]),
+                    outgoing_edges=int(outgoing[k]),
+                    incoming_edges=int(incoming[k]),
                 )
             )
-        return ShardPlan(shards=tuple(shards), num_nodes=graph.num_nodes,
-                         total_edges=graph.nnz)
+            start += size
+        return tuple(shards)
+
+    def _cut_pairs(self, graph: Graph, permutation, sizes) -> int:
+        """Unordered crossing pairs of the symmetrised structure."""
+        csr = graph.csr
+        if not csr.nnz:
+            return 0
+        owner = self._owner_array(graph.num_nodes, permutation, sizes)
+        structure = csr.copy()
+        structure.data = np.ones_like(structure.data)
+        sym = sp.csr_array(structure.maximum(structure.T))
+        rows = np.repeat(np.arange(graph.num_nodes), np.diff(sym.indptr))
+        return int((owner[rows] != owner[sym.indices]).sum()) // 2
 
 
 class ShardedForecaster:
@@ -148,34 +375,64 @@ class ShardedForecaster:
     forecaster:
         The serving facade whose graph defines the partition.
     num_shards:
-        Number of contiguous node shards.
+        Number of node shards.
     mode:
-        ``"replicate"`` (exact) or ``"partition"`` (approximate) — see the
-        module docstring.
+        ``"replicate"`` (exact, replicated compute) or ``"partition"``
+        (exact, memory-sharded halo exchange) — see the module docstring.
     max_workers:
-        Thread-pool width; defaults to ``num_shards``.
+        Thread-pool width; defaults to ``num_shards``.  Partition mode
+        requires lockstep shard threads, so it is floored at ``num_shards``.
+    strategy:
+        Shard planning strategy; ``"auto"`` (default) picks ``"mincut"``
+        for partition mode and ``"contiguous"`` for replicate.
+    strict:
+        Partition mode only: refuse dense/global supports (which need an
+        exact full-width gather) instead of falling back, guaranteeing no
+        full-``N`` activation is ever materialised per shard.
+    halo_timeout:
+        Seconds a partitioned gather waits on a peer before poisoning the
+        exchange.
     """
 
     def __init__(self, forecaster, num_shards: int, mode: str = "replicate",
-                 max_workers: int | None = None):
+                 max_workers: int | None = None, strategy: str = "auto",
+                 strict: bool = False, halo_timeout: float = 120.0):
         if mode not in _SHARD_MODES:
             raise ConfigurationError(f"shard mode must be one of {_SHARD_MODES}, got {mode!r}")
+        if strategy not in ("auto",) + _STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be 'auto' or one of {_STRATEGIES}, got {strategy!r}"
+            )
         self.forecaster = forecaster
         self.mode = mode
-        self.plan = ShardPlanner(num_shards).plan(forecaster.graph)
-        self._shard_graphs: list[Graph] | None = None
+        if strategy == "auto":
+            strategy = "mincut" if mode == "partition" else "contiguous"
+        self.strategy = strategy
+        self.plan = ShardPlanner(num_shards, strategy=strategy).plan(forecaster.graph)
+        self.strict = bool(strict)
+        self._exchange: HaloExchange | None = None
+        self._contexts: list[PartitionContext] | None = None
+        workers = max(max_workers or self.plan.num_shards, 1)
         if mode == "partition":
-            graph = forecaster.graph
-            self._shard_graphs = [
-                graph.shard_view(shard.node_mask(graph.num_nodes), name=f"shard{shard.index}")
-                for shard in self.plan.shards
+            if min(s.num_nodes for s in self.plan.shards) < 2:
+                raise ConfigurationError(
+                    "partition mode needs >= 2 nodes per shard for exact execution"
+                )
+            # Lockstep halo rounds: every shard thread must be runnable at
+            # once or a gather would wait on a peer that never got a thread.
+            workers = max(workers, self.plan.num_shards)
+            self._exchange = HaloExchange(self.plan.num_shards, timeout=halo_timeout)
+            self._contexts = [
+                PartitionContext(self.plan, k, self._exchange, strict=self.strict)
+                for k in range(self.plan.num_shards)
             ]
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers or self.plan.num_shards,
+            max_workers=workers,
             thread_name_prefix="repro-shard",
         )
         self._warm = False
         self._warm_lock = threading.Lock()
+        self._predict_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -186,23 +443,19 @@ class ShardedForecaster:
     def num_shards(self) -> int:
         return self.plan.num_shards
 
+    def halo_profile(self, order: int, directed: bool | None = None) -> dict:
+        """Per-shard halo statistics of the serving graph under this plan."""
+        return self.graph.halo_profile(self.plan, order, directed)
+
+    # ------------------------------------------------------------------ #
+    # Replicate mode
+    # ------------------------------------------------------------------ #
     def _shard_predict(self, index: int, windows: np.ndarray, batch_size: int) -> np.ndarray:
-        shard = self.plan.shards[index]
-        if self._shard_graphs is None:
-            full = self.forecaster.predict(windows, batch_size=batch_size)
-        else:
-            full = self.forecaster.predict(
-                windows, batch_size=batch_size, graph=self._shard_graphs[index]
-            )
+        full = self.forecaster.predict(windows, batch_size=batch_size)
         # Predictions are (..., nodes, channels): each worker owns its rows.
-        return full[..., shard.start : shard.stop, :]
+        return full[..., self.plan.owned(index), :]
 
-    def predict(self, windows: np.ndarray, batch_size: int = 64) -> np.ndarray:
-        """Sharded forecast, stitched back along the node axis.
-
-        In ``replicate`` mode the result is bit-identical to
-        ``forecaster.predict(windows)`` for any shard count.
-        """
+    def _predict_replicate(self, windows: np.ndarray, batch_size: int) -> np.ndarray:
         model = self.forecaster.model
         was_training = bool(getattr(model, "training", False))
         if hasattr(model, "eval"):
@@ -227,7 +480,96 @@ class ShardedForecaster:
         finally:
             if hasattr(model, "train"):
                 model.train(was_training)
-        return np.concatenate(parts, axis=-2)
+        out = np.empty(
+            parts[0].shape[:-2] + (self.plan.num_nodes, parts[0].shape[-1]),
+            dtype=parts[0].dtype,
+        )
+        for index, part in enumerate(parts):
+            out[..., self.plan.owned(index), :] = part
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Partition mode (exact memory-sharded forward)
+    # ------------------------------------------------------------------ #
+    def _partition_worker(self, index: int, scaled: np.ndarray, batch_size: int) -> np.ndarray:
+        context = self._contexts[index]
+        model = self.forecaster.model
+        local = scaled[..., self.plan.owned(index), :]
+        try:
+            with partition_scope(context):
+                total = local.shape[0]
+                if total <= batch_size:
+                    return model.predict(local)
+                # Same micro-batch boundaries on every shard: gathers are
+                # lockstep, so all shards must issue the same round count.
+                first = model.predict(local[:batch_size])
+                out = np.empty((total,) + first.shape[1:], dtype=first.dtype)
+                out[:batch_size] = first
+                for start in range(batch_size, total, batch_size):
+                    out[start : start + batch_size] = model.predict(
+                        local[start : start + batch_size]
+                    )
+                return out
+        except BaseException as exc:
+            # Unblock peers waiting on this shard's halo rows.
+            self._exchange.fail(exc)
+            raise
+
+    def _predict_partition(self, windows: np.ndarray, batch_size: int) -> np.ndarray:
+        forecaster = self.forecaster
+        model = forecaster.model
+        with self._predict_lock:
+            scaled = forecaster.scaler.transform(windows)
+            was_training = bool(getattr(model, "training", False))
+            if hasattr(model, "eval"):
+                model.eval()
+            self._exchange.reset()
+            try:
+                futures = [
+                    self._executor.submit(self._partition_worker, k, scaled, batch_size)
+                    for k in range(self.num_shards)
+                ]
+                parts, first_error = [], None
+                for future in futures:
+                    try:
+                        parts.append(future.result())
+                    except BaseException as exc:  # keep draining: peers are poisoned
+                        if first_error is None:
+                            first_error = exc
+                        parts.append(None)
+                if first_error is not None:
+                    raise first_error
+            finally:
+                if hasattr(model, "train"):
+                    model.train(was_training)
+        out = np.empty(
+            parts[0].shape[:-2] + (self.plan.num_nodes, parts[0].shape[-1]),
+            dtype=parts[0].dtype,
+        )
+        for index, part in enumerate(parts):
+            out[..., self.plan.owned(index), :] = part
+        return out
+
+    # ------------------------------------------------------------------ #
+    def predict(self, windows: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Sharded forecast, stitched back along the node axis.
+
+        Bit-identical to ``forecaster.predict(windows)`` in both modes (see
+        the module docstring for partition mode's exactness envelope).
+        """
+        windows, single = self.forecaster._coerce_windows(windows)
+        if windows.shape[0] == 0:
+            raise ShapeError("predict received an empty batch of windows")
+        batch_size = max(int(batch_size), 1)
+        if self.mode == "partition":
+            predictions = self._predict_partition(windows, batch_size)
+        else:
+            predictions = self._predict_replicate(windows, batch_size)
+        if self.mode == "partition":
+            predictions = self.forecaster.scaler.inverse_transform_channel(
+                predictions, self.forecaster.target_channel
+            )
+        return predictions[0] if single else predictions
 
     # ------------------------------------------------------------------ #
     def update(self, inputs, targets, **kwargs):
@@ -246,5 +588,5 @@ class ShardedForecaster:
     def __repr__(self) -> str:
         return (
             f"ShardedForecaster(num_shards={self.num_shards}, mode={self.mode!r}, "
-            f"edge_cut={self.plan.edge_cut:.3f})"
+            f"strategy={self.strategy!r}, edge_cut={self.plan.edge_cut:.3f})"
         )

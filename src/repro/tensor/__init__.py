@@ -13,8 +13,9 @@ implementation.  It exposes:
   :func:`set_traced_execution` and :func:`run_compiled`).
 """
 
-from . import functional
+from . import functional, partition
 from .grad_check import check_gradients, numerical_gradient
+from .partition import HaloExchange, PartitionContext, partition_scope
 from .trace import (
     clear_program_cache,
     declare_const,
@@ -30,19 +31,23 @@ from .trace import (
     traced_execution,
 )
 from .tensor import (
+    MATMUL_BLOCK_ROWS,
     Tensor,
     as_tensor,
     concatenate,
     default_dtype,
     get_default_dtype,
+    get_spmm_threads,
     is_grad_enabled,
     maximum,
     minimum,
     no_grad,
     set_default_dtype,
+    set_spmm_threads,
     spmm,
     spmm_multi,
     stack,
+    track_activations,
     where,
 )
 
@@ -76,4 +81,12 @@ __all__ = [
     "export_structures",
     "install_structures",
     "forget_model",
+    "partition",
+    "HaloExchange",
+    "PartitionContext",
+    "partition_scope",
+    "set_spmm_threads",
+    "get_spmm_threads",
+    "track_activations",
+    "MATMUL_BLOCK_ROWS",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse as _scipy_sparse
 
+from . import partition as _partition
 from .tensor import (
     _TAPE,
     Tensor,
@@ -27,6 +28,7 @@ __all__ = [
     "spmm",
     "spmm_multi",
     "spatial_mix",
+    "spatial_mix_multi",
     "relu",
     "leaky_relu",
     "sigmoid",
@@ -52,7 +54,14 @@ def spatial_mix(support, x: Tensor, transpose=None) -> Tensor:
     dense supports (plain arrays or differentiable tensors such as the
     adaptive adjacency) use the batched dense matmul.  ``x`` is
     ``(..., nodes, channels)``.
+
+    Under an active :mod:`~repro.tensor.partition` context the mix is
+    rerouted through the shard's halo-exchange path: ``x`` then carries only
+    the shard's owned rows and the result does too.
     """
+    ctx = _partition.active_context()
+    if ctx is not None:
+        return ctx.mix(support, x, transpose)
     if _scipy_sparse.issparse(support):
         return spmm(support, x, transpose=transpose)
     support = as_tensor(support)
@@ -63,6 +72,21 @@ def spatial_mix(support, x: Tensor, transpose=None) -> Tensor:
         tape.declared.add(id(support))
         tape.keep.append(support)
     return support @ as_tensor(x)
+
+
+def spatial_mix_multi(fused, x: Tensor) -> Tensor:
+    """Mix node features with a fused multi-support stack in one pass.
+
+    ``fused`` is a :class:`repro.graph.sparse.FusedSupports`; the result is
+    ``(..., nodes, count * channels)`` with the per-support blocks laid out
+    exactly like the concatenation of the individual mixes.  Under an active
+    partition context the stack is rerouted through the shard's rectangular
+    row blocks and the halo exchange.
+    """
+    ctx = _partition.active_context()
+    if ctx is not None:
+        return ctx.mix_multi(fused, x)
+    return spmm_multi(fused.stacked, x, fused.count, transpose=fused.transpose)
 
 
 def relu(x: Tensor) -> Tensor:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, _spmm_leading
+from .tensor import Tensor, _matmul_execute, _spmm_leading, _spmm_product
 
 __all__ = [
     "Slot",
@@ -536,7 +536,7 @@ def _build_forward(node: Node, inst: ProgramInstance):
     if op == "matmul":
         a, b = ins
         if a.ndim >= 2 and b.ndim >= 2:
-            return lambda: np.matmul(a, b, out=o)
+            return lambda: _matmul_execute(a, b, out=o)
         return lambda: np.copyto(o, a @ b)
     if op == "spmm":
         (a,) = ins
@@ -546,6 +546,7 @@ def _build_forward(node: Node, inst: ProgramInstance):
         (a,) = ins
         stacked, count = p["stacked"], p["count"]
         size = stacked.shape[1]
+        rows = p.get("rows", size)
         moved_shape = np.moveaxis(a, -2, 0).shape
         lead = moved_shape[1:]
         # Gather the node axis into a reusable contiguous buffer (the eager
@@ -562,10 +563,14 @@ def _build_forward(node: Node, inst: ProgramInstance):
 
         def spmm_multi_kernel():
             np.copyto(flat_view, np.moveaxis(a, -2, 0))
-            product = stacked @ flat_buf
-            np.copyto(o_blocks, product.reshape(count, size, *lead))
+            product = _spmm_product(stacked, flat_buf)
+            np.copyto(o_blocks, product.reshape(count, rows, *lead))
 
         return spmm_multi_kernel
+    if op == "halo_gather":
+        (a,) = ins
+        exchange, spec = p["exchange"], p["spec"]
+        return lambda: exchange.gather(a, spec, out=o)
     if op == "concatenate":
         axis = p["axis"]
         views = []

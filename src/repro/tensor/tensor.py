@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import weakref
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -34,7 +35,243 @@ __all__ = [
     "minimum",
     "spmm",
     "spmm_multi",
+    "set_spmm_threads",
+    "get_spmm_threads",
+    "track_activations",
+    "MATMUL_BLOCK_ROWS",
 ]
+
+# ---------------------------------------------------------------------- #
+# Row-blocked dense matmul
+# ---------------------------------------------------------------------- #
+# Dense matmuls with a matrix RHS are computed in fixed row blocks along the
+# -2 axis.  BLAS gemm picks different kernels/blockings for different row
+# counts, so a row-sliced product is NOT bit-identical to the same rows of
+# the full product in general (measurably so once the contraction dim
+# reaches a few hundred).  A fixed absolute block grid makes the computation
+# row-slice invariant at block granularity: any consumer that computes on a
+# block-aligned subset of rows (the memory-sharded forward) issues byte-for-
+# byte the same gemm calls as the full computation.  Sized so typical
+# training graphs (a few hundred nodes) stay a single gemm.
+MATMUL_BLOCK_ROWS = 256
+
+# BLAS picks its gemm kernel from the *call* geometry: the row count selects
+# gemv-like paths for narrow operands and different panel blockings for wide
+# ones, so the same row computed inside a 12-row call and a 6-row call can
+# disagree in the last ulp (observed for output widths 1-3, 9-11, 17-20 in
+# f64 and 1-3, 5-7, 17-24 in f32, among others).  Inference therefore issues
+# every gemm at one canonical geometry — exactly MATMUL_BLOCK_ROWS rows
+# (tail zero-padded) by at most MATMUL_BLOCK_COLS output columns — which
+# pins the kernel and makes a row's bits a function of (row, operand) only.
+# That is the property the memory-sharded forward relies on: any partition
+# of the node rows then reproduces the unsharded bits exactly.  Training
+# keeps plain BLAS calls (row-blocked above MATMUL_BLOCK_ROWS for cache
+# locality); gradients never need cross-run row-partition parity.
+MATMUL_BLOCK_COLS = 256
+
+
+def _matmul_canonical(a: np.ndarray, b: np.ndarray, out: np.ndarray | None):
+    rows, inner = a.shape[-2], a.shape[-1]
+    cols = b.shape[-1]
+    if out is None:
+        shape = np.broadcast_shapes(a.shape[:-2], b.shape[:-2]) + (rows, cols)
+        out = np.empty(shape, dtype=np.result_type(a, b))
+    for col_start in range(0, cols, MATMUL_BLOCK_COLS):
+        col_stop = min(col_start + MATMUL_BLOCK_COLS, cols)
+        b_block = b[..., :, col_start:col_stop]
+        for row_start in range(0, rows, MATMUL_BLOCK_ROWS):
+            row_stop = min(row_start + MATMUL_BLOCK_ROWS, rows)
+            target = out[..., row_start:row_stop, col_start:col_stop]
+            if row_stop - row_start == MATMUL_BLOCK_ROWS:
+                np.matmul(a[..., row_start:row_stop, :], b_block, out=target)
+            else:
+                padded = np.zeros(
+                    a.shape[:-2] + (MATMUL_BLOCK_ROWS, inner), dtype=a.dtype
+                )
+                padded[..., : row_stop - row_start, :] = a[..., row_start:row_stop, :]
+                target[...] = np.matmul(padded, b_block)[
+                    ..., : row_stop - row_start, :
+                ]
+    return out
+
+
+def _matmul_execute(a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None):
+    """``a @ b`` — canonical fixed-geometry calls under ``no_grad``, plain
+    (row-blocked past MATMUL_BLOCK_ROWS) when gradients are recording."""
+    if a.ndim < 2 or b.ndim < 2:
+        if out is None:
+            return np.matmul(a, b)
+        np.matmul(a, b, out=out)
+        return out
+    if not _GRAD_MODE.enabled:
+        return _matmul_canonical(a, b, out)
+    if a.shape[-2] <= MATMUL_BLOCK_ROWS:
+        if out is None:
+            return np.matmul(a, b)
+        np.matmul(a, b, out=out)
+        return out
+    rows = a.shape[-2]
+    if out is None:
+        shape = np.broadcast_shapes(a.shape[:-2], b.shape[:-2]) + (rows, b.shape[-1])
+        out = np.empty(shape, dtype=np.result_type(a, b))
+    for start in range(0, rows, MATMUL_BLOCK_ROWS):
+        stop = min(start + MATMUL_BLOCK_ROWS, rows)
+        np.matmul(a[..., start:stop, :], b, out=out[..., start:stop, :])
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Threaded CSR kernels
+# ---------------------------------------------------------------------- #
+_SPMM_THREADS = 1
+_SPMM_THREAD_MIN_NNZ = 200_000
+_SPMM_POOL = None
+_SPMM_POOL_LOCK = threading.Lock()
+
+
+def set_spmm_threads(threads: int, min_nnz: int | None = None) -> int:
+    """Set the worker count for chunked CSR products (1 disables).
+
+    With ``threads > 1``, ``spmm``/``spmm_multi`` forward products whose
+    matrix carries at least ``min_nnz`` stored entries are split into
+    contiguous row chunks dispatched to a shared thread pool.  Row chunks of
+    a CSR product are computed row-independently, so the result is
+    bit-identical to the single-threaded product.  Returns the previous
+    thread count.
+    """
+    global _SPMM_THREADS, _SPMM_THREAD_MIN_NNZ, _SPMM_POOL
+    threads = int(threads)
+    if threads < 1:
+        raise ValueError(f"spmm threads must be >= 1, got {threads}")
+    with _SPMM_POOL_LOCK:
+        previous = _SPMM_THREADS
+        _SPMM_THREADS = threads
+        if min_nnz is not None:
+            _SPMM_THREAD_MIN_NNZ = int(min_nnz)
+        if _SPMM_POOL is not None:
+            _SPMM_POOL.shutdown(wait=False)
+            _SPMM_POOL = None
+    return previous
+
+
+def get_spmm_threads() -> int:
+    return _SPMM_THREADS
+
+
+def _spmm_pool():
+    global _SPMM_POOL
+    pool = _SPMM_POOL
+    if pool is None:
+        with _SPMM_POOL_LOCK:
+            if _SPMM_POOL is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                _SPMM_POOL = ThreadPoolExecutor(
+                    max_workers=_SPMM_THREADS, thread_name_prefix="repro-spmm"
+                )
+            pool = _SPMM_POOL
+    return pool
+
+
+def _spmm_product(matrix, flat: np.ndarray) -> np.ndarray:
+    """``matrix @ flat`` with optional row-chunked threading (bit-identical)."""
+    threads = _SPMM_THREADS
+    if (
+        threads <= 1
+        or getattr(matrix, "format", None) != "csr"
+        or matrix.nnz < _SPMM_THREAD_MIN_NNZ
+        or flat.ndim != 2
+        or matrix.shape[0] < 2 * threads
+    ):
+        return matrix @ flat
+    rows = matrix.shape[0]
+    out = np.empty(
+        (rows, flat.shape[1]), dtype=np.result_type(matrix.dtype, flat.dtype)
+    )
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    bounds = np.linspace(0, rows, threads + 1).round().astype(int)
+
+    def run_chunk(start: int, stop: int) -> None:
+        base = indptr[start]
+        block = _sparse.csr_array(
+            (
+                data[base : indptr[stop]],
+                indices[base : indptr[stop]],
+                indptr[start : stop + 1] - base,
+            ),
+            shape=(stop - start, matrix.shape[1]),
+        )
+        out[start:stop] = block @ flat
+
+    futures = [
+        _spmm_pool().submit(run_chunk, int(start), int(stop))
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    for future in futures:
+        future.result()
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Activation tracking
+# ---------------------------------------------------------------------- #
+class _ActivationHolder(threading.local):
+    def __init__(self):
+        self.stats = None
+
+
+_ACTIVATIONS = _ActivationHolder()
+
+
+class ActivationStats:
+    """Live/peak byte accounting of tensor-owned arrays in one thread.
+
+    Counts only *owning* arrays (``base is None``) and each distinct buffer
+    once; bytes are released when the last wrapping tensor is collected.
+    Used by the sharding benchmarks to measure per-shard activation memory.
+    """
+
+    __slots__ = ("live_bytes", "peak_bytes", "_counts")
+
+    def __init__(self):
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self._counts: dict[int, list] = {}
+
+    def _note(self, tensor: "Tensor", array: np.ndarray) -> None:
+        if array.base is not None:
+            return
+        entry = self._counts.get(id(array))
+        if entry is None:
+            self._counts[id(array)] = [1, array.nbytes]
+            self.live_bytes += array.nbytes
+            if self.live_bytes > self.peak_bytes:
+                self.peak_bytes = self.live_bytes
+        else:
+            entry[0] += 1
+        weakref.finalize(tensor, self._drop, id(array))
+
+    def _drop(self, key: int) -> None:
+        entry = self._counts.get(key)
+        if entry is None:
+            return
+        entry[0] -= 1
+        if entry[0] <= 0:
+            del self._counts[key]
+            self.live_bytes -= entry[1]
+
+
+@contextlib.contextmanager
+def track_activations():
+    """Track tensor allocation bytes in this thread; yields the stats."""
+    previous = _ACTIVATIONS.stats
+    stats = ActivationStats()
+    _ACTIVATIONS.stats = stats
+    try:
+        yield stats
+    finally:
+        _ACTIVATIONS.stats = previous
 
 class _GradMode(threading.local):
     """Per-thread gradient-recording flag.
@@ -212,6 +449,9 @@ class Tensor:
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        stats = _ACTIVATIONS.stats
+        if stats is not None:
+            stats._note(self, array)
         tape = _TAPE.tape
         if tape is not None:
             # Tensors born during capture may depend on the input, so the
@@ -675,7 +915,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
-        data = self.data @ other.data
+        data = _matmul_execute(self.data, other.data)
         a, b = self, other
 
         def backward(grad: np.ndarray) -> None:
@@ -739,11 +979,12 @@ def _spmm_leading(matrix, array: np.ndarray) -> np.ndarray:
     if array.ndim == 1:
         return matrix @ array
     if array.ndim == 2:
-        return matrix @ array
+        return _spmm_product(matrix, array)
     moved = np.moveaxis(array, -2, 0)  # (N, ..., C), a view
     flat = moved.reshape(moved.shape[0], -1)  # copies iff non-contiguous
-    product = matrix @ flat
-    out = np.moveaxis(product.reshape(moved.shape), 0, -2)
+    product = _spmm_product(matrix, flat)
+    # Rectangular matrices (partitioned row blocks) change the node extent.
+    out = np.moveaxis(product.reshape((matrix.shape[0],) + moved.shape[1:]), 0, -2)
     # Materialise an owned, contiguous buffer so callers may treat the
     # result as fresh (the in-place gradient-accumulation protocol).
     return np.ascontiguousarray(out)
@@ -791,7 +1032,7 @@ def spmm(matrix, x, transpose=None) -> Tensor:
     )
 
 
-def spmm_multi(stacked, x, count: int, transpose=None) -> Tensor:
+def spmm_multi(stacked, x, count: int, transpose=None, rows: int | None = None) -> Tensor:
     """Fused multi-support spmm: one CSR traversal for all ``count`` supports.
 
     ``stacked`` is the vertical stack ``vstack([A_1, ..., A_S])`` of ``S``
@@ -802,7 +1043,12 @@ def spmm_multi(stacked, x, count: int, transpose=None) -> Tensor:
     sparse product (and one backward product) instead of ``S`` of each plus a
     concatenate.
 
-    ``transpose`` optionally supplies the precomputed ``(N, S*N)`` CSR
+    ``rows`` supports *rectangular* stacks: partitioned row blocks stack
+    ``S`` matrices of shape ``(rows, W)`` where ``W = x.shape[-2]`` is the
+    gathered operand width (own rows + halo), producing ``(..., rows, S*C)``.
+    Without it each block is assumed square (``rows = W``).
+
+    ``transpose`` optionally supplies the precomputed ``(W, S*rows)`` CSR
     transpose of ``stacked`` used by the backward pass (equal to
     ``hstack([A_s.T])``); without it the transpose is derived per call.
     """
@@ -812,20 +1058,22 @@ def spmm_multi(stacked, x, count: int, transpose=None) -> Tensor:
         )
     count = int(count)
     size = stacked.shape[1]
-    if count < 1 or stacked.shape[0] != count * size:
+    rows = size if rows is None else int(rows)
+    if count < 1 or rows < 0 or stacked.shape[0] != count * rows:
         raise ValueError(
-            f"stacked supports must be (count*N, N); got {stacked.shape} for count={count}"
+            f"stacked supports must be (count*rows, W); got {stacked.shape} "
+            f"for count={count}, rows={rows}"
         )
     x = as_tensor(x)
     if x.ndim < 2 or x.shape[-2] != size:
         raise ValueError(
-            f"spmm_multi shape mismatch: supports are ({size}, {size}), input {x.shape}"
+            f"spmm_multi shape mismatch: supports are ({rows}, {size}), input {x.shape}"
         )
     if stacked.dtype != x.data.dtype:
         stacked = stacked.astype(x.data.dtype)
         transpose = None
     if transpose is not None and (
-        transpose.shape != (size, count * size) or transpose.dtype != stacked.dtype
+        transpose.shape != (size, count * rows) or transpose.dtype != stacked.dtype
     ):
         transpose = None
 
@@ -833,18 +1081,18 @@ def spmm_multi(stacked, x, count: int, transpose=None) -> Tensor:
     moved = np.moveaxis(array, -2, 0)  # (N, ..., C), a view
     lead = moved.shape[1:]
     flat = moved.reshape(size, -1)  # (N, L); copies iff non-contiguous
-    product = stacked @ flat  # (S*N, L): the single fused traversal
-    # (S, N, ..., C) -> (..., N, S, C) -> (..., N, S*C)
-    blocks = np.moveaxis(product.reshape(count, size, *lead), (0, 1), (-2, -3))
-    out_shape = array.shape[:-1] + (count * array.shape[-1],)
+    product = _spmm_product(stacked, flat)  # (S*rows, L): the single fused traversal
+    # (S, rows, ..., C) -> (..., rows, S, C) -> (..., rows, S*C)
+    blocks = np.moveaxis(product.reshape(count, rows, *lead), (0, 1), (-2, -3))
+    out_shape = array.shape[:-2] + (rows, count * array.shape[-1])
     data = np.ascontiguousarray(blocks.reshape(out_shape))
     transposed = transpose if transpose is not None else stacked.T
 
     def backward(grad: np.ndarray) -> None:
-        # (..., N, S*C) -> (S, N, ..., C) -> (S*N, L)
+        # (..., rows, S*C) -> (S, rows, ..., C) -> (S*rows, L)
         g_blocks = grad.reshape(grad.shape[:-1] + (count, array.shape[-1]))
         g_moved = np.moveaxis(g_blocks, (-2, -3), (0, 1))
-        g_flat = np.ascontiguousarray(g_moved).reshape(count * size, -1)
+        g_flat = np.ascontiguousarray(g_moved).reshape(count * rows, -1)
         x_grad = transposed @ g_flat  # (N, L): sum_s A_s^T grad_s, fused
         x_grad = np.moveaxis(x_grad.reshape(size, *lead), 0, -2)
         x._accumulate(np.ascontiguousarray(x_grad), fresh=True)
@@ -854,7 +1102,7 @@ def spmm_multi(stacked, x, count: int, transpose=None) -> Tensor:
         (x,),
         backward,
         op="spmm_multi",
-        ctx={"stacked": stacked, "transposed": transposed, "count": count},
+        ctx={"stacked": stacked, "transposed": transposed, "count": count, "rows": rows},
     )
 
 

@@ -363,6 +363,11 @@ class Tape:
                 self.poison("where() condition is not a traced mask")
                 return None
             params["condition"] = index
+        elif op == "halo_gather":
+            # The exchange/spec objects are bound to one forecaster's shard
+            # threads (and are not serialisable), so the structure must never
+            # be shared across models or shipped to worker processes.
+            self.shareable = False
         return params
 
     # -------------------------------------------------------------- #
@@ -778,6 +783,9 @@ def run_compiled(model, fn, x, *, graph=None, kind="forward", enabled=None):
     ):
         _STATS["eager_calls"] += 1
         return fn(x)
+    from .partition import active_context as _partition_active
+
+    pctx = _partition_active()
     key = (
         kind,
         x.shape,
@@ -785,8 +793,10 @@ def run_compiled(model, fn, x, *, graph=None, kind="forward", enabled=None):
         bool(getattr(model, "training", False)),
         is_grad_enabled(),
         id(graph) if graph is not None else None,
+        pctx.trace_token if pctx is not None else None,
         _knob_token(),
     )
+    instance = None
     with _LOCK:
         entry = _entry_for(model, key, graph)
         if entry.status == "untraceable":
@@ -809,12 +819,19 @@ def run_compiled(model, fn, x, *, graph=None, kind="forward", enabled=None):
             if instance is None:
                 _STATS["eager_calls"] += 1
                 return fn(x)
-            try:
-                return _replay(entry, instance, x)
-            except Exception:
-                instance.busy = False
-                raise
-        fingerprint = _fingerprint(model, key, graph)
+        else:
+            fingerprint = _fingerprint(model, key, graph)
+
+    if instance is not None:
+        # Replay OUTSIDE the global lock: replays are instance-exclusive
+        # (``busy``) and must not serialise process-wide — a partitioned
+        # shard blocking in a halo gather inside its program would otherwise
+        # deadlock every other shard against the cache lock.
+        try:
+            return _replay(entry, instance, x)
+        except Exception:
+            instance.busy = False
+            raise
 
     # Capture outside the lock: it runs the full eager forward.
     out, structure = _capture(model, fn, x)

@@ -1,0 +1,234 @@
+"""Bit-parity of memory-sharded (partition-mode) inference across the zoo.
+
+The tentpole guarantee: a partitioned predict — each shard holding only its
+owned node rows plus per-layer halo gathers — returns bit-identical output
+to the unsharded forecaster, for any shard count and planner strategy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.graph.sensor_network import SensorNetwork
+from repro.graph.sparse import (
+    clear_support_cache,
+    partition_support_blocks,
+    spatial_mode,
+    support_cache_stats,
+)
+from repro.models.dcrnn import DCRNNBackbone
+from repro.models.graphwavenet import GraphWaveNetBackbone
+from repro.models.baselines.stgcn import STGCN
+from repro.models.baselines.stgode import STGODE
+from repro.models.stencoder import STEncoderConfig
+from repro.serve import Forecaster
+from repro.serve.sharding import ShardedForecaster, ShardPlanner
+
+
+def _clustered_network(num_clusters=4, size=6, seed=0, name="clustered"):
+    """Dense intra-cluster blocks, a few cross edges, node ids shuffled.
+
+    The shuffle makes contiguous range partitions cut many edges while a
+    min-cut planner can recover the clusters — the planner regression below
+    relies on that gap.
+    """
+    rng = np.random.default_rng(seed)
+    n = num_clusters * size
+    adjacency = np.zeros((n, n))
+    for c in range(num_clusters):
+        lo = c * size
+        block = rng.random((size, size)) * (rng.random((size, size)) < 0.7)
+        adjacency[lo : lo + size, lo : lo + size] = block
+    for _ in range(2 * num_clusters):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            adjacency[a, b] = 0.5 + 0.5 * rng.random()
+    np.fill_diagonal(adjacency, 0.0)
+    perm = rng.permutation(n)
+    adjacency = adjacency[np.ix_(perm, perm)]
+    return SensorNetwork(adjacency=adjacency, name=name)
+
+
+def _tiny_encoder(**overrides):
+    config = dict(
+        residual_channels=4, dilation_channels=4, skip_channels=8,
+        end_channels=8, dilations=(1, 2), adaptive_embedding_dim=3,
+    )
+    config.update(overrides)
+    return STEncoderConfig(**config)
+
+
+ZOO = {
+    "graphwavenet": lambda net: GraphWaveNetBackbone(
+        net, in_channels=2, input_steps=8, encoder_config=_tiny_encoder(),
+        decoder_hidden=8, rng=0,
+    ),
+    "dcrnn": lambda net: DCRNNBackbone(
+        net, in_channels=2, input_steps=8, hidden_dim=8, latent_dim=8,
+        decoder_hidden=8, rng=0,
+    ),
+    "stgcn": lambda net: STGCN(
+        net, in_channels=2, input_steps=8, hidden_dim=8, rng=0,
+    ),
+    "stgode": lambda net: STGODE(
+        net, in_channels=2, input_steps=8, hidden_dim=8,
+        integration_steps=2, rng=0,
+    ),
+}
+
+
+class TestZooBitParity:
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_partitioned_predict_is_bit_identical(self, name, num_shards):
+        network = _clustered_network()
+        rng = np.random.default_rng(11)
+        windows = rng.normal(size=(3, 8, network.num_nodes, 2))
+        with spatial_mode("sparse"):
+            facade = Forecaster(ZOO[name](network))
+            direct = facade.predict(windows)
+            with ShardedForecaster(facade, num_shards, mode="partition") as sharded:
+                stitched = sharded.predict(windows)
+                repeat = sharded.predict(windows)
+        assert np.array_equal(stitched, direct)
+        assert np.array_equal(repeat, direct)
+
+    def test_contiguous_strategy_also_exact(self):
+        network = _clustered_network(seed=3)
+        rng = np.random.default_rng(7)
+        windows = rng.normal(size=(2, 8, network.num_nodes, 2))
+        with spatial_mode("sparse"):
+            facade = Forecaster(ZOO["stgcn"](network))
+            direct = facade.predict(windows)
+            with ShardedForecaster(
+                facade, 3, mode="partition", strategy="contiguous"
+            ) as sharded:
+                stitched = sharded.predict(windows)
+        assert np.array_equal(stitched, direct)
+
+
+class TestStrictMode:
+    def test_strict_rejects_dense_global_mixing(self):
+        """Adaptive adjacency needs a full-N gather; strict mode refuses."""
+        network = _clustered_network(seed=5)
+        rng = np.random.default_rng(2)
+        windows = rng.normal(size=(2, 8, network.num_nodes, 2))
+        with spatial_mode("sparse"):
+            facade = Forecaster(ZOO["graphwavenet"](network))
+            with ShardedForecaster(
+                facade, 2, mode="partition", strict=True
+            ) as sharded:
+                with pytest.raises(PartitionError):
+                    sharded.predict(windows)
+
+    def test_strict_allows_pure_sparse_models(self):
+        network = _clustered_network(seed=5)
+        rng = np.random.default_rng(2)
+        windows = rng.normal(size=(2, 8, network.num_nodes, 2))
+        with spatial_mode("sparse"):
+            facade = Forecaster(ZOO["stgcn"](network))
+            direct = facade.predict(windows)
+            with ShardedForecaster(
+                facade, 2, mode="partition", strict=True
+            ) as sharded:
+                stitched = sharded.predict(windows)
+        assert np.array_equal(stitched, direct)
+
+
+class TestPartitionCache:
+    def test_halo_blocks_cached_per_plan(self):
+        graph = _clustered_network(seed=9).graph
+        plan = ShardPlanner(2, strategy="mincut").plan(graph)
+        with spatial_mode("sparse"):
+            support = graph.conv_supports(2)[0]
+            clear_support_cache()
+            first = partition_support_blocks(support, plan)
+            again = partition_support_blocks(support, plan)
+            assert again is first
+            stats = support_cache_stats()
+            assert stats["partition_misses"] == 1
+            assert stats["partition_hits"] == 1
+            assert stats["partition_entries"] == 1
+            assert stats["partition_bytes"] > 0
+
+            # A fresh plan (new token) is a different key even if equal-shaped.
+            other_plan = ShardPlanner(2, strategy="mincut").plan(graph)
+            rebuilt = partition_support_blocks(support, other_plan)
+            assert rebuilt is not first
+            assert support_cache_stats()["partition_entries"] == 2
+
+            clear_support_cache()
+            stats = support_cache_stats()
+            assert stats["partition_entries"] == 0
+            assert stats["partition_hits"] == 0
+
+    def test_halo_layout_references_only_csr_columns(self):
+        """Each shard's halo is exactly the foreign columns its rows touch."""
+        graph = _clustered_network(seed=9).graph
+        plan = ShardPlanner(3, strategy="mincut").plan(graph)
+        with spatial_mode("sparse"):
+            support = graph.conv_supports(2)[0]
+            clear_support_cache()
+            partitioned = partition_support_blocks(support, plan)
+        csr = support.tocsr()
+        for k in range(3):
+            owned = plan.owned(k)
+            halo = partitioned.halos[k]
+            assert np.array_equal(halo.owned, np.sort(owned))
+            cols = np.unique(csr[owned].indices)
+            expected = np.setdiff1d(cols, owned)
+            assert np.array_equal(np.sort(halo.foreign), expected)
+            block = partitioned.blocks[k]
+            assert block.shape == (len(owned), len(owned) + len(halo.foreign))
+
+
+class TestMinCutPlanner:
+    def test_mincut_beats_contiguous_on_clustered_graph(self):
+        graph = _clustered_network(num_clusters=4, size=8, seed=1).graph
+        contiguous = ShardPlanner(4, strategy="contiguous").plan(graph)
+        mincut = ShardPlanner(4, strategy="mincut").plan(graph)
+        assert mincut.cut_edge_pairs < contiguous.cut_edge_pairs
+        # Balanced: every part within one alignment unit of the target.
+        sizes = [s.num_nodes for s in mincut.shards]
+        assert max(sizes) - min(sizes) <= 1
+        # The permutation is a bijection over the nodes.
+        assert sorted(mincut.permutation.tolist()) == list(range(graph.num_nodes))
+
+    def test_mincut_recovers_block_diagonal_clusters(self):
+        rng = np.random.default_rng(4)
+        n, half = 16, 8
+        adjacency = np.zeros((n, n))
+        for lo in (0, half):
+            block = rng.random((half, half)) * (rng.random((half, half)) < 0.8)
+            adjacency[lo : lo + half, lo : lo + half] = block
+        np.fill_diagonal(adjacency, 0.0)
+        perm = rng.permutation(n)
+        graph = SensorNetwork(adjacency=adjacency[np.ix_(perm, perm)], name="bd").graph
+        plan = ShardPlanner(2, strategy="mincut").plan(graph)
+        assert plan.cut_edge_pairs == 0
+
+    def test_describe_reports_strategy_and_cut(self):
+        graph = _clustered_network(seed=1).graph
+        description = ShardPlanner(2, strategy="mincut").plan(graph).describe()
+        assert description["strategy"] == "mincut"
+        assert "cut_edge_pairs" in description
+        import json
+
+        assert json.loads(json.dumps(description)) == description
+
+
+class TestHaloProfile:
+    def test_halo_fractions_bounded(self):
+        network = _clustered_network(num_clusters=4, size=8, seed=1)
+        with spatial_mode("sparse"):
+            facade = Forecaster(ZOO["stgcn"](network))
+            with ShardedForecaster(facade, 4, mode="partition") as sharded:
+                profile = sharded.halo_profile(2)
+        assert profile["num_shards"] == 4
+        assert len(profile["shards"]) == 4
+        for entry in profile["shards"]:
+            assert entry["owned"] > 0
+            assert 0.0 <= entry["halo_fraction"] <= 1.0
+        assert profile["max_halo_fraction"] == max(
+            entry["halo_fraction"] for entry in profile["shards"]
+        )

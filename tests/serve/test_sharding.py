@@ -136,13 +136,14 @@ class TestPartitionMode:
                 stitched = sharded.predict(windows)
         assert np.array_equal(stitched, direct)
 
-    def test_partition_approximates_when_edges_cross(self, forecaster, raw_windows):
+    def test_partition_exact_when_edges_cross(self, forecaster, raw_windows):
+        """Cross-shard edges go through the halo exchange: still bit-exact."""
         direct = forecaster.predict(raw_windows)
         with ShardedForecaster(forecaster, 2, mode="partition") as sharded:
             assert sharded.plan.edge_cut > 0.0
             stitched = sharded.predict(raw_windows)
         assert stitched.shape == direct.shape
-        assert not np.array_equal(stitched, direct)
+        assert np.array_equal(stitched, direct)
 
     def test_unknown_mode_raises(self, forecaster):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,152 @@
+"""Kernel-level invariants behind memory-sharded inference.
+
+Three properties the partition path builds on:
+
+* the canonical fixed-geometry matmul makes a row's bits a function of
+  (row, operand) only — any row partition reproduces the unsharded bits;
+* rectangular ``spmm_multi`` row blocks equal the row slice of the square
+  product;
+* threaded CSR kernels are exactly bit-identical to single-threaded ones.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.tensor import (
+    MATMUL_BLOCK_ROWS,
+    Tensor,
+    get_spmm_threads,
+    no_grad,
+    set_spmm_threads,
+    spmm,
+    spmm_multi,
+    track_activations,
+)
+
+
+class TestCanonicalMatmul:
+    # Output widths where plain BLAS per-row bits depend on the call's row
+    # count (gemv-ish narrow kernels and odd panel tails).
+    NASTY_WIDTHS = (1, 2, 3, 5, 7, 9, 11, 17, 20)
+
+    @pytest.mark.parametrize("width", NASTY_WIDTHS)
+    def test_row_subsets_reproduce_full_bits(self, width):
+        rng = np.random.default_rng(width)
+        a = rng.normal(size=(300, 24))
+        b = rng.normal(size=(24, width))
+        with no_grad():
+            full = (Tensor(a) @ Tensor(b)).data
+            for m in (1, 6, 12, 100, 299):
+                idx = np.sort(rng.choice(300, size=m, replace=False))
+                sub = (Tensor(a[idx]) @ Tensor(b)).data
+                assert np.array_equal(sub, full[idx]), f"m={m} width={width}"
+
+    def test_batched_row_subsets_reproduce_full_bits(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 5, 48, 8))
+        b = rng.normal(size=(8, 1))
+        with no_grad():
+            full = (Tensor(a) @ Tensor(b)).data
+            for m in (2, 7, 24):
+                idx = np.sort(rng.choice(48, size=m, replace=False))
+                sub = (Tensor(a[:, :, idx]) @ Tensor(b)).data
+                assert np.array_equal(sub, full[:, :, idx])
+
+    def test_rows_past_block_size_still_invariant(self):
+        rng = np.random.default_rng(1)
+        rows = 3 * MATMUL_BLOCK_ROWS + 77
+        a = rng.normal(size=(rows, 16))
+        b = rng.normal(size=(16, 3))
+        with no_grad():
+            full = (Tensor(a) @ Tensor(b)).data
+            idx = np.sort(rng.choice(rows, size=rows // 3, replace=False))
+            sub = (Tensor(a[idx]) @ Tensor(b)).data
+        assert np.array_equal(sub, full[idx])
+
+    def test_wide_outputs_column_blocked(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(90, 64))
+        b = rng.normal(size=(64, 300))
+        with no_grad():
+            full = (Tensor(a) @ Tensor(b)).data
+            idx = np.sort(rng.choice(90, size=31, replace=False))
+            sub = (Tensor(a[idx]) @ Tensor(b)).data
+        assert np.array_equal(sub, full[idx])
+        assert np.allclose(full, a @ b)
+
+    def test_training_path_unchanged(self):
+        """With gradients recording the plain BLAS product is used."""
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(40, 8))
+        b = rng.normal(size=(8, 4))
+        product = Tensor(a, requires_grad=True) @ Tensor(b)
+        assert np.array_equal(product.data, a @ b)
+
+
+class TestRectangularSpmmMulti:
+    def _stacked(self, rng, count, n):
+        supports = [sp.random_array((n, n), density=0.3, rng=rng).tocsr()
+                    for _ in range(count)]
+        return supports, sp.vstack(supports, format="csr")
+
+    def test_rows_matches_square_row_slice(self):
+        rng = np.random.default_rng(4)
+        supports, stacked = self._stacked(rng, count=2, n=20)
+        x = Tensor(rng.normal(size=(3, 20, 5)))
+        full = spmm_multi(stacked, x, 2).data
+        rows = [4, 9, 13]
+        blocks = sp.vstack(
+            [sp.csr_array(member[rows]) for member in supports], format="csr"
+        )
+        part = spmm_multi(blocks, x, 2, rows=len(rows)).data
+        assert part.shape == (3, len(rows), 10)
+        assert np.array_equal(part, full[:, rows, :])
+
+    def test_shape_validation(self):
+        rng = np.random.default_rng(5)
+        _, stacked = self._stacked(rng, count=2, n=6)
+        x = Tensor(rng.normal(size=(6, 2)))
+        with pytest.raises(ValueError):
+            spmm_multi(stacked, x, 2, rows=5)
+
+
+class TestThreadedSpmm:
+    def test_threaded_bit_identical(self):
+        rng = np.random.default_rng(6)
+        matrix = sp.random_array((500, 500), density=0.05, rng=rng).tocsr()
+        x = Tensor(rng.normal(size=(2, 500, 4)))
+        baseline = spmm(matrix, x).data
+        previous = get_spmm_threads()
+        try:
+            set_spmm_threads(4, min_nnz=1)
+            threaded = spmm(matrix, x).data
+            stacked = sp.vstack([matrix, matrix], format="csr")
+            multi = spmm_multi(stacked, x, 2).data
+        finally:
+            set_spmm_threads(previous, min_nnz=200_000)
+        assert np.array_equal(threaded, baseline)
+        assert np.array_equal(multi[..., :4], baseline)
+        assert np.array_equal(multi[..., 4:], baseline)
+
+    def test_knob_roundtrip(self):
+        previous = get_spmm_threads()
+        try:
+            returned = set_spmm_threads(2, min_nnz=123)
+            assert returned == previous
+            assert get_spmm_threads() == 2
+            with pytest.raises(ValueError):
+                set_spmm_threads(0)
+        finally:
+            set_spmm_threads(previous, min_nnz=200_000)
+
+
+class TestActivationTracking:
+    def test_peak_counts_owning_buffers_once(self):
+        with track_activations() as stats:
+            a = Tensor(np.zeros((100, 10)))
+            view = a[:50]  # non-owning view: not counted again
+            b = a + 1.0
+            del view, b
+        assert stats.peak_bytes >= 2 * 100 * 10 * 8
+        assert stats.peak_bytes < 4 * 100 * 10 * 8
